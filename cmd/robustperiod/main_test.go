@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"robustperiod"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "series.csv")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadSeriesPlain(t *testing.T) {
+	p := writeTemp(t, "1.5\n2\n\n3.25\n")
+	got, err := readSeries(p, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2, 3.25}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestReadSeriesColumnAndHeader(t *testing.T) {
+	p := writeTemp(t, "ts,value\n0,10\n1,20\n2,30\n")
+	got, err := readSeries(p, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadSeriesErrors(t *testing.T) {
+	p := writeTemp(t, "1,2\n")
+	if _, err := readSeries(p, 5, false); err == nil {
+		t.Error("out-of-range column should error")
+	}
+	p2 := writeTemp(t, "abc\n")
+	if _, err := readSeries(p2, 0, false); err == nil {
+		t.Error("non-numeric value should error")
+	}
+	if _, err := readSeries(filepath.Join(t.TempDir(), "missing.csv"), 0, false); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestWaveletKindMapping(t *testing.T) {
+	cases := map[string]robustperiod.WaveletKind{
+		"haar": robustperiod.Haar,
+		"db1":  robustperiod.Haar,
+		"db2":  robustperiod.Daub4,
+		"db4":  robustperiod.Daub8,
+		"DB10": robustperiod.Daub20,
+	}
+	for name, want := range cases {
+		got, err := waveletKind(name)
+		if err != nil || got != want {
+			t.Errorf("waveletKind(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := waveletKind("db99"); err == nil {
+		t.Error("unknown wavelet should error")
+	}
+}

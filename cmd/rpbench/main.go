@@ -1,0 +1,117 @@
+// Command rpbench regenerates the tables and figures of the paper's
+// evaluation section (§4) on the synthetic and surrogate corpora
+// described in DESIGN.md.
+//
+//	rpbench -table all            # every table
+//	rpbench -table 2 -trials 100  # Table 2 with 100 series per corpus
+//	rpbench -figure 5             # Fig. 5 per-level diagnostics
+//	rpbench -figure 6             # Fig. 6 periodogram/ACF schemes
+//
+// Trial counts default to 50 per corpus; the paper uses 1000, which is
+// reachable with -trials 1000 if you have the patience.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"robustperiod/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rpbench: ")
+
+	var (
+		table     = flag.String("table", "", "table to regenerate: 1-8 or 'all'")
+		figure    = flag.String("figure", "", "figure to regenerate: 5 or 6 or 'all'")
+		ablations = flag.Bool("ablations", false, "print the implementation-ablation table (DESIGN.md §6)")
+		report    = flag.String("report", "", "run everything and write a markdown report to this path")
+		trials    = flag.Int("trials", 50, "series per synthetic corpus")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	if *table == "" && *figure == "" && !*ablations && *report == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(eval.Report(*trials, *seed)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *report)
+	}
+	if *ablations {
+		fmt.Println(eval.TableImplAblations(minInt(*trials, 25), *seed+1000))
+	}
+
+	runTable := func(id int) {
+		switch id {
+		case 1:
+			fmt.Println(eval.Table1(*trials, *seed))
+		case 2:
+			fmt.Println(eval.Table2(*trials, *seed+100))
+		case 3:
+			fmt.Println(eval.Table3(*trials, *seed+200))
+		case 4:
+			fmt.Println(eval.Table4(*seed + 300))
+		case 5:
+			fmt.Println(eval.Table5(*trials, *seed+400))
+		case 6:
+			fmt.Println(eval.Table6(minInt(*trials, 20), *seed+500))
+		case 7:
+			fmt.Println(eval.Table7(*trials, *seed+600))
+		case 8:
+			fmt.Println(eval.Table8(*trials, *seed+700))
+		default:
+			log.Fatalf("unknown table %d", id)
+		}
+	}
+	runFigure := func(id int) {
+		switch id {
+		case 5:
+			fmt.Println(eval.Figure5(*seed + 800))
+		case 6:
+			fmt.Println(eval.Figure6(*seed + 900))
+		default:
+			log.Fatalf("unknown figure %d", id)
+		}
+	}
+
+	if *table != "" {
+		if *table == "all" {
+			for id := 1; id <= 8; id++ {
+				runTable(id)
+			}
+		} else {
+			id, err := strconv.Atoi(*table)
+			if err != nil {
+				log.Fatalf("bad -table value %q", *table)
+			}
+			runTable(id)
+		}
+	}
+	if *figure != "" {
+		if *figure == "all" {
+			runFigure(5)
+			runFigure(6)
+		} else {
+			id, err := strconv.Atoi(*figure)
+			if err != nil {
+				log.Fatalf("bad -figure value %q", *figure)
+			}
+			runFigure(id)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package robustperiod
+
+import (
+	"fmt"
+	"math"
+
+	"robustperiod/internal/dsp/fft"
+)
+
+// DetectAuto handles arbitrarily long series the way the paper's
+// deployment section (§4.5.1) describes: "time series with more length
+// can be down-sampled and tested for periodicity". When the series is
+// longer than maxLen (<= 0 means 5000), it is decimated by the
+// smallest integer factor that fits, using block means as the
+// anti-alias filter; detection runs at the reduced resolution, and
+// every found period is scaled back and refined against the
+// full-resolution autocorrelation function, so the final answers carry
+// full-resolution accuracy. Series already within maxLen go through
+// Detect unchanged.
+//
+// Decimation by factor k makes periods shorter than ~4k samples
+// undetectable; choose maxLen accordingly when very short cycles
+// matter.
+func DetectAuto(y []float64, maxLen int, opts *Options) ([]int, error) {
+	if maxLen <= 0 {
+		maxLen = 5000
+	}
+	if maxLen < 64 {
+		maxLen = 64
+	}
+	n := len(y)
+	if n <= maxLen {
+		return Detect(y, opts)
+	}
+	factor := (n + maxLen - 1) / maxLen
+	reduced := blockMeans(y, factor)
+	periods, err := Detect(reduced, opts)
+	if err != nil {
+		return nil, fmt.Errorf("robustperiod: downsampled detection: %w", err)
+	}
+	if len(periods) == 0 {
+		return nil, nil
+	}
+	// Refine each scaled-back period on the full-resolution ACF: the
+	// decimated estimate is only accurate to ±factor samples.
+	acf := fft.Autocorrelation(y)
+	out := make([]int, 0, len(periods))
+	for _, p := range periods {
+		full := p * factor
+		if full > n/2 {
+			full = n / 2
+		}
+		out = append(out, refineOnACF(acf, full, factor))
+	}
+	return dedupInts(out), nil
+}
+
+// blockMeans decimates x by averaging consecutive blocks of k samples
+// (the trailing partial block is averaged over its actual length).
+func blockMeans(x []float64, k int) []float64 {
+	if k <= 1 {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, 0, (len(x)+k-1)/k)
+	for start := 0; start < len(x); start += k {
+		end := start + k
+		if end > len(x) {
+			end = len(x)
+		}
+		s := 0.0
+		for _, v := range x[start:end] {
+			s += v
+		}
+		out = append(out, s/float64(end-start))
+	}
+	return out
+}
+
+// refineOnACF snaps p to the strongest ACF local maximum within
+// ±(slack+p/25) lags, keeping p when no peak exists.
+func refineOnACF(acf []float64, p, slack int) int {
+	w := slack + p/25
+	if w < 2 {
+		w = 2
+	}
+	lo, hi := p-w, p+w
+	if lo < 2 {
+		lo = 2
+	}
+	if hi > len(acf)-2 {
+		hi = len(acf) - 2
+	}
+	best, bestV := -1, math.Inf(-1)
+	for i := lo; i <= hi; i++ {
+		if acf[i] >= acf[i-1] && acf[i] >= acf[i+1] && acf[i] > bestV {
+			best, bestV = i, acf[i]
+		}
+	}
+	if best < 0 || bestV <= 0 {
+		return p
+	}
+	return best
+}
+
+func dedupInts(ps []int) []int {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := ps[:0]
+	seen := map[int]bool{}
+	for _, p := range ps {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

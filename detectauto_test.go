@@ -1,0 +1,119 @@
+package robustperiod
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDetectAutoShortSeriesUnchanged(t *testing.T) {
+	x := synth(1000, []int{50}, 0.1, 0, 71)
+	direct, err := Detect(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := DetectAuto(x, 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(auto) {
+		t.Fatalf("short series should be identical: %v vs %v", direct, auto)
+	}
+	for i := range direct {
+		if direct[i] != auto[i] {
+			t.Fatalf("short series should be identical: %v vs %v", direct, auto)
+		}
+	}
+}
+
+func TestDetectAutoLongSeries(t *testing.T) {
+	// 40k points with a period of 2880 (two-day cycle at minute
+	// resolution): full detection at this length would be slow and the
+	// filter bank deep; the downsampled path must land within 1%.
+	rng := rand.New(rand.NewSource(72))
+	n := 40000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/2880) + 0.3*rng.NormFloat64()
+		if rng.Float64() < 0.01 {
+			x[i] += 8
+		}
+	}
+	periods, err := DetectAuto(x, 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range periods {
+		if math.Abs(float64(p-2880)) <= 0.01*2880 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("periods = %v, want ~2880", periods)
+	}
+}
+
+func TestDetectAutoRefinementBeatsScaling(t *testing.T) {
+	// Period 1000 in 30k points: decimation factor 6 gives ±6-sample
+	// granularity; refinement should recover near-exact accuracy.
+	rng := rand.New(rand.NewSource(73))
+	n := 30000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/1000) + 0.2*rng.NormFloat64()
+	}
+	periods, err := DetectAuto(x, 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(periods) == 0 {
+		t.Fatal("nothing detected")
+	}
+	sort.Ints(periods)
+	best := periods[0]
+	for _, p := range periods {
+		if math.Abs(float64(p-1000)) < math.Abs(float64(best-1000)) {
+			best = p
+		}
+	}
+	if math.Abs(float64(best-1000)) > 3 {
+		t.Errorf("refined period %d, want within ±3 of 1000", best)
+	}
+}
+
+func TestDetectAutoNoiseQuiet(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	x := make([]float64, 20000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	periods, err := DetectAuto(x, 4000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(periods) > 1 {
+		t.Errorf("noise produced %v", periods)
+	}
+}
+
+func TestBlockMeans(t *testing.T) {
+	x := []float64{1, 3, 5, 7, 9}
+	got := blockMeans(x, 2)
+	want := []float64{2, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	id := blockMeans(x, 1)
+	for i := range x {
+		if id[i] != x[i] {
+			t.Fatal("k=1 should be identity")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package robustperiod_test
+
+import (
+	"fmt"
+	"math"
+
+	"robustperiod"
+)
+
+// A clean two-period series makes the API's happy path visible: hourly
+// data with daily (24) and weekly (168) cycles.
+func twoPeriodSeries() []float64 {
+	x := make([]float64, 1344)
+	for i := range x {
+		x[i] = 3*math.Sin(2*math.Pi*float64(i)/24) + 5*math.Sin(2*math.Pi*float64(i)/168)
+	}
+	return x
+}
+
+func ExampleDetect() {
+	periods, err := robustperiod.Detect(twoPeriodSeries(), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(periods)
+	// Output: [24 168]
+}
+
+func ExampleDetectDetails() {
+	res, err := robustperiod.DetectDetails(twoPeriodSeries(), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("periods:", res.Periods)
+	fmt.Println("levels analysed:", len(res.Levels) > 0)
+	// Output:
+	// periods: [24 168]
+	// levels analysed: true
+}
+
+func ExampleDecompose() {
+	series := twoPeriodSeries()
+	dec, err := robustperiod.Decompose(series, []int{24, 168}, robustperiod.DecomposeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	// The decomposition reconstructs the series exactly.
+	maxErr := 0.0
+	for i := range series {
+		sum := dec.Trend[i] + dec.Remainder[i]
+		for _, s := range dec.Seasonals {
+			sum += s[i]
+		}
+		if d := math.Abs(sum - series[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Println("components:", len(dec.Seasonals), "exact:", maxErr < 1e-9)
+	// Output: components: 2 exact: true
+}
+
+func ExampleDetectAnomalies() {
+	series := twoPeriodSeries()
+	series[700] += 40 // an incident
+	res, err := robustperiod.DetectAnomalies(series, []int{24, 168}, robustperiod.AnomalyOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range res.Anomalies {
+		fmt.Println("anomaly at", a.Index)
+	}
+	// Output: anomaly at 700
+}

@@ -1,0 +1,72 @@
+// Command anomaly demonstrates the paper's motivating monitoring
+// application: periodicity-aware anomaly detection. A week of minute-
+// level request-rate data (daily period 1440) is corrupted with
+// latency spikes and a short outage; RobustPeriod detects the period,
+// the series is decomposed into trend + seasonal + remainder, and
+// points whose remainder exceeds 4 robust standard deviations are
+// flagged — spikes and outage alike, without the daily swing causing
+// false alarms.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"robustperiod"
+	"robustperiod/internal/anomaly"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	n := 5 * 1440 // five days, minute resolution
+	series := make([]float64, n)
+	for i := range series {
+		daily := math.Sin(2*math.Pi*float64(i)/1440 - math.Pi/2) // night trough, midday peak
+		series[i] = 500 + 200*daily + 12*rng.NormFloat64()
+	}
+	// Inject incidents: three spikes and one 20-minute outage.
+	spikes := []int{1234, 3456, 6100}
+	for _, i := range spikes {
+		series[i] += 320
+	}
+	outageStart := 4600
+	for i := outageStart; i < outageStart+20; i++ {
+		series[i] -= 400
+	}
+
+	periods, err := robustperiod.Detect(series, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detected periods: %v (truth: 1440)\n\n", periods)
+
+	// Threshold 6: detection found the period to ~1%, and the residual
+	// phase drift of an approximate period leaves a little structure
+	// in the remainder; alerting a notch above the statistical minimum
+	// keeps the pager quiet without hiding real incidents (which score
+	// 20-30 here).
+	res, err := anomaly.Detect(series, periods, anomaly.Options{Threshold: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d anomalous points (|remainder| > 6 robust σ, σ=%.1f):\n", len(res.Anomalies), res.Scale)
+	prevIdx := -10
+	for _, a := range res.Anomalies {
+		kind := "spike"
+		if a.Value < a.Expected {
+			kind = "dip"
+		}
+		cont := ""
+		if a.Index == prevIdx+1 {
+			cont = " (cont.)"
+		}
+		fmt.Printf("  t=%-5d value=%7.1f expected=%7.1f score=%5.1f %s%s\n",
+			a.Index, a.Value, a.Expected, a.Score, kind, cont)
+		prevIdx = a.Index
+	}
+	fmt.Println()
+	fmt.Println("note: the 200-unit daily swing never alarms — only deviations")
+	fmt.Println("from the *expected* position in the cycle do")
+}

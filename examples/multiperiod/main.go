@@ -1,0 +1,49 @@
+// Command multiperiod reproduces the paper's running example (Fig. 3a
+// and Fig. 5): a synthetic series with three interlaced periods (20,
+// 50, 100), a triangle trend, Gaussian noise and impulsive outliers.
+// It prints the full per-level diagnostic table — wavelet variance,
+// Fisher p-value, periodogram candidate, ACF validation — and the
+// final set of detected periods, so you can watch the MODWT decouple
+// the components exactly as the paper's Fig. 5 shows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"robustperiod"
+	"robustperiod/internal/synthetic"
+)
+
+func main() {
+	cfg := synthetic.PaperConfig(1000, synthetic.Sine, []int{20, 50, 100}, 0.1, 0.01, 42)
+	x := synthetic.Generate(cfg)
+
+	res, err := robustperiod.DetectDetails(x, &robustperiod.Options{EnergyShare: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("RobustPeriod on the paper's 3-periodic synthetic series (truth: 20, 50, 100)")
+	fmt.Println()
+	fmt.Printf("%-6s %-11s %-9s %-10s %-6s %-6s %-6s %s\n",
+		"level", "waveletVar", "selected", "p-value", "per_T", "acf_T", "fin_T", "periodic")
+	for _, lv := range res.Levels {
+		d := lv.Detection
+		fmt.Printf("%-6d %-11.4f %-9v %-10.2e %-6d %-6d %-6d %v\n",
+			lv.Level, lv.Variance.Variance, lv.Selected,
+			d.PValue, d.Candidate, d.ACFPeriod, d.Final, d.Periodic)
+	}
+	fmt.Println()
+	fmt.Println("final periods:", res.Periods)
+
+	// Show where each detected period's energy lived.
+	fmt.Println()
+	fmt.Println("octave bands: level j isolates periods in [2^j, 2^(j+1)):")
+	for _, lv := range res.Levels {
+		if lv.Detection.Periodic {
+			fmt.Printf("  level %d band [%d, %d) -> period %d\n",
+				lv.Level, 1<<uint(lv.Level), 1<<uint(lv.Level+1), lv.Detection.Final)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command quickstart is the smallest possible RobustPeriod program: it
+// builds a noisy two-period series (daily 24 and weekly 168, as in a
+// typical hourly operations metric), detects its periodicities with
+// the default configuration, and prints them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"robustperiod"
+)
+
+func main() {
+	// An hourly metric: daily and weekly cycles, noise, a few spikes.
+	rng := rand.New(rand.NewSource(1))
+	n := 1344 // 8 weeks of hourly data
+	series := make([]float64, n)
+	for i := range series {
+		daily := 3 * math.Sin(2*math.Pi*float64(i)/24)
+		weekly := 5 * math.Sin(2*math.Pi*float64(i)/168)
+		noise := 0.5 * rng.NormFloat64()
+		series[i] = 50 + daily + weekly + noise
+		if rng.Float64() < 0.01 {
+			series[i] += 30 // monitoring spike
+		}
+	}
+
+	periods, err := robustperiod.Detect(series, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("detected periods:", periods) // expect [24 168]
+
+	// The same detection with diagnostics: wavelet variances per level.
+	res, err := robustperiod.DetectDetails(series, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-level wavelet variance (the paper's Fig. 5b):")
+	for _, lv := range res.Levels {
+		bar := ""
+		for i := 0; i < int(lv.Variance.Variance*100); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  level %2d  %.4f %s\n", lv.Level, lv.Variance.Variance, bar)
+	}
+}

@@ -1,0 +1,98 @@
+package robustperiod
+
+import (
+	"math"
+
+	"robustperiod/internal/anomaly"
+	"robustperiod/internal/core"
+	"robustperiod/internal/decompose"
+	"robustperiod/internal/stream"
+	"robustperiod/internal/synthetic"
+)
+
+// Decomposition re-exports the robust multi-period seasonal-trend
+// decomposition result (trend + one seasonal component per period +
+// remainder).
+type Decomposition = decompose.Result
+
+// DecomposeOptions configures Decompose.
+type DecomposeOptions = decompose.Options
+
+// Decompose splits y additively into trend, one seasonal component per
+// detected period, and a remainder, using per-phase medians so
+// outliers land in the remainder. Pass the periods from Detect.
+func Decompose(y []float64, periods []int, opts DecomposeOptions) (*Decomposition, error) {
+	return decompose.Decompose(y, periods, opts)
+}
+
+// Anomaly is one flagged point: its observed value, the value the
+// trend+seasonal model expected, and the robust z-score.
+type Anomaly = anomaly.Point
+
+// AnomalyOptions configures DetectAnomalies.
+type AnomalyOptions = anomaly.Options
+
+// AnomalyResult carries the flagged points plus the decomposition they
+// were scored against.
+type AnomalyResult = anomaly.Result
+
+// DetectAnomalies flags points whose decomposition remainder exceeds
+// the threshold (in robust standard deviations). periods usually come
+// from Detect; an empty list reduces to trend-residual thresholding.
+func DetectAnomalies(y []float64, periods []int, opts AnomalyOptions) (*AnomalyResult, error) {
+	return anomaly.Detect(y, periods, opts)
+}
+
+// Monitor watches a stream of observations and emits an event whenever
+// the detected period set changes; see NewMonitor.
+type Monitor = stream.Monitor
+
+// MonitorEvent is a change notification from a Monitor.
+type MonitorEvent = stream.Event
+
+// Monitor event kinds.
+const (
+	PeriodsDetected = stream.PeriodsDetected
+	PeriodsChanged  = stream.PeriodsChanged
+	PeriodsLost     = stream.PeriodsLost
+)
+
+// Interpolate returns a copy of y with every NaN run replaced by
+// linear interpolation between its surviving neighbours (flat
+// extension at the edges), plus the mask of filled positions. This is
+// the paper's treatment of the block-missing CPU-usage datasets
+// ("linearly interpolated before sent to different periodicity
+// detection algorithms"); RobustPeriod tolerates the interpolation
+// artifacts that break the baselines (Table 4). A series that is
+// entirely NaN is returned as zeros.
+func Interpolate(y []float64) ([]float64, []bool) {
+	out := make([]float64, len(y))
+	mask := make([]bool, len(y))
+	allNaN := true
+	for i, v := range y {
+		if math.IsNaN(v) {
+			mask[i] = true
+			out[i] = 0
+		} else {
+			out[i] = v
+			allNaN = false
+		}
+	}
+	if allNaN {
+		return out, mask
+	}
+	synthetic.InterpolateMasked(out, mask)
+	return out, mask
+}
+
+// NewMonitor creates a sliding-window periodicity monitor: detection
+// re-runs over the trailing window every stride observations and
+// Push returns an event when the period set changes. opts may be nil
+// for defaults; use Monitor.SetConfirm to debounce borderline windows.
+func NewMonitor(window, stride int, opts *Options) *Monitor {
+	var o core.Options
+	if opts != nil {
+		o = *opts
+	}
+	return stream.NewMonitor(window, stride, o)
+}

@@ -1,0 +1,64 @@
+package robustperiod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPublicDecompose(t *testing.T) {
+	x := synth(800, []int{40}, 0.1, 0, 51)
+	dec, err := Decompose(x, []int{40}, DecomposeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		sum := dec.Trend[i] + dec.Remainder[i]
+		for _, s := range dec.Seasonals {
+			sum += s[i]
+		}
+		if math.Abs(sum-x[i]) > 1e-9 {
+			t.Fatal("public decompose identity broken")
+		}
+	}
+}
+
+func TestPublicDetectAnomalies(t *testing.T) {
+	x := synth(800, []int{40}, 0.1, 0, 52)
+	x[333] += 12
+	res, err := DetectAnomalies(x, []int{40}, AnomalyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Anomalies {
+		if a.Index == 333 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("public anomaly API missed the injected spike")
+	}
+}
+
+func TestPublicMonitor(t *testing.T) {
+	mon := NewMonitor(512, 64, nil)
+	rng := rand.New(rand.NewSource(53))
+	var first *MonitorEvent
+	for i := 0; i < 700; i++ {
+		v := math.Sin(2*math.Pi*float64(i)/32) + 0.1*rng.NormFloat64()
+		ev, err := mon.Push(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil && first == nil {
+			first = ev
+		}
+	}
+	if first == nil || first.Kind != PeriodsDetected {
+		t.Fatalf("first event: %+v", first)
+	}
+	if len(first.Periods) != 1 || first.Periods[0] < 31 || first.Periods[0] > 33 {
+		t.Errorf("periods %v", first.Periods)
+	}
+}

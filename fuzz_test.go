@@ -1,0 +1,97 @@
+package robustperiod
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// bytesToSeries decodes a fuzz payload into a finite float series.
+func bytesToSeries(data []byte) []float64 {
+	n := len(data) / 8
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		// Clamp to a sane dynamic range; the detector's contract is
+		// finite input.
+		if v > 1e12 {
+			v = 1e12
+		}
+		if v < -1e12 {
+			v = -1e12
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// FuzzDetect asserts the whole pipeline never panics and always honors
+// its output contract (periods sorted, within [2, n/2]) on arbitrary
+// finite input.
+func FuzzDetect(f *testing.F) {
+	seed := make([]byte, 64*8)
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint64(seed[i*8:], math.Float64bits(math.Sin(float64(i)/3)))
+	}
+	f.Add(seed)
+	f.Add(make([]byte, 16*8)) // zeros
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x := bytesToSeries(data)
+		if len(x) > 4096 {
+			x = x[:4096]
+		}
+		ps, err := Detect(x, nil)
+		if err != nil {
+			return // short/degenerate inputs may error; they must not panic
+		}
+		n := len(x)
+		for i, p := range ps {
+			if p < 2 || p > n/2 {
+				t.Fatalf("period %d out of range for n=%d", p, n)
+			}
+			if i > 0 && ps[i] <= ps[i-1] {
+				t.Fatalf("periods not strictly ascending: %v", ps)
+			}
+		}
+	})
+}
+
+// FuzzDecompose asserts the decomposition identity holds for any
+// finite input and any admissible period.
+func FuzzDecompose(f *testing.F) {
+	seed := make([]byte, 128*8)
+	for i := 0; i < 128; i++ {
+		binary.LittleEndian.PutUint64(seed[i*8:], math.Float64bits(math.Cos(float64(i)/5)))
+	}
+	f.Add(seed, uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, pRaw uint8) {
+		x := bytesToSeries(data)
+		if len(x) > 2048 {
+			x = x[:2048]
+		}
+		p := 2 + int(pRaw)%64
+		dec, err := Decompose(x, []int{p}, DecomposeOptions{})
+		if err != nil {
+			return
+		}
+		scale := 0.0
+		for _, v := range x {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		tol := 1e-6 * (scale + 1)
+		for i := range x {
+			sum := dec.Trend[i] + dec.Remainder[i] + dec.Seasonals[0][i]
+			if math.Abs(sum-x[i]) > tol {
+				t.Fatalf("identity broken at %d: %v vs %v", i, sum, x[i])
+			}
+		}
+	})
+}

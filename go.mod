@@ -1,0 +1,3 @@
+module robustperiod
+
+go 1.22

@@ -1,0 +1,154 @@
+package robustperiod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustperiod/internal/anomaly"
+	"robustperiod/internal/baselines"
+	"robustperiod/internal/core"
+	"robustperiod/internal/decompose"
+	"robustperiod/internal/eval"
+	"robustperiod/internal/forecast"
+	"robustperiod/internal/stream"
+	"robustperiod/internal/synthetic"
+)
+
+// TestIntegrationDetectDecomposeForecast drives the full downstream
+// chain on one realistic series: detect periods → decompose → forecast
+// with the detected periods → verify the forecast beats a seasonal-
+// blind baseline. This is the end-to-end story of the paper's §4.4.
+func TestIntegrationDetectDecomposeForecast(t *testing.T) {
+	s := synthetic.YahooA4Corpus(1, 21)[0]
+	n := len(s.X)
+	train, test := s.X[:n/2], s.X[n/2:n/2+168]
+
+	periods, err := Detect(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := eval.Match(periods, s.Truth, 0.02)
+	if c.Recall() < 0.66 {
+		t.Fatalf("detected %v of truth %v (recall %.2f)", periods, s.Truth, c.Recall())
+	}
+
+	dec, err := decompose.Decompose(train, periods, decompose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remainder should be small relative to the seasonal signal.
+	var remE, seasE float64
+	seas := dec.Seasonal()
+	for i := 100; i < len(train)-100; i++ {
+		remE += dec.Remainder[i] * dec.Remainder[i]
+		seasE += seas[i] * seas[i]
+	}
+	if remE > seasE {
+		t.Errorf("decomposition remainder energy %v exceeds seasonal %v", remE, seasE)
+	}
+
+	fc, err := (forecast.MultiSeasonal{Periods: periods}).Forecast(train, len(test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := forecast.Mean{}.Forecast(train, len(test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forecast.RMSE(fc, test) >= forecast.RMSE(blind, test) {
+		t.Errorf("seasonal forecast (%v) should beat blind mean (%v)",
+			forecast.RMSE(fc, test), forecast.RMSE(blind, test))
+	}
+}
+
+// TestIntegrationAnomalyOnCloudData runs detection + anomaly scoring
+// on a cloud surrogate and checks the injected outage surfaces.
+func TestIntegrationAnomalyOnCloudData(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 4 * 288
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 100 + 8*math.Sin(2*math.Pi*float64(i)/288) + rng.NormFloat64()
+	}
+	for i := 600; i < 615; i++ {
+		x[i] -= 60 // outage
+	}
+	periods, err := Detect(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(periods) == 0 {
+		t.Fatal("no period detected")
+	}
+	res, err := anomaly.Detect(x, periods, anomaly.Options{Threshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inOutage := 0
+	for _, a := range res.Anomalies {
+		if a.Index >= 600 && a.Index < 615 {
+			inOutage++
+		}
+	}
+	if inOutage < 12 {
+		t.Errorf("only %d/15 outage points flagged", inOutage)
+	}
+	if extras := len(res.Anomalies) - inOutage; extras > 3 {
+		t.Errorf("%d false alarms", extras)
+	}
+}
+
+// TestIntegrationStreamAgreesWithBatch: the monitor's steady-state
+// answer must match a batch detection over the same window.
+func TestIntegrationStreamAgreesWithBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	series := make([]float64, 1500)
+	for i := range series {
+		series[i] = math.Sin(2*math.Pi*float64(i)/48) + 0.2*rng.NormFloat64()
+	}
+	mon := stream.NewMonitor(512, 100, core.Options{})
+	for _, v := range series {
+		if _, err := mon.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := Detect(series[len(series)-512:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monPs := mon.Current()
+	if len(monPs) != len(batch) {
+		t.Fatalf("monitor %v vs batch %v", monPs, batch)
+	}
+	for i := range monPs {
+		d := monPs[i] - batch[i]
+		if d < -2 || d > 2 {
+			t.Fatalf("monitor %v vs batch %v", monPs, batch)
+		}
+	}
+}
+
+// TestIntegrationBaselinesOnSharedCorpus smoke-checks that the full
+// detector set runs on a shared corpus through the evaluation harness
+// and that RobustPeriod ranks first — the paper's headline, asserted
+// at small scale on every `go test` run.
+func TestIntegrationBaselinesOnSharedCorpus(t *testing.T) {
+	corpus := synthetic.SinCorpus(6, 1000, synthetic.Sine, []int{20, 50, 100}, 0.5, 0.05, 77)
+	detectors := []baselines.Detector{
+		baselines.Siegel{},
+		baselines.AutoPeriod{Seed: 5},
+		baselines.WaveletFisher{},
+		baselines.RobustPeriod{},
+	}
+	best, bestF1 := "", -1.0
+	for _, d := range detectors {
+		f1 := eval.Run(d, corpus, 0.02, true).Metrics.F1
+		if f1 > bestF1 {
+			best, bestF1 = d.Name(), f1
+		}
+	}
+	if best != "RobustPeriod" {
+		t.Errorf("headline violated: %s won with F1 %.2f", best, bestF1)
+	}
+}

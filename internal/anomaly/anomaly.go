@@ -1,0 +1,84 @@
+// Package anomaly implements residual-based anomaly detection for
+// periodic time series — the monitoring application that motivates
+// RobustPeriod's deployment (workload anomaly detection for cloud
+// databases). The series is decomposed into trend + seasonal
+// components using its detected periods; points whose remainder
+// deviates by more than Threshold robust standard deviations (MADN of
+// the remainder) are flagged.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+
+	"robustperiod/internal/decompose"
+	"robustperiod/internal/stat/robust"
+)
+
+// Point is one flagged anomaly.
+type Point struct {
+	Index    int
+	Value    float64 // observed value
+	Expected float64 // trend + seasonal reconstruction at Index
+	Score    float64 // |remainder| / MADN(remainder), > Threshold
+}
+
+// Options tunes detection.
+type Options struct {
+	// Threshold in robust standard deviations; <= 0 means 4.
+	Threshold float64
+	// MinDeviation is an absolute floor expressed as a fraction of the
+	// raw series' robust scale: a point is only anomalous if its
+	// remainder also exceeds MinDeviation·MADN(y). This keeps
+	// numerically-perfect decompositions (remainder scale ≈ 0) from
+	// flagging microscopic filter residue. <= 0 means 0.02.
+	MinDeviation float64
+	// Decompose is passed through to the underlying decomposition.
+	Decompose decompose.Options
+}
+
+// Result carries the flagged anomalies and the decomposition they were
+// scored against.
+type Result struct {
+	Anomalies     []Point
+	Decomposition *decompose.Result
+	Scale         float64 // MADN of the remainder
+}
+
+// Detect flags anomalies in y given its period lengths (pass the
+// output of the robustperiod detector; an empty period list reduces to
+// trend-residual thresholding).
+func Detect(y []float64, periods []int, opts Options) (*Result, error) {
+	threshold := opts.Threshold
+	if threshold <= 0 {
+		threshold = 4
+	}
+	minDev := opts.MinDeviation
+	if minDev <= 0 {
+		minDev = 0.02
+	}
+	dec, err := decompose.Decompose(y, periods, opts.Decompose)
+	if err != nil {
+		return nil, fmt.Errorf("anomaly: %w", err)
+	}
+	scale := robust.MADN(dec.Remainder)
+	if scale == 0 {
+		// Perfectly explained series: any non-zero remainder is anomalous,
+		// but with no scale there is nothing to normalize by.
+		return &Result{Decomposition: dec, Scale: 0}, nil
+	}
+	floor := minDev * robust.MADN(y)
+	res := &Result{Decomposition: dec, Scale: scale}
+	for i, r := range dec.Remainder {
+		score := math.Abs(r) / scale
+		if score > threshold && math.Abs(r) > floor {
+			res.Anomalies = append(res.Anomalies, Point{
+				Index:    i,
+				Value:    y[i],
+				Expected: y[i] - r,
+				Score:    score,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package anomaly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func periodicSeries(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 10 + 3*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return x
+}
+
+func TestDetectFindsInjectedSpikes(t *testing.T) {
+	x := periodicSeries(1000, 50, 0.2, 1)
+	injected := []int{123, 456, 789}
+	for _, i := range injected {
+		x[i] += 15
+	}
+	res, err := Detect(x, []int{50}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, a := range res.Anomalies {
+		found[a.Index] = true
+		if a.Score <= 4 {
+			t.Errorf("flagged point with score %v <= threshold", a.Score)
+		}
+	}
+	for _, i := range injected {
+		if !found[i] {
+			t.Errorf("missed injected anomaly at %d", i)
+		}
+	}
+	// False positives should be rare: at threshold 4, well under 1%.
+	if extras := len(res.Anomalies) - len(injected); extras > 5 {
+		t.Errorf("%d extra anomalies flagged", extras)
+	}
+}
+
+func TestDetectDipAnomalies(t *testing.T) {
+	x := periodicSeries(800, 40, 0.2, 2)
+	x[400] -= 12 // a dip, not a spike
+	res, err := Detect(x, []int{40}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Anomalies {
+		if a.Index == 400 {
+			found = true
+			if a.Value >= a.Expected {
+				t.Error("dip should sit below its expectation")
+			}
+		}
+	}
+	if !found {
+		t.Error("dip not detected")
+	}
+}
+
+func TestDetectCleanSeriesQuiet(t *testing.T) {
+	x := periodicSeries(1000, 50, 0.3, 3)
+	res, err := Detect(x, []int{50}, Options{Threshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Anomalies) > 2 {
+		t.Errorf("%d anomalies on clean data", len(res.Anomalies))
+	}
+}
+
+func TestDetectExpectedValueAccuracy(t *testing.T) {
+	x := periodicSeries(1000, 50, 0.1, 4)
+	x[500] += 20
+	res, err := Detect(x, []int{50}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Anomalies {
+		if a.Index != 500 {
+			continue
+		}
+		truth := 10 + 3*math.Sin(2*math.Pi*500.0/50)
+		if math.Abs(a.Expected-truth) > 0.5 {
+			t.Errorf("expected value %v, truth %v", a.Expected, truth)
+		}
+	}
+}
+
+func TestDetectThresholdMonotone(t *testing.T) {
+	x := periodicSeries(1000, 50, 0.3, 5)
+	rng := rand.New(rand.NewSource(6))
+	for k := 0; k < 10; k++ {
+		x[rng.Intn(len(x))] += 8
+	}
+	lo, err := Detect(x, []int{50}, Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Detect(x, []int{50}, Options{Threshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hi.Anomalies) > len(lo.Anomalies) {
+		t.Errorf("higher threshold found more anomalies (%d > %d)",
+			len(hi.Anomalies), len(lo.Anomalies))
+	}
+}
+
+func TestDetectErrorPropagation(t *testing.T) {
+	if _, err := Detect(make([]float64, 4), []int{2}, Options{}); err == nil {
+		t.Error("expected error from decomposition")
+	}
+}
+
+func TestDetectZeroScale(t *testing.T) {
+	// A perfectly periodic series decomposes exactly; scale is 0 and
+	// no anomalies can be scored.
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 20)
+	}
+	res, err := Detect(x, []int{20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scale != 0 && len(res.Anomalies) > 0 {
+		// Tiny numerical remainder is fine; only fail on misbehaviour.
+		for _, a := range res.Anomalies {
+			t.Errorf("anomaly on perfect series at %d score %v", a.Index, a.Score)
+		}
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	x := periodicSeries(2000, 50, 0.3, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(x, []int{50}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package baselines
+
+import (
+	"robustperiod/internal/dsp/fft"
+	"robustperiod/internal/peaks"
+)
+
+// ACFMed is the pure time-domain baseline the paper describes as the
+// second fundamental method class ("ACF can identify dominant period
+// by finding the peak locations of ACF and averaging the time
+// differences between them"): qualifying peaks of the classical
+// autocorrelation function are summarized by their median spacing.
+// It detects a single period and inherits the classical ACF's
+// weaknesses — outliers, and interlaced components masking each
+// other's peaks — which is exactly the foil the robust pipeline is
+// measured against.
+type ACFMed struct {
+	// Height is the minimum peak height; <= 0 means 0.3.
+	Height float64
+}
+
+// Name implements Detector.
+func (ACFMed) Name() string { return "ACF-Med" }
+
+// Periods implements Detector.
+func (d ACFMed) Periods(x []float64) []int {
+	n := len(x)
+	if n < 16 {
+		return nil
+	}
+	height := d.Height
+	if height <= 0 {
+		height = 0.3
+	}
+	acf := fft.Autocorrelation(center(x))
+	idx := peaks.Find(acf[:3*n/4], peaks.Options{Height: height, MinDistance: 2})
+	for len(idx) > 0 && idx[0] < 2 {
+		idx = idx[1:]
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	var period int
+	if len(idx) == 1 {
+		period = idx[0]
+	} else {
+		period = peaks.MedianDistance(idx)
+	}
+	if !validPeriod(period, n) {
+		return nil
+	}
+	return []int{period}
+}

@@ -1,0 +1,30 @@
+package baselines
+
+import "robustperiod/internal/core"
+
+// RobustPeriod adapts the core pipeline to the Detector interface so
+// the evaluation harness can drive it alongside the baselines. Opts
+// are passed through; note the harness hands every detector an
+// already-detrended series, so SkipPreprocess is forced — the paper
+// applies the HP filter once, uniformly, for all algorithms.
+type RobustPeriod struct {
+	Opts core.Options
+}
+
+// Name implements Detector.
+func (d RobustPeriod) Name() string {
+	if d.Opts.NonRobust {
+		return "NR-RobustPeriod"
+	}
+	return "RobustPeriod"
+}
+
+// Periods implements Detector.
+func (d RobustPeriod) Periods(x []float64) []int {
+	opts := d.Opts
+	res, err := core.Detect(x, opts)
+	if err != nil {
+		return nil
+	}
+	return res.Periods
+}

@@ -1,0 +1,160 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"robustperiod/internal/dsp/fft"
+)
+
+// AutoPeriod implements AUTOPERIOD (Vlachos, Yu & Castelli, SDM 2005):
+// periodogram "period hints" above a permutation-derived power
+// threshold are validated — and refined — on the autocorrelation
+// function, accepting a hint only if it lies on an ACF hill (a local
+// maximum of the ACF inside the hint's spectral resolution interval).
+type AutoPeriod struct {
+	// Permutations sets how many random shuffles build the power
+	// threshold; <= 0 means 40.
+	Permutations int
+	// Quantile picks the threshold among the per-permutation maximum
+	// powers; <= 0 means 0.95.
+	Quantile float64
+	// Seed makes the permutation threshold reproducible.
+	Seed int64
+}
+
+// Name implements Detector.
+func (AutoPeriod) Name() string { return "AUTOPERIOD" }
+
+// Periods implements Detector.
+func (d AutoPeriod) Periods(x []float64) []int {
+	n := len(x)
+	if n < 16 {
+		return nil
+	}
+	perms := d.Permutations
+	if perms <= 0 {
+		perms = 40
+	}
+	q := d.Quantile
+	if q <= 0 {
+		q = 0.95
+	}
+	xc := center(x)
+	p := fft.Periodogram(xc)
+	half := p[1 : n/2+1]
+
+	threshold := permutationThreshold(xc, perms, q, d.Seed)
+	acf := fft.Autocorrelation(xc)
+
+	var out []int
+	for i, v := range half {
+		if v <= threshold {
+			continue
+		}
+		k := i + 1
+		hint := float64(n) / float64(k)
+		if refined, ok := validateOnACFHill(acf, hint, n, k); ok {
+			out = append(out, refined)
+		}
+	}
+	out = filterValid(out, n)
+	return dedupSorted(out)
+}
+
+// permutationThreshold shuffles the series repeatedly and returns the
+// q-quantile of the maximum periodogram power across shuffles, the
+// AUTOPERIOD criterion for "this power could not arise from the same
+// marginal distribution without temporal structure".
+func permutationThreshold(x []float64, perms int, q float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed + 12345))
+	n := len(x)
+	buf := append([]float64(nil), x...)
+	maxima := make([]float64, perms)
+	for it := 0; it < perms; it++ {
+		rng.Shuffle(n, func(a, b int) { buf[a], buf[b] = buf[b], buf[a] })
+		p := fft.Periodogram(buf)
+		m := 0.0
+		for k := 1; k <= n/2; k++ {
+			if p[k] > m {
+				m = p[k]
+			}
+		}
+		maxima[it] = m
+	}
+	sort.Float64s(maxima)
+	idx := int(q * float64(perms))
+	if idx >= perms {
+		idx = perms - 1
+	}
+	return maxima[idx]
+}
+
+// validateOnACFHill checks whether the period hint sits on a hill of
+// the ACF and, if so, hill-climbs to the nearest local maximum inside
+// the hint's resolution interval [n/(k+1), n/(k−1)].
+func validateOnACFHill(acf []float64, hint float64, n, k int) (int, bool) {
+	// Widen the resolution interval by two lags on each side: ACF
+	// peaks of interacting components can sit one or two lags off the
+	// spectral hint, and a peak on the exact interval edge must not be
+	// rejected as a "valley wall".
+	lo := int(math.Floor(float64(n)/float64(k+1))) - 2
+	hi := n - 1
+	if k > 1 {
+		hi = int(math.Ceil(float64(n)/float64(k-1))) + 2
+	}
+	if hi >= len(acf) {
+		hi = len(acf) - 1
+	}
+	if lo < 2 {
+		lo = 2
+	}
+	if lo >= hi {
+		return 0, false
+	}
+	// Start from the hint and climb to a local maximum within [lo,hi].
+	cur := int(math.Round(hint))
+	if cur < lo {
+		cur = lo
+	}
+	if cur > hi {
+		cur = hi
+	}
+	for {
+		moved := false
+		if cur+1 <= hi && acf[cur+1] > acf[cur] {
+			cur++
+			moved = true
+		} else if cur-1 >= lo && acf[cur-1] > acf[cur] {
+			cur--
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+	// Hill test: a genuine local maximum strictly inside the interval
+	// with positive correlation. Interval-boundary maxima mean the ACF
+	// is monotone here — a valley wall, not a hill.
+	if cur <= lo || cur >= hi {
+		return 0, false
+	}
+	if acf[cur] <= 0 {
+		return 0, false
+	}
+	if acf[cur] < acf[cur-1] || acf[cur] < acf[cur+1] {
+		return 0, false
+	}
+	return cur, true
+}
+
+func filterValid(ps []int, n int) []int {
+	out := ps[:0]
+	for _, p := range ps {
+		if validPeriod(p, n) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

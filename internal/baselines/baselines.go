@@ -1,0 +1,75 @@
+// Package baselines implements every comparison algorithm of the
+// paper's evaluation (§4.1.1) plus the ablation variants of §4.3.1:
+//
+//   - findFrequency — AR-spectral-density period estimate (Hyndman's
+//     forecast::findfrequency)
+//   - SAZED (majority and optimal ensembles) — Toller et al. 2019
+//   - Siegel — Fisher's test extended to compound periodicities
+//   - AUTOPERIOD — periodogram candidates validated on ACF hills
+//     (Vlachos et al. 2005)
+//   - Wavelet-Fisher — DWT levels + Fisher's test (Almasri 2011)
+//   - Huber-Fisher and Huber-Siegel-ACF — the paper's ablations
+//
+// All detectors consume a series that has already been detrended (the
+// paper applies the HP filter uniformly "for a fair comparison"); use
+// Preprocess to replicate that step.
+package baselines
+
+import (
+	"sort"
+
+	"robustperiod/internal/filter/hp"
+	"robustperiod/internal/stat/robust"
+)
+
+// Detector is the common interface the evaluation harness drives.
+type Detector interface {
+	// Name identifies the algorithm in tables.
+	Name() string
+	// Periods returns the detected period lengths, ascending. Single-
+	// period methods return at most one element.
+	Periods(x []float64) []int
+}
+
+// Preprocess applies the shared HP detrending used for every
+// algorithm in the paper's comparison, with the same automatic λ as
+// the RobustPeriod pipeline.
+func Preprocess(y []float64) []float64 {
+	det, _ := hp.Detrend(y, hp.LambdaForCutoff(float64(len(y))/2))
+	return det
+}
+
+// validPeriod reports whether p can be observed at least twice in a
+// series of length n.
+func validPeriod(p, n int) bool { return p >= 2 && p <= n/2 }
+
+// dedupSorted merges a set of periods, collapsing near-duplicates
+// (within one sample or 3%) and returning them ascending.
+func dedupSorted(ps []int) []int {
+	if len(ps) == 0 {
+		return nil
+	}
+	sort.Ints(ps)
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		last := out[len(out)-1]
+		if p-last <= 1 || float64(p-last) <= 0.03*float64(last) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return append([]int(nil), out...)
+}
+
+// center returns x minus its mean.
+func center(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	m := robust.Mean(x)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - m
+	}
+	return out
+}

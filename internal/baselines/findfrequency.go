@@ -1,0 +1,42 @@
+package baselines
+
+import (
+	"math"
+
+	"robustperiod/internal/ar"
+)
+
+// FindFrequency reproduces forecast::findfrequency: fit an AR model by
+// AIC, locate the spectral density maximum, and report round(1/f*) as
+// the period. It returns no period when the maximum sits at the lowest
+// frequency (trend residue) or implies fewer than two observed cycles.
+type FindFrequency struct {
+	// MaxOrder caps the AR order search; <= 0 uses 10·log10(n).
+	MaxOrder int
+	// Method is "yw" (default) or "burg".
+	Method string
+}
+
+// Name implements Detector.
+func (FindFrequency) Name() string { return "findFrequency" }
+
+// Periods implements Detector.
+func (d FindFrequency) Periods(x []float64) []int {
+	n := len(x)
+	if n < 16 {
+		return nil
+	}
+	m, err := ar.FitAIC(center(x), d.MaxOrder, d.Method)
+	if err != nil {
+		return nil
+	}
+	p := m.DominantPeriod(2048)
+	if p <= 0 || math.IsInf(p, 0) {
+		return nil
+	}
+	period := int(math.Round(p))
+	if !validPeriod(period, n) {
+		return nil
+	}
+	return []int{period}
+}

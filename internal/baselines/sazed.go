@@ -1,0 +1,163 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"robustperiod/internal/dsp/fft"
+	"robustperiod/internal/peaks"
+)
+
+// SAZED is the parameter-free ensemble of Toller, Santos & Kern
+// (DMKD 2019). Its components are computed on the series and on the
+// series' autocorrelation ("downsampling" the noise):
+//
+//	S — argmax of the periodogram            → N/k*
+//	A — highest ACF peak lag
+//	Z — mean distance between zero crossings (×… the full period is
+//	    twice the half-wave length)
+//
+// giving up to six season-length estimates. Majority() takes the
+// modal estimate; Optimal() scores each estimate by the ACF value at
+// that lag and returns the best-supported one. Both detect a single
+// period, as in the original method.
+type SAZED struct {
+	// Optimal switches from the majority vote to the ACF-scored
+	// selection (SAZED_opt in the paper's tables).
+	Optimal bool
+}
+
+// Name implements Detector.
+func (d SAZED) Name() string {
+	if d.Optimal {
+		return "SAZED_opt"
+	}
+	return "SAZED_maj"
+}
+
+// Periods implements Detector.
+func (d SAZED) Periods(x []float64) []int {
+	n := len(x)
+	if n < 16 {
+		return nil
+	}
+	xc := center(x)
+	acf := fft.Autocorrelation(xc)
+	ests := make([]int, 0, 6)
+	for _, base := range [][]float64{xc, acf[1:]} {
+		if p := spectralEstimate(base); validPeriod(p, n) {
+			ests = append(ests, p)
+		}
+		if p := acfPeakEstimate(base); validPeriod(p, n) {
+			ests = append(ests, p)
+		}
+		if p := zeroCrossEstimate(base); validPeriod(p, n) {
+			ests = append(ests, p)
+		}
+	}
+	if len(ests) == 0 {
+		return nil
+	}
+	var chosen int
+	if d.Optimal {
+		chosen = bestByACF(ests, acf)
+	} else {
+		chosen = majority(ests)
+	}
+	if !validPeriod(chosen, n) {
+		return nil
+	}
+	return []int{chosen}
+}
+
+// spectralEstimate returns N/argmax of the periodogram.
+func spectralEstimate(x []float64) int {
+	n := len(x)
+	if n < 8 {
+		return 0
+	}
+	p := fft.Periodogram(x)
+	best := 1
+	for k := 2; k <= n/2; k++ {
+		if p[k] > p[best] {
+			best = k
+		}
+	}
+	return int(math.Round(float64(n) / float64(best)))
+}
+
+// acfPeakEstimate returns the lag of the highest qualifying ACF peak.
+func acfPeakEstimate(x []float64) int {
+	if len(x) < 8 {
+		return 0
+	}
+	acf := fft.Autocorrelation(x)
+	idx := peaks.Find(acf[:len(acf)*3/4], peaks.Options{Height: 0.05, MinDistance: 2})
+	best, bestV := 0, math.Inf(-1)
+	for _, i := range idx {
+		if i >= 2 && acf[i] > bestV {
+			best, bestV = i, acf[i]
+		}
+	}
+	return best
+}
+
+// zeroCrossEstimate doubles the mean distance between sign changes.
+func zeroCrossEstimate(x []float64) int {
+	var crossings []int
+	for i := 1; i < len(x); i++ {
+		if (x[i-1] < 0 && x[i] >= 0) || (x[i-1] > 0 && x[i] <= 0) {
+			crossings = append(crossings, i)
+		}
+	}
+	if len(crossings) < 2 {
+		return 0
+	}
+	mean := float64(crossings[len(crossings)-1]-crossings[0]) / float64(len(crossings)-1)
+	return int(math.Round(2 * mean))
+}
+
+// majority returns the modal estimate, grouping values within 5% of
+// each other; ties break toward the smaller period.
+func majority(ests []int) int {
+	sort.Ints(ests)
+	bestVal, bestCount := ests[0], 0
+	for i, e := range ests {
+		count := 0
+		sum := 0
+		for _, f := range ests {
+			if math.Abs(float64(e-f)) <= 0.05*float64(e)+1 {
+				count++
+				sum += f
+			}
+		}
+		if count > bestCount {
+			bestCount = count
+			bestVal = int(math.Round(float64(sum) / float64(count)))
+			_ = i
+		}
+	}
+	return bestVal
+}
+
+// bestByACF picks the estimate with the strongest periodicity
+// contrast: a true season length p has high autocorrelation at lag p
+// and low (often negative) autocorrelation at lag p/2, while smooth
+// non-periodic lags score high at both. The contrast acf[p] − acf[p/2]
+// separates them.
+func bestByACF(ests []int, acf []float64) int {
+	best, bestV := ests[0], math.Inf(-1)
+	for _, e := range ests {
+		if e >= len(acf) {
+			continue
+		}
+		score := acf[e]
+		if h := e / 2; h >= 1 {
+			score -= acf[h]
+		}
+		if score > bestV {
+			best, bestV = e, score
+		}
+	}
+	return best
+}

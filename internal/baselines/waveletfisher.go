@@ -1,0 +1,86 @@
+package baselines
+
+import (
+	"math"
+
+	"robustperiod/internal/detect"
+	"robustperiod/internal/dsp/fft"
+	"robustperiod/internal/wavelet"
+)
+
+// WaveletFisher implements the DWT + Fisher's test approach of
+// Almasri (2011): the series is decomposed with a decimated Daubechies
+// DWT; Fisher's g-test runs on the periodogram of each level's detail
+// coefficients; a significant level-j detection at level frequency k
+// maps back to an original-scale period 2^j · N_j / k.
+type WaveletFisher struct {
+	// Alpha is the per-level significance; <= 0 means 0.01.
+	Alpha float64
+	// Wavelet selects the filter; 0 means Daub8.
+	Wavelet wavelet.Kind
+	// MaxLevels caps the decomposition depth; <= 0 auto-selects.
+	MaxLevels int
+}
+
+// Name implements Detector.
+func (WaveletFisher) Name() string { return "Wavelet-Fisher" }
+
+// Periods implements Detector.
+func (d WaveletFisher) Periods(x []float64) []int {
+	n := len(x)
+	if n < 32 {
+		return nil
+	}
+	alpha := d.Alpha
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	kind := d.Wavelet
+	if kind == 0 {
+		kind = wavelet.Daub8
+	}
+	f, err := wavelet.NewFilter(kind)
+	if err != nil {
+		return nil
+	}
+	levels := d.MaxLevels
+	if levels <= 0 {
+		// Keep at least 16 coefficients at the deepest level.
+		levels = 1
+		for n>>(uint(levels)+1) >= 16 {
+			levels++
+		}
+	}
+	dw, err := wavelet.DWTransform(center(x), f, levels)
+	if err != nil {
+		return nil
+	}
+	var out []int
+	for j := 1; j <= levels; j++ {
+		w := dw.W[j-1]
+		if len(w) < 8 {
+			continue
+		}
+		p := fft.Periodogram(w)
+		half := p[1 : len(w)/2+1]
+		g, pv, kIdx := fisherOnOrdinates(half)
+		_ = g
+		if pv >= alpha || kIdx == 0 {
+			continue
+		}
+		levelPeriod := float64(len(w)) / float64(kIdx)
+		period := int(math.Round(levelPeriod * float64(int(1)<<uint(j))))
+		if validPeriod(period, n) {
+			out = append(out, period)
+		}
+	}
+	return dedupSorted(out)
+}
+
+// fisherOnOrdinates runs Fisher's test on periodogram ordinates that
+// already exclude DC; it returns the 1-based argmax index.
+func fisherOnOrdinates(half []float64) (g, pv float64, kIdx int) {
+	padded := make([]float64, len(half)+1)
+	copy(padded[1:], half)
+	return detect.FisherTest(padded)
+}

@@ -1,0 +1,568 @@
+// Package core implements the complete RobustPeriod pipeline (Fig. 1
+// of the paper): HP-filter detrending and winsorized normalization,
+// MODWT decoupling of multiple periodicities, robust wavelet-variance
+// ranking of levels, and per-level robust single-periodicity detection
+// via the Huber-periodogram Fisher test and Huber-ACF-Med validation.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sort"
+	"sync"
+
+	"robustperiod/internal/detect"
+	"robustperiod/internal/dsp/fft"
+	"robustperiod/internal/filter/hp"
+	"robustperiod/internal/spectrum"
+	"robustperiod/internal/stat/robust"
+	"robustperiod/internal/wavelet"
+)
+
+// Options configures the pipeline. The zero value gives the paper's
+// defaults.
+type Options struct {
+	// Lambda is the Hodrick–Prescott smoothing parameter. <= 0 selects
+	// it automatically so the trend filter's half-gain cutoff sits at
+	// period n/2 — the longest period the detector can report — which
+	// keeps all detectable seasonality out of the estimated trend.
+	Lambda float64
+	// ClipC is the winsorizing constant c of Ψ (§3.2); <= 0 means 3.
+	ClipC float64
+	// Wavelet selects the Daubechies family; 0 means Daub8 (db4).
+	Wavelet wavelet.Kind
+	// MaxLevels caps the MODWT depth; <= 0 means the deepest level
+	// whose equivalent filter fits the series.
+	MaxLevels int
+	// EnergyShare is the cumulative share of total wavelet variance
+	// that the processed levels must cover (§3.3.2); <= 0 means 0.95,
+	// >= 1 processes every level.
+	EnergyShare float64
+	// MinLevelCount is the minimum number of non-boundary coefficients
+	// required for the unbiased variance; <= 0 means 16.
+	MinLevelCount int
+	// MinResidualRatio guards against trend-ringing artifacts: if the
+	// robust scale of the detrended series is below this fraction of
+	// the raw series' scale, the series is declared aperiodic (the
+	// "seasonality" would be numerical residue of the HP filter,
+	// re-amplified by normalization). <= 0 means 1e-4.
+	MinResidualRatio float64
+	// Detect configures the per-level single-period detector.
+	Detect detect.Config
+
+	// SkipPreprocess feeds the raw series to the MODWT (for data that
+	// is already detrended and normalized).
+	SkipPreprocess bool
+	// RobustTrend replaces the quadratic HP data-fidelity term with a
+	// Huber loss (IRLS-solved), keeping sustained spikes from dragging
+	// the trend estimate; useful when outliers last long enough that
+	// the winsorizing step alone cannot contain them.
+	RobustTrend bool
+	// FullRobustBand computes robust ordinates on the whole usable
+	// band instead of only the level's nominal passband (ablation; the
+	// paper's speedup is the passband restriction).
+	FullRobustBand bool
+	// NonRobust switches to classical wavelet variance, the vanilla
+	// periodogram and vanilla ACF — the paper's NR-RobustPeriod
+	// ablation.
+	NonRobust bool
+	// NoHarmonicFilter disables the full-series ACF-hill check that
+	// suppresses harmonic false positives of non-sinusoidal waves
+	// (ablation switch).
+	NoHarmonicFilter bool
+	// Parallel runs the per-level detections on separate goroutines.
+	// Results are identical to the sequential path; only wall-clock
+	// time changes.
+	Parallel bool
+	// CircularBoundary disables the reflection-boundary fallback
+	// (ablation switch). By default a level whose detection fails on
+	// the circular MODWT is retried on a reflection-extended MODWT:
+	// the circular wrap joins x[N−1] to x[0] with an arbitrary phase
+	// jump, while reflection joins x to its own mirror image — each
+	// treatment has a data-dependent boundary defect at deep levels
+	// (whose equivalent filters span most of the series), and a
+	// genuine periodicity passes validation under at least one of
+	// them, whereas noise must pass the full Fisher+ACF gauntlet
+	// twice to false-positive.
+	CircularBoundary bool
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Lambda <= 0 {
+		o.Lambda = hp.LambdaForCutoff(float64(n) / 2)
+	}
+	if o.ClipC <= 0 {
+		o.ClipC = 3
+	}
+	if o.Wavelet == 0 {
+		o.Wavelet = wavelet.Daub8
+	}
+	if o.EnergyShare <= 0 {
+		o.EnergyShare = 0.95
+	}
+	if o.MinLevelCount <= 0 {
+		o.MinLevelCount = 16
+	}
+	if o.MinResidualRatio <= 0 {
+		o.MinResidualRatio = 1e-4
+	}
+	if o.NonRobust {
+		o.Detect.MPOpts.Loss = spectrum.LossL2
+	}
+	if o.Parallel {
+		o.Detect.Parallel = true
+	}
+	return o
+}
+
+// LevelDetail reports what happened at one wavelet level.
+type LevelDetail struct {
+	Level     int
+	Variance  wavelet.LevelVariance
+	Selected  bool          // ranked into the dominating-energy set
+	Detection detect.Result // populated only when Selected
+}
+
+// Result is the full pipeline output.
+type Result struct {
+	// Periods are the detected period lengths, ascending, deduplicated.
+	Periods []int
+	// Levels holds per-level diagnostics in level order (Fig. 5).
+	Levels []LevelDetail
+	// Preprocessed is the detrended, winsorized series fed to the MODWT.
+	Preprocessed []float64
+	// Trend is the HP trend removed during preprocessing (nil when
+	// SkipPreprocess).
+	Trend []float64
+}
+
+// Detect runs RobustPeriod on y and returns every detected periodicity.
+func Detect(y []float64, opts Options) (*Result, error) {
+	n := len(y)
+	opts = opts.withDefaults(n)
+	if n < 16 {
+		return nil, fmt.Errorf("core: series too short (%d < 16)", n)
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: non-finite value at index %d; fill gaps first (e.g. robustperiod.Interpolate)", i)
+		}
+	}
+
+	res := &Result{}
+	x := y
+	if !opts.SkipPreprocess {
+		var detrended, trend []float64
+		if opts.RobustTrend {
+			trend = hp.RobustFilter(y, opts.Lambda, 0, 0)
+			detrended = make([]float64, n)
+			for i := range y {
+				detrended[i] = y[i] - trend[i]
+			}
+		} else {
+			detrended, trend = hp.Detrend(y, opts.Lambda)
+		}
+		res.Trend = trend
+		// Scale guard: an essentially perfect trend fit means whatever
+		// remains is filter residue, not seasonality. Normalizing it
+		// would manufacture a spurious oscillation at the HP filter's
+		// ringing period.
+		rawScale := robust.MADN(y)
+		if rawScale > 0 && robust.MADN(detrended) < opts.MinResidualRatio*rawScale {
+			res.Preprocessed = detrended
+			return res, nil
+		}
+		x = robust.Winsorize(detrended, opts.ClipC)
+	} else {
+		x = append([]float64(nil), y...)
+	}
+	res.Preprocessed = x
+
+	f, err := wavelet.NewFilter(opts.Wavelet)
+	if err != nil {
+		return nil, err
+	}
+	levels := wavelet.MaxLevel(n, f)
+	if opts.MaxLevels > 0 && opts.MaxLevels < levels {
+		levels = opts.MaxLevels
+	}
+	if levels < 1 {
+		// Series too short for any MODWT level with this filter:
+		// degrade gracefully to direct single-period detection.
+		det, derr := detect.Single(x, 1, n-1, opts.Detect)
+		if derr != nil {
+			return nil, derr
+		}
+		if det.Periodic {
+			res.Periods = []int{det.Final}
+		}
+		res.Levels = []LevelDetail{{Level: 0, Selected: true, Detection: det}}
+		return res, nil
+	}
+
+	m, err := wavelet.Transform(x, f, levels)
+	if err != nil {
+		return nil, err
+	}
+	// Reflection-extended transform, built lazily for the boundary
+	// fallback below.
+	var mr *wavelet.MODWT
+	var mrOnce sync.Once
+	reflected := func() *wavelet.MODWT {
+		mrOnce.Do(func() {
+			mr, _ = wavelet.TransformReflected(x, f, levels)
+		})
+		return mr
+	}
+	var vars []wavelet.LevelVariance
+	if opts.NonRobust {
+		vars = m.ClassicalVariances(opts.MinLevelCount)
+	} else {
+		vars = m.RobustVariances(opts.MinLevelCount)
+	}
+
+	res.Levels = make([]LevelDetail, levels)
+	total := 0.0
+	for j := range vars {
+		res.Levels[j] = LevelDetail{Level: j + 1, Variance: vars[j]}
+		total += vars[j].Variance
+	}
+
+	// If the wavelet levels jointly carry a negligible share of the
+	// series' variance, everything lives in the scaling (slow-trend)
+	// band below the deepest level — typically the smooth ringing
+	// residue of detrending a strong trend. The levels then contain
+	// only a coherent echo of that residue and any "period" found in
+	// them is an artifact.
+	if xVar := robust.BiweightMidvariance(x); total < 0.01*xVar {
+		return res, nil
+	}
+
+	// Rank levels by variance and keep the dominating-energy prefix.
+	order := make([]int, levels)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return vars[order[a]].Variance > vars[order[b]].Variance
+	})
+	selected := order
+	if opts.EnergyShare < 1 && total > 0 {
+		cum := 0.0
+		for i, idx := range order {
+			cum += vars[idx].Variance
+			if cum >= opts.EnergyShare*total {
+				selected = order[:i+1]
+				break
+			}
+		}
+	}
+
+	detectLevel := func(idx int) (detect.Result, error) {
+		kLo, kHi := Passband(n, idx+1)
+		if opts.FullRobustBand {
+			kLo, kHi = 1, n-1
+		}
+		det, derr := detect.Single(m.W[idx], kLo, kHi, opts.Detect)
+		if derr != nil || det.Periodic || opts.CircularBoundary {
+			return det, derr
+		}
+		// Boundary fallback: retry the level on reflection-extended
+		// coefficients; keep whichever verdict is periodic.
+		rm := reflected()
+		if rm == nil {
+			return det, nil
+		}
+		det2, derr2 := detect.Single(rm.W[idx], kLo, kHi, opts.Detect)
+		if derr2 == nil && det2.Periodic {
+			return det2, nil
+		}
+		return det, nil
+	}
+	results := make([]detect.Result, levels)
+	errs := make([]error, levels)
+	if opts.Parallel && len(selected) > 1 {
+		var wg sync.WaitGroup
+		for _, idx := range selected {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				results[idx], errs[idx] = detectLevel(idx)
+			}(idx)
+		}
+		wg.Wait()
+	} else {
+		for _, idx := range selected {
+			results[idx], errs[idx] = detectLevel(idx)
+		}
+	}
+	var hits []found
+	for _, idx := range selected {
+		if errs[idx] != nil {
+			return nil, errs[idx]
+		}
+		res.Levels[idx].Selected = true
+		res.Levels[idx].Detection = results[idx]
+		if results[idx].Periodic {
+			hits = append(hits, found{results[idx].Final, vars[idx].Variance})
+		}
+	}
+
+	acfFull := fft.Autocorrelation(x)
+
+	// Refinement against the full-series ACF is only trustworthy when
+	// the period is long relative to the series: with ten or more
+	// observed cycles, the wavelet-level median-distance estimate is
+	// already sharp, and interlaced shorter components can displace the
+	// full-ACF peak (the interference effect of §4.3.2); with only a
+	// handful of cycles the full-ACF peak is the better estimate.
+	// Refining before deduplication also converges adjacent levels'
+	// slightly different estimates of the same component onto one peak.
+	for i := range hits {
+		if hits[i].period > n/10 {
+			hits[i].period = refinePeriod(acfFull, hits[i].period)
+			// Refinement may not push a period past the detectable
+			// maximum of n/2.
+			if hits[i].period > n/2 {
+				hits[i].period = n / 2
+			}
+		}
+	}
+
+	// Merge near-duplicate periods across adjacent levels, keeping the
+	// value detected at the higher-variance level.
+	sort.Slice(hits, func(a, b int) bool { return hits[a].variance > hits[b].variance })
+	var merged []found
+	for _, h := range hits {
+		dup := false
+		for mi := range merged {
+			m := &merged[mi]
+			if !samePeriod(m.period, h.period) && !sameLowResComponent(m.period, h.period, n) {
+				continue
+			}
+			dup = true
+			// Between two estimates of the same component, keep the
+			// one the full-series ACF supports more strongly — the
+			// level variance says which component is louder, not
+			// which level measured its period better.
+			if acfAt(acfFull, h.period) > acfAt(acfFull, m.period) {
+				m.period = h.period
+			}
+			break
+		}
+		if !dup {
+			merged = append(merged, h)
+		}
+	}
+
+	if len(merged) > 1 && !opts.NoHarmonicFilter {
+		merged = suppressHarmonics(merged, acfFull)
+	}
+
+	periods := make([]int, 0, len(merged))
+	for _, m := range merged {
+		periods = append(periods, m.period)
+	}
+	sort.Ints(periods)
+	res.Periods = periods
+	return res, nil
+}
+
+// found pairs a detected period with the wavelet variance of the level
+// that produced it.
+type found struct {
+	period   int
+	variance float64
+}
+
+// suppressHarmonics drops detections that are best explained as
+// harmonics of another detected period. A non-sinusoidal wave of
+// period T leaks genuinely T/3-periodic energy into a finer wavelet
+// level, which passes the per-level validation; but a harmonic is
+// simultaneously (a) an integer divisor of a detected period, (b) far
+// weaker than its fundamental (a square wave's 3rd harmonic carries
+// 1/9 of the power), and (c) absent from the full-series ACF (the
+// square wave's triangular ACF has no hill at T/3). A genuine
+// interlaced period — daily inside weekly, or 50 beside 100 — always
+// violates (b) or (c), so all three conditions must hold to suppress.
+func suppressHarmonics(hits []found, acfFull []float64) []found {
+	kept := make([]found, 0, len(hits))
+	for _, h := range hits {
+		suppress := false
+		for _, q := range hits {
+			if q.period <= h.period {
+				continue
+			}
+			m := int(math.Round(float64(q.period) / float64(h.period)))
+			if m < 2 {
+				continue
+			}
+			offTarget := math.Abs(float64(q.period) - float64(m*h.period))
+			if offTarget > 0.05*float64(q.period)+1 {
+				continue
+			}
+			if h.variance >= 0.2*q.variance {
+				continue
+			}
+			if hasACFHill(acfFull, h.period) {
+				continue
+			}
+			suppress = true
+			break
+		}
+		if !suppress {
+			kept = append(kept, h)
+		}
+	}
+	return kept
+}
+
+// hasACFHill reports whether the full-series ACF has a prominent local
+// maximum with positive correlation within a small window around lag
+// p: the candidate hill must rise meaningfully above the window edges,
+// so noise wiggles on the slope of a larger period's ACF bump do not
+// count.
+func hasACFHill(acf []float64, p int) bool {
+	w := p / 20
+	if w < 2 {
+		w = 2
+	}
+	lo, hi := p-w, p+w
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > len(acf)-2 {
+		hi = len(acf) - 2
+	}
+	if lo > hi {
+		return false
+	}
+	best, bestV := -1, 0.01
+	for i := lo; i <= hi; i++ {
+		if acf[i] > bestV && acf[i] >= acf[i-1] && acf[i] >= acf[i+1] {
+			best, bestV = i, acf[i]
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	// Prominence: the peak must exceed the lower window edge by a
+	// margin; a monotone slope through the window has its maximum at
+	// an edge and fails automatically.
+	edge := math.Min(acf[lo], acf[hi])
+	return bestV-edge > 0.02
+}
+
+// refinePeriod snaps a detected period to the nearest local maximum of
+// the full-series ACF within ±8%, when such a peak exists. The
+// wavelet-level ACF estimates a period from band-passed coefficients,
+// which can be a few percent off for long periods observed over few
+// cycles; the full-series ACF peak, when present, is the sharper
+// estimate. When no peak exists in the window (e.g. the period's ACF
+// hill is masked by stronger interlaced components — the paper's
+// AUTOPERIOD failure case), the level estimate is kept.
+func refinePeriod(acf []float64, p int) int {
+	w := p / 12
+	if w < 2 {
+		w = 2
+	}
+	lo, hi := p-w, p+w
+	if lo < 2 {
+		lo = 2
+	}
+	if hi > len(acf)-2 {
+		hi = len(acf) - 2
+	}
+	best, bestV := -1, math.Inf(-1)
+	for i := lo; i <= hi; i++ {
+		if acf[i] >= acf[i-1] && acf[i] >= acf[i+1] && acf[i] > bestV {
+			best, bestV = i, acf[i]
+		}
+	}
+	if best < 0 || bestV <= 0 {
+		return p
+	}
+	// Require genuine hill prominence over the window edges, as in
+	// hasACFHill, so slope noise does not drag the estimate.
+	if bestV-math.Min(acf[lo], acf[hi]) <= 0.02 {
+		return p
+	}
+	return best
+}
+
+// acfAt returns the ACF value at lag p, or -Inf when out of range.
+func acfAt(acf []float64, p int) float64 {
+	if p < 1 || p >= len(acf) {
+		return math.Inf(-1)
+	}
+	return acf[p]
+}
+
+// sameLowResComponent reports whether two long-period detections must
+// be the same underlying component: with fewer than ~10 observed
+// cycles the spectral resolution is about one padded bin, so adjacent
+// wavelet levels can report the same component up to ~25% apart.
+// Genuine distinct periods that close are unresolvable at this length
+// by any spectral method; the higher-variance level's value wins.
+func sameLowResComponent(a, b, n int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	if a <= n/10 {
+		return false
+	}
+	return float64(b) < 1.3*float64(a)
+}
+
+// samePeriod reports whether two detected period lengths should be
+// treated as one periodicity (within one sample or 3% relative).
+func samePeriod(a, b int) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d <= 1 {
+		return true
+	}
+	lo := a
+	if b < lo {
+		lo = b
+	}
+	return float64(d) <= 0.03*float64(lo)
+}
+
+// Passband returns the padded-spectrum frequency range [kLo, kHi]
+// corresponding to wavelet level j's nominal octave band
+// 1/2^{j+1} <= |f| <= 1/2^j for a series of length n (padded to 2n):
+// periods in [2^j, 2^{j+1}] map to k in [2n/2^{j+1}, 2n/2^j].
+func Passband(n, level int) (kLo, kHi int) {
+	np := 2 * n
+	kLo = np >> uint(level+1)
+	kHi = np >> uint(level)
+	if kLo < 1 {
+		kLo = 1
+	}
+	if kHi > n-1 {
+		kHi = n - 1
+	}
+	if kHi < kLo {
+		kHi = kLo
+	}
+	return kLo, kHi
+}
+
+// NumLevels returns the MODWT depth Detect will use for a series of
+// length n under opts; exposed for diagnostics and tests.
+func NumLevels(n int, opts Options) int {
+	opts = opts.withDefaults(n)
+	f, err := wavelet.NewFilter(opts.Wavelet)
+	if err != nil {
+		return 0
+	}
+	levels := wavelet.MaxLevel(n, f)
+	if opts.MaxLevels > 0 && opts.MaxLevels < levels {
+		levels = opts.MaxLevels
+	}
+	return levels
+}

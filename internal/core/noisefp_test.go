@@ -1,0 +1,34 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDetectNoiseFalsePositiveBound pins the short-window noise
+// false-positive rate. At n=512 a deep wavelet level holds only ~5
+// cycles of narrow-band noise, which no spectral method can tell from
+// an oscillation; the ACF persistence gate (DESIGN.md §6.11) keeps
+// the rate near 13% (it was ~33% without the gate). This test fails
+// if a future change regresses it past 25%.
+func TestDetectNoiseFalsePositiveBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fp := 0
+	const trials = 30
+	for tr := 0; tr < trials; tr++ {
+		x := make([]float64, 512)
+		for i := range x {
+			x[i] = 10 + rng.NormFloat64()
+		}
+		res, err := Detect(x, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Periods) > 0 {
+			fp++
+		}
+	}
+	if fp > trials/4 {
+		t.Errorf("noise false positives %d/%d exceed the 25%% bound", fp, trials)
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"robustperiod/internal/synthetic"
+)
+
+// TestDetectRetailScenario: the paper's introduction scenario — weekly
+// retail seasonality with black-Friday-style promotion bursts. The
+// bursts are sustained outliers; detection must still land on 7.
+func TestDetectRetailScenario(t *testing.T) {
+	hits := 0
+	corpus := synthetic.RetailCorpus(6, 9)
+	for _, s := range corpus {
+		res, err := Detect(s.X, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Periods {
+			if p == 7 {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < len(corpus)-1 {
+		t.Errorf("weekly period found in only %d/%d retail series", hits, len(corpus))
+	}
+}

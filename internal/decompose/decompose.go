@@ -1,0 +1,217 @@
+// Package decompose implements robust multi-period seasonal-trend
+// decomposition driven by detected periods — the downstream companion
+// of RobustPeriod (the authors' RobustSTL line of work, which the
+// paper's introduction motivates). Given y and its period lengths it
+// produces
+//
+//	y_t = trend_t + Σ_i seasonal_i(t) + remainder_t
+//
+// with the seasonal profiles estimated by per-phase medians (robust to
+// outliers) and refined by backfitting, and the trend by an HP filter
+// whose cutoff sits above the longest period. Outliers land in the
+// remainder, which is what the anomaly package thresholds.
+package decompose
+
+import (
+	"fmt"
+	"sort"
+
+	"robustperiod/internal/filter/hp"
+	"robustperiod/internal/stat/robust"
+)
+
+// Options tunes the decomposition.
+type Options struct {
+	// Iterations of the outer trend/seasonal backfit; <= 0 means 2.
+	Iterations int
+	// Lambda overrides the HP smoothing parameter; <= 0 derives it
+	// from the longest period (cutoff at 4× the longest period, so the
+	// trend cannot absorb seasonality).
+	Lambda float64
+	// Robust selects per-phase medians (default). Setting Mean to true
+	// uses per-phase means instead (classical STL-style averaging).
+	Mean bool
+}
+
+// Result is the additive decomposition.
+type Result struct {
+	Periods   []int
+	Trend     []float64
+	Seasonals [][]float64 // one component per period, same order as Periods
+	Remainder []float64
+}
+
+// Seasonal returns the sum of all seasonal components.
+func (r *Result) Seasonal() []float64 {
+	out := make([]float64, len(r.Trend))
+	for _, s := range r.Seasonals {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// Decompose splits y into trend, one seasonal component per period,
+// and a remainder. Periods must each fit at least twice into the
+// series; invalid or duplicate periods are rejected.
+func Decompose(y []float64, periods []int, opts Options) (*Result, error) {
+	n := len(y)
+	if n < 8 {
+		return nil, fmt.Errorf("decompose: series too short (%d)", n)
+	}
+	ps := append([]int(nil), periods...)
+	sort.Ints(ps)
+	for i, p := range ps {
+		if p < 2 || 2*p > n {
+			return nil, fmt.Errorf("decompose: period %d invalid for n=%d", p, n)
+		}
+		if i > 0 && ps[i] == ps[i-1] {
+			return nil, fmt.Errorf("decompose: duplicate period %d", p)
+		}
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 2
+	}
+	lambda := opts.Lambda
+	if lambda <= 0 {
+		longest := 8
+		if len(ps) > 0 {
+			longest = ps[len(ps)-1]
+		}
+		lambda = hp.LambdaForCutoff(4 * float64(longest))
+	}
+
+	res := &Result{
+		Periods:   ps,
+		Trend:     make([]float64, n),
+		Seasonals: make([][]float64, len(ps)),
+		Remainder: make([]float64, n),
+	}
+	for i := range res.Seasonals {
+		res.Seasonals[i] = make([]float64, n)
+	}
+
+	work := make([]float64, n)
+	for iter := 0; iter < iters; iter++ {
+		// Trend on the seasonally adjusted series. Reflection-pad the
+		// ends before filtering so the HP trend does not bend toward
+		// residual oscillation at the boundaries (which would leak
+		// seasonal structure into the remainder there).
+		copy(work, y)
+		for _, s := range res.Seasonals {
+			for i := range work {
+				work[i] -= s[i]
+			}
+		}
+		res.Trend = reflectFilter(work, lambda)
+
+		// Backfit each seasonal component on the detrended series with
+		// the other components removed, shortest period first (MSTL
+		// convention): when a shorter period divides a longer one the
+		// two profiles are not identified, so the shorter component
+		// claims the shared structure and the longer profile is
+		// orthogonalized against it below.
+		for ci := 0; ci < len(ps); ci++ {
+			copy(work, y)
+			for i := range work {
+				work[i] -= res.Trend[i]
+			}
+			for cj, s := range res.Seasonals {
+				if cj == ci {
+					continue
+				}
+				for i := range work {
+					work[i] -= s[i]
+				}
+			}
+			profile := seasonalProfile(work, ps[ci], opts.Mean)
+			for cj := 0; cj < ci; cj++ {
+				if ps[ci]%ps[cj] != 0 {
+					continue
+				}
+				// Remove the ps[cj]-periodic average from this profile;
+				// that structure belongs to the shorter component. The
+				// projection always uses means: the profile values are
+				// already robust estimates, and a median projection
+				// would not be a linear projection (it leaves residue
+				// on smooth profiles).
+				sub := seasonalProfile(profile, ps[cj], true)
+				for i := range profile {
+					profile[i] -= sub[i%ps[cj]]
+				}
+			}
+			for i := range work {
+				res.Seasonals[ci][i] = profile[i%ps[ci]]
+			}
+		}
+	}
+
+	copy(res.Remainder, y)
+	for i := range res.Remainder {
+		res.Remainder[i] -= res.Trend[i]
+	}
+	for _, s := range res.Seasonals {
+		for i := range res.Remainder {
+			res.Remainder[i] -= s[i]
+		}
+	}
+	return res, nil
+}
+
+// reflectFilter applies the HP filter with anti-symmetric (point)
+// reflection padding of up to a quarter of the series on each side,
+// cropping back afterwards. Point reflection (2·x[edge] − x[mirror])
+// continues linear trends exactly, so the padded filter neither bends
+// at the boundary nor distorts a trending series the way mirror
+// reflection would.
+func reflectFilter(x []float64, lambda float64) []float64 {
+	n := len(x)
+	pad := n / 4
+	if pad < 2 {
+		return hp.Filter(x, lambda)
+	}
+	ext := make([]float64, n+2*pad)
+	for i := 0; i < pad; i++ {
+		ext[i] = 2*x[0] - x[pad-i]
+		ext[pad+n+i] = 2*x[n-1] - x[n-2-i]
+	}
+	copy(ext[pad:], x)
+	trend := hp.Filter(ext, lambda)
+	out := make([]float64, n)
+	copy(out, trend[pad:pad+n])
+	return out
+}
+
+// seasonalProfile estimates the period-m profile of x as per-phase
+// robust locations, centred so the profile sums to ~zero (the level
+// belongs to the trend).
+func seasonalProfile(x []float64, m int, useMean bool) []float64 {
+	buckets := make([][]float64, m)
+	for i, v := range x {
+		buckets[i%m] = append(buckets[i%m], v)
+	}
+	profile := make([]float64, m)
+	for ph, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if useMean {
+			profile[ph] = robust.Mean(b)
+		} else {
+			profile[ph] = robust.MedianInPlace(b)
+		}
+	}
+	// Centre the profile.
+	var centre float64
+	if useMean {
+		centre = robust.Mean(profile)
+	} else {
+		centre = robust.Median(profile)
+	}
+	for i := range profile {
+		profile[i] -= centre
+	}
+	return profile
+}

@@ -1,0 +1,209 @@
+package decompose
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildSeries(n int, periods []int, amps []float64, trendSlope, noise float64, seed int64) ([]float64, []float64, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	y := make([]float64, n)
+	trend := make([]float64, n)
+	seasonals := make([][]float64, len(periods))
+	for i := range seasonals {
+		seasonals[i] = make([]float64, n)
+	}
+	for t := 0; t < n; t++ {
+		trend[t] = trendSlope * float64(t)
+		y[t] = trend[t] + noise*rng.NormFloat64()
+		for ci, p := range periods {
+			s := amps[ci] * math.Sin(2*math.Pi*float64(t)/float64(p))
+			seasonals[ci][t] = s
+			y[t] += s
+		}
+	}
+	return y, trend, seasonals
+}
+
+func TestDecomposeReconstructionIdentity(t *testing.T) {
+	y, _, _ := buildSeries(600, []int{24, 120}, []float64{2, 3}, 0.01, 0.2, 1)
+	res, err := Decompose(y, []int{24, 120}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		sum := res.Trend[i] + res.Remainder[i]
+		for _, s := range res.Seasonals {
+			sum += s[i]
+		}
+		if math.Abs(sum-y[i]) > 1e-9 {
+			t.Fatalf("identity broken at %d: %v vs %v", i, sum, y[i])
+		}
+	}
+}
+
+func TestDecomposeRecoversComponents(t *testing.T) {
+	periods := []int{24, 120}
+	amps := []float64{2, 3}
+	y, trueTrend, trueSeas := buildSeries(1200, periods, amps, 0.01, 0.1, 2)
+	res, err := Decompose(y, periods, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Components are identified up to a constant offset between trend
+	// and seasonal levels; compare after centring the error. Skip the
+	// boundary where the HP trend flares.
+	for ci := range periods {
+		var se, count float64
+		for i := 150; i < 1050; i++ {
+			d := res.Seasonals[ci][i] - trueSeas[ci][i]
+			se += d * d
+			count++
+		}
+		rmse := math.Sqrt(se / count)
+		if rmse > 0.25*amps[ci] {
+			t.Errorf("seasonal %d: RMSE %v too high (amp %v)", periods[ci], rmse, amps[ci])
+		}
+	}
+	// Trend should track the true line in the interior.
+	var te, count float64
+	for i := 150; i < 1050; i++ {
+		d := res.Trend[i] - trueTrend[i]
+		te += d * d
+		count++
+	}
+	if rmse := math.Sqrt(te / count); rmse > 0.5 {
+		t.Errorf("trend RMSE %v", rmse)
+	}
+}
+
+func TestDecomposeRobustToSpikes(t *testing.T) {
+	periods := []int{50}
+	y, _, trueSeas := buildSeries(800, periods, []float64{2}, 0, 0.05, 3)
+	rng := rand.New(rand.NewSource(4))
+	spiked := append([]float64(nil), y...)
+	spikeIdx := map[int]bool{}
+	for k := 0; k < 20; k++ {
+		i := rng.Intn(len(spiked))
+		spiked[i] += 25
+		spikeIdx[i] = true
+	}
+	res, err := Decompose(spiked, periods, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seasonal estimate must stay close to the truth despite
+	// spikes (medians!), and the spikes must surface in the remainder.
+	var se, count float64
+	for i := 100; i < 700; i++ {
+		d := res.Seasonals[0][i] - trueSeas[0][i]
+		se += d * d
+		count++
+	}
+	if rmse := math.Sqrt(se / count); rmse > 0.4 {
+		t.Errorf("seasonal RMSE under spikes: %v", rmse)
+	}
+	found := 0
+	for i := range spikeIdx {
+		if res.Remainder[i] > 10 {
+			found++
+		}
+	}
+	if found < len(spikeIdx)*3/4 {
+		t.Errorf("only %d/%d spikes surfaced in the remainder", found, len(spikeIdx))
+	}
+}
+
+func TestDecomposeMeanVariantLessRobust(t *testing.T) {
+	periods := []int{40}
+	y, _, trueSeas := buildSeries(800, periods, []float64{1}, 0, 0.05, 5)
+	rng := rand.New(rand.NewSource(6))
+	for k := 0; k < 30; k++ {
+		y[rng.Intn(len(y))] += 20
+	}
+	med, err := Decompose(y, periods, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := Decompose(y, periods, Options{Mean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := func(s []float64) float64 {
+		var se, c float64
+		for i := 100; i < 700; i++ {
+			d := s[i] - trueSeas[0][i]
+			se += d * d
+			c++
+		}
+		return math.Sqrt(se / c)
+	}
+	if rmse(med.Seasonals[0]) >= rmse(mean.Seasonals[0]) {
+		t.Errorf("median variant (%v) should beat mean variant (%v) under spikes",
+			rmse(med.Seasonals[0]), rmse(mean.Seasonals[0]))
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(make([]float64, 4), []int{2}, Options{}); err == nil {
+		t.Error("short series should error")
+	}
+	y := make([]float64, 100)
+	if _, err := Decompose(y, []int{60}, Options{}); err == nil {
+		t.Error("period not fitting twice should error")
+	}
+	if _, err := Decompose(y, []int{1}, Options{}); err == nil {
+		t.Error("period 1 should error")
+	}
+	if _, err := Decompose(y, []int{10, 10}, Options{}); err == nil {
+		t.Error("duplicate periods should error")
+	}
+}
+
+func TestDecomposeNoPeriods(t *testing.T) {
+	// Trend-only decomposition is legal: everything except noise goes
+	// to the trend.
+	y := make([]float64, 200)
+	for i := range y {
+		y[i] = 0.1 * float64(i)
+	}
+	res, err := Decompose(y, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seasonals) != 0 {
+		t.Fatal("no seasonal components expected")
+	}
+	for i := 20; i < 180; i++ {
+		if math.Abs(res.Remainder[i]) > 0.05 {
+			t.Fatalf("remainder %v at %d for pure trend", res.Remainder[i], i)
+		}
+	}
+}
+
+func TestSeasonalSumHelper(t *testing.T) {
+	y, _, _ := buildSeries(400, []int{20, 100}, []float64{1, 1}, 0, 0.05, 7)
+	res, err := Decompose(y, []int{20, 100}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Seasonal()
+	for i := range total {
+		want := res.Seasonals[0][i] + res.Seasonals[1][i]
+		if math.Abs(total[i]-want) > 1e-12 {
+			t.Fatal("Seasonal() does not sum components")
+		}
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	y, _, _ := buildSeries(2000, []int{24, 168}, []float64{2, 3}, 0.01, 0.3, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(y, []int{24, 168}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustperiod/internal/spectrum"
+)
+
+func sinusoid(n int, period float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / period)
+	}
+	return x
+}
+
+func corrupt(x []float64, sigma float64, spikes int, mag float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]float64(nil), x...)
+	for i := range out {
+		out[i] += sigma * rng.NormFloat64()
+	}
+	for i := 0; i < spikes; i++ {
+		out[rng.Intn(len(out))] += mag
+	}
+	return out
+}
+
+func fullBand(n int) (int, int) { return 1, n - 1 }
+
+func TestFisherTestDetectsPeak(t *testing.T) {
+	x := sinusoid(512, 64)
+	p := spectrum.Periodogram(x)
+	g, pv, kHat := FisherTest(p)
+	if kHat != 8 { // 512/64
+		t.Errorf("kHat = %d, want 8", kHat)
+	}
+	if pv > 1e-10 {
+		t.Errorf("p-value %v too large for a pure sinusoid", pv)
+	}
+	if g < 0.9 {
+		t.Errorf("g = %v, want near 1", g)
+	}
+}
+
+func TestFisherTestWhiteNoiseNotSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	reject := 0
+	trials := 200
+	for tr := 0; tr < trials; tr++ {
+		x := make([]float64, 256)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		_, pv, _ := FisherTest(spectrum.Periodogram(x))
+		if pv < 0.05 {
+			reject++
+		}
+	}
+	// The test should hold its nominal level approximately.
+	if reject > trials/10 {
+		t.Errorf("rejected %d/%d at alpha=0.05", reject, trials)
+	}
+}
+
+func TestFisherTestDegenerate(t *testing.T) {
+	if _, pv, _ := FisherTest([]float64{1, 2}); pv != 1 {
+		t.Error("short input should be insignificant")
+	}
+	if _, pv, _ := FisherTest([]float64{0, 0, 0, 0}); pv != 1 {
+		t.Error("all-zero input should be insignificant")
+	}
+}
+
+func TestSingleCleanSinusoid(t *testing.T) {
+	n := 1000
+	x := sinusoid(n, 100)
+	kLo, kHi := fullBand(n)
+	res, err := Single(x, kLo, kHi, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Periodic {
+		t.Fatalf("clean sinusoid not detected: %+v", res)
+	}
+	if res.Final < 98 || res.Final > 102 {
+		t.Errorf("Final = %d, want ~100", res.Final)
+	}
+	if res.Candidate < 95 || res.Candidate > 105 {
+		t.Errorf("Candidate = %d, want ~100", res.Candidate)
+	}
+}
+
+func TestSingleNoisySinusoidWithOutliers(t *testing.T) {
+	n := 1000
+	x := corrupt(sinusoid(n, 50), 0.3, 20, 8, 2)
+	res, err := Single(x, 1, n-1, Config{MPOpts: spectrum.Options{Loss: spectrum.LossHuber}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Periodic {
+		t.Fatalf("noisy sinusoid not detected: %+v", res)
+	}
+	if res.Final < 48 || res.Final > 52 {
+		t.Errorf("Final = %d, want ~50", res.Final)
+	}
+}
+
+func TestSingleWhiteNoiseRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	falsePos := 0
+	for tr := 0; tr < 20; tr++ {
+		x := make([]float64, 400)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		res, err := Single(x, 1, 399, Config{Alpha: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Periodic {
+			falsePos++
+		}
+	}
+	if falsePos > 2 {
+		t.Errorf("%d/20 false positives on white noise", falsePos)
+	}
+}
+
+func TestSingleLinearTrendRejected(t *testing.T) {
+	// A pure trend has no periodicity; Fisher's argmax lands at k=1..2
+	// whose implied period exceeds n/2 and must be rejected.
+	n := 600
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.01 * float64(i)
+	}
+	res, err := Single(x, 1, n-1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Periodic {
+		t.Errorf("trend misread as periodic: %+v", res)
+	}
+}
+
+func TestSingleTooShort(t *testing.T) {
+	if _, err := Single([]float64{1, 2, 3}, 1, 2, Config{}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSinglePassbandRestriction(t *testing.T) {
+	// With the robust band restricted away from the true frequency the
+	// classical ordinates still carry the peak, so detection survives
+	// (the hybrid only swaps ordinates inside the band).
+	n := 800
+	x := corrupt(sinusoid(n, 80), 0.2, 0, 0, 4)
+	// True frequency index in padded spectrum: 2n/80 = 20.
+	res, err := Single(x, 15, 25, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Periodic || res.Final < 78 || res.Final > 82 {
+		t.Errorf("passband detection failed: %+v", res)
+	}
+}
+
+func TestSquareWaveDetected(t *testing.T) {
+	n := 1000
+	x := make([]float64, n)
+	for i := range x {
+		if (i/50)%2 == 0 {
+			x[i] = 1
+		} else {
+			x[i] = -1
+		}
+	}
+	res, err := Single(x, 1, n-1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Periodic {
+		t.Fatalf("square wave not detected: %+v", res)
+	}
+	if res.Final < 98 || res.Final > 102 {
+		t.Errorf("square wave period = %d, want ~100", res.Final)
+	}
+}
+
+func TestCandidateRange(t *testing.T) {
+	n := 500
+	lo, hi := CandidateRange(n, 10)
+	// Period at k=10 is 100; neighbors 1000/11≈90.9 and 1000/9≈111.1.
+	if lo > 100 || hi < 100 {
+		t.Errorf("range [%v,%v] excludes its own bin period", lo, hi)
+	}
+	if lo < 90 || hi > 113 {
+		t.Errorf("range [%v,%v] too wide", lo, hi)
+	}
+	// A doubled period is rejected.
+	if 202 <= hi {
+		t.Errorf("range [%v,%v] fails to reject a doubled period", lo, hi)
+	}
+	// k=1 caps at n.
+	_, hiK1 := CandidateRange(n, 1)
+	if hiK1 != float64(n) {
+		t.Errorf("k=1 hi = %v, want %v", hiK1, n)
+	}
+}
+
+func TestAcceptRangeExtendsOnlyWithStrongNeighbor(t *testing.T) {
+	n := 500
+	half := make([]float64, n+1)
+	// Lone argmax at k=10: acceptance equals the single-bin interval.
+	half[10] = 100
+	lo, hi := acceptRange(half, n, 10)
+	cLo, cHi := CandidateRange(n, 10)
+	if lo != cLo || hi != cHi {
+		t.Errorf("lone peak should keep single-bin range: [%v,%v] vs [%v,%v]", lo, hi, cLo, cHi)
+	}
+	// A comparable neighbour at k=11 extends the low side: the true
+	// period 1000/10.5 ≈ 95.2 must now be accepted from the k=10
+	// argmax as well.
+	half[11] = 80
+	lo, _ = acceptRange(half, n, 10)
+	if 95.2 < lo {
+		t.Errorf("between-bins period 95.2 still rejected: lo=%v", lo)
+	}
+	// And symmetrically from the k=11 argmax.
+	half[10], half[11] = 80, 100
+	_, hi = acceptRange(half, n, 11)
+	if 95.2 > hi {
+		t.Errorf("between-bins period 95.2 rejected from k=11: hi=%v", hi)
+	}
+}
+
+func TestACFPersistsSeparatesNoiseFromSignal(t *testing.T) {
+	n := 512
+	// Deterministic periodicity: ACF stays high at every multiple.
+	acfSig := make([]float64, n)
+	for i := range acfSig {
+		acfSig[i] = math.Cos(2 * math.Pi * float64(i) / 40)
+	}
+	if !acfPersists(acfSig, 40, 0.3) {
+		t.Error("deterministic ACF should persist")
+	}
+	// Band-passed noise: pseudo-periodic with a decaying envelope.
+	acfNoise := make([]float64, n)
+	for i := range acfNoise {
+		decay := math.Exp(-float64(i) / 50) // correlation length ~1.25 periods
+		acfNoise[i] = decay * math.Cos(2*math.Pi*float64(i)/40)
+	}
+	if acfPersists(acfNoise, 40, 0.3) {
+		t.Error("decaying pseudo-periodic ACF should fail persistence")
+	}
+	// Periods too long to observe the 2nd multiple pass by default.
+	if !acfPersists(acfSig[:70], 40, 0.3) {
+		t.Error("unobservable multiples should not reject")
+	}
+}
+
+func TestACFMedianPeriodEdgeCases(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	// Flat ACF: no peaks.
+	flat := make([]float64, 200)
+	if got := acfMedianPeriod(flat, 20, cfg); got != 0 {
+		t.Errorf("flat ACF gave %d", got)
+	}
+	// Single peak: its own lag is the estimate.
+	single := make([]float64, 200)
+	single[50] = 1
+	if got := acfMedianPeriod(single, 50, cfg); got != 50 {
+		t.Errorf("single peak gave %d", got)
+	}
+	// Leading sub-MinPeriod artifacts are dropped.
+	withLead := make([]float64, 200)
+	withLead[1] = 1
+	withLead[60], withLead[120] = 0.9, 0.85
+	if got := acfMedianPeriod(withLead, 60, cfg); got != 60 {
+		t.Errorf("lead artifact handling gave %d", got)
+	}
+}
+
+func TestResultDiagnosticsPopulated(t *testing.T) {
+	n := 512
+	x := sinusoid(n, 64)
+	res, err := Single(x, 1, n-1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Periodogram) != n+1 {
+		t.Errorf("periodogram length %d, want %d", len(res.Periodogram), n+1)
+	}
+	if len(res.ACF) != n {
+		t.Errorf("ACF length %d, want %d", len(res.ACF), n)
+	}
+	if math.Abs(res.ACF[0]-1) > 1e-9 {
+		t.Errorf("ACF[0] = %v", res.ACF[0])
+	}
+}
+
+func BenchmarkSingleFullBand(b *testing.B) {
+	x := corrupt(sinusoid(1000, 100), 0.3, 20, 8, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Single(x, 1, 999, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSinglePassband(b *testing.B) {
+	x := corrupt(sinusoid(1000, 100), 0.3, 20, 8, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Single(x, 15, 31, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

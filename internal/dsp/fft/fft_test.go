@@ -1,0 +1,392 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(N²) reference transform.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+		if inverse {
+			out[k] /= complex(float64(n), 0)
+		}
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 60, 64, 100, 127, 128, 255, 1000} {
+		x := randComplex(rng, n)
+		got := FFT(x)
+		want := naiveDFT(x, false)
+		if e := maxErr(got, want); e > 1e-8*float64(n) {
+			t.Errorf("n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestIFFTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 3, 8, 15, 16, 50, 64, 81} {
+		x := randComplex(rng, n)
+		got := IFFT(x)
+		want := naiveDFT(x, true)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 6, 16, 33, 100, 256, 999, 1024, 2048} {
+		x := randComplex(rng, n)
+		y := IFFT(FFT(x))
+		if e := maxErr(x, y); e > 1e-9*float64(n) {
+			t.Errorf("round trip n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestFFTDoesNotMutateInput(t *testing.T) {
+	x := []complex128{1, 2, 3, 4, 5}
+	orig := append([]complex128(nil), x...)
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("FFT or IFFT mutated its input")
+		}
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if got := FFT(nil); len(got) != 0 {
+		t.Error("FFT(nil) should be empty")
+	}
+	got := FFT([]complex128{42})
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("FFT of singleton = %v", got)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// Σ|x|² == (1/N)Σ|X|² for every size, including Bluestein sizes.
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{9, 16, 37, 128, 300} {
+		x := randComplex(rng, n)
+		spec := FFT(x)
+		var et, ef float64
+		for i := range x {
+			et += real(x[i] * cmplx.Conj(x[i]))
+			ef += real(spec[i] * cmplx.Conj(spec[i]))
+		}
+		ef /= float64(n)
+		if math.Abs(et-ef) > 1e-8*et {
+			t.Errorf("Parseval violated at n=%d: %g vs %g", n, et, ef)
+		}
+	}
+}
+
+func TestFFTRealKnownSinusoid(t *testing.T) {
+	// x[t] = cos(2π·5t/64): energy concentrated at bins 5 and 59.
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 5 * float64(i) / float64(n))
+	}
+	spec := FFTReal(x)
+	for k := 0; k < n; k++ {
+		mag := cmplx.Abs(spec[k])
+		if k == 5 || k == 59 {
+			if math.Abs(mag-32) > 1e-9 {
+				t.Errorf("bin %d magnitude %v, want 32", k, mag)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d magnitude %v, want 0", k, mag)
+		}
+	}
+}
+
+func TestFFTRealMatchesComplexPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// Cover the optimized even-power-of-two path against the plain
+	// complex transform, plus odd/non-pow2 fallbacks.
+	for _, n := range []int{4, 8, 16, 64, 128, 256, 1024, 6, 10, 100, 97} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := FFTReal(x)
+		c := make([]complex128, n)
+		for i, v := range x {
+			c[i] = complex(v, 0)
+		}
+		Transform(c)
+		for k := range c {
+			if cmplx.Abs(got[k]-c[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d k=%d: %v vs %v", n, k, got[k], c[k])
+			}
+		}
+	}
+}
+
+func TestFFTRealConjugateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{16, 21, 100} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		spec := FFTReal(x)
+		for k := 1; k < n; k++ {
+			if cmplx.Abs(spec[k]-cmplx.Conj(spec[n-k])) > 1e-9 {
+				t.Fatalf("n=%d: conjugate symmetry broken at k=%d", n, k)
+			}
+		}
+	}
+}
+
+func TestPeriodogramPeak(t *testing.T) {
+	n := 200
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 20) // freq bin 10
+	}
+	p := Periodogram(x)
+	if len(p) != n {
+		t.Fatalf("length %d", len(p))
+	}
+	best := 1
+	for k := 2; k < n/2; k++ {
+		if p[k] > p[best] {
+			best = k
+		}
+	}
+	if best != 10 {
+		t.Errorf("peak at bin %d, want 10", best)
+	}
+	// DC bin of a zero-mean sinusoid is ~0.
+	if p[0] > 1e-18 {
+		t.Errorf("DC leakage %v", p[0])
+	}
+}
+
+func TestPeriodogramEmpty(t *testing.T) {
+	if Periodogram(nil) != nil {
+		t.Error("want nil for empty input")
+	}
+}
+
+func TestCircularConvolveKnown(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 0, 0, 0}
+	got := CircularConvolve(a, b)
+	for i := range a {
+		if math.Abs(got[i]-a[i]) > 1e-10 {
+			t.Fatalf("identity convolution broken: %v", got)
+		}
+	}
+	// Shift kernel: delta at index 1 rotates the signal.
+	b = []float64{0, 1, 0, 0}
+	got = CircularConvolve(a, b)
+	want := []float64{4, 1, 2, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("shift convolution: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestCircularConvolveMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CircularConvolve([]float64{1, 2}, []float64{1})
+}
+
+func TestLinearConvolveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		na := 1 + rng.Intn(40)
+		nb := 1 + rng.Intn(40)
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got := LinearConvolve(a, b)
+		want := make([]float64, na+nb-1)
+		for i := 0; i < na; i++ {
+			for j := 0; j < nb; j++ {
+				want[i+j] += a[i] * b[j]
+			}
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: idx %d got %v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAutocorrelationProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/25) + 0.1*rng.NormFloat64()
+	}
+	acf := Autocorrelation(x)
+	if math.Abs(acf[0]-1) > 1e-12 {
+		t.Errorf("acf[0] = %v, want 1", acf[0])
+	}
+	for t2 := 1; t2 < len(acf); t2++ {
+		if acf[t2] > 1+1e-9 {
+			t.Errorf("acf[%d] = %v exceeds 1", t2, acf[t2])
+		}
+	}
+	// Period-25 sinusoid: strong positive correlation at lag 25.
+	if acf[25] < 0.8 {
+		t.Errorf("acf[25] = %v, want > 0.8", acf[25])
+	}
+	if acf[12] > 0 {
+		t.Errorf("acf[12] = %v, want negative (half period)", acf[12])
+	}
+}
+
+func TestAutocorrelationMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := make([]float64, 80)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := Autocorrelation(x)
+	// Direct biased estimator.
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	var r0 float64
+	for _, v := range x {
+		r0 += (v - mean) * (v - mean)
+	}
+	for lag := 0; lag < len(x); lag++ {
+		var s float64
+		for i := 0; i+lag < len(x); i++ {
+			s += (x[i] - mean) * (x[i+lag] - mean)
+		}
+		want := s / r0
+		if math.Abs(got[lag]-want) > 1e-9 {
+			t.Fatalf("lag %d: got %v want %v", lag, got[lag], want)
+		}
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	acf := Autocorrelation([]float64{3, 3, 3, 3})
+	if acf[0] != 1 {
+		t.Errorf("acf[0] = %v, want 1 for degenerate series", acf[0])
+	}
+}
+
+// Property: linearity of the transform.
+func TestFFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%60)
+		r := rand.New(rand.NewSource(seed))
+		x := randComplex(r, n)
+		y := randComplex(r, n)
+		alpha := complex(rng.NormFloat64(), rng.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = x[i] + alpha*y[i]
+		}
+		fs := FFT(sum)
+		fx := FFT(x)
+		fy := FFT(y)
+		for i := range fs {
+			if cmplx.Abs(fs[i]-(fx[i]+alpha*fy[i])) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFFTPow2(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	x := randComplex(rng, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := randComplex(rng, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkAutocorrelation(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Autocorrelation(x)
+	}
+}

@@ -1,0 +1,77 @@
+// Package window provides the classical taper windows used by
+// averaged spectral estimators (Welch's method): rectangular, Hann,
+// Hamming and Blackman, together with their coherent and power gains
+// for correct PSD normalization.
+package window
+
+import "math"
+
+// Kind selects a taper shape.
+type Kind int
+
+// Supported windows.
+const (
+	Rectangular Kind = iota
+	Hann
+	Hamming
+	Blackman
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "window?"
+	}
+}
+
+// Coefficients returns the n window coefficients (symmetric form).
+func Coefficients(k Kind, n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	d := float64(n - 1)
+	for i := range w {
+		x := float64(i) / d
+		switch k {
+		case Hann:
+			w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*x)
+		case Hamming:
+			w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*x)
+		case Blackman:
+			w[i] = 0.42 - 0.5*math.Cos(2*math.Pi*x) + 0.08*math.Cos(4*math.Pi*x)
+		default:
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// Apply multiplies x by the window in place and returns x.
+func Apply(x []float64, k Kind) []float64 {
+	w := Coefficients(k, len(x))
+	for i := range x {
+		x[i] *= w[i]
+	}
+	return x
+}
+
+// PowerGain returns Σ w²/n, the factor that normalizes a windowed
+// periodogram into an asymptotically unbiased PSD estimate.
+func PowerGain(k Kind, n int) float64 {
+	w := Coefficients(k, n)
+	s := 0.0
+	for _, v := range w {
+		s += v * v
+	}
+	return s / float64(n)
+}

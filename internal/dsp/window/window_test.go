@@ -1,0 +1,75 @@
+package window
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoefficientsShapes(t *testing.T) {
+	n := 64
+	for _, k := range []Kind{Rectangular, Hann, Hamming, Blackman} {
+		w := Coefficients(k, n)
+		if len(w) != n {
+			t.Fatalf("%v: length %d", k, len(w))
+		}
+		// Symmetry.
+		for i := 0; i < n/2; i++ {
+			if math.Abs(w[i]-w[n-1-i]) > 1e-12 {
+				t.Fatalf("%v: not symmetric at %d", k, i)
+			}
+		}
+		// Peak at the centre (or flat for rectangular), bounded by 1.
+		for i, v := range w {
+			if v < -1e-12 || v > 1+1e-9 {
+				t.Fatalf("%v: coefficient %v out of range at %d", k, v, i)
+			}
+		}
+	}
+	// Known endpoints.
+	if h := Coefficients(Hann, 64); math.Abs(h[0]) > 1e-12 {
+		t.Error("Hann should start at 0")
+	}
+	if h := Coefficients(Hamming, 64); math.Abs(h[0]-0.08) > 1e-12 {
+		t.Error("Hamming should start at 0.08")
+	}
+	if r := Coefficients(Rectangular, 5); r[0] != 1 || r[4] != 1 {
+		t.Error("rectangular must be all ones")
+	}
+}
+
+func TestCoefficientsSinglePoint(t *testing.T) {
+	for _, k := range []Kind{Rectangular, Hann, Blackman} {
+		w := Coefficients(k, 1)
+		if len(w) != 1 || w[0] != 1 {
+			t.Errorf("%v: n=1 should be [1]", k)
+		}
+	}
+}
+
+func TestPowerGain(t *testing.T) {
+	if g := PowerGain(Rectangular, 128); math.Abs(g-1) > 1e-12 {
+		t.Errorf("rectangular gain %v", g)
+	}
+	// Hann power gain → 3/8 for large n.
+	if g := PowerGain(Hann, 4096); math.Abs(g-0.375) > 0.001 {
+		t.Errorf("hann gain %v, want ~0.375", g)
+	}
+}
+
+func TestApplyInPlace(t *testing.T) {
+	x := []float64{1, 1, 1, 1}
+	got := Apply(x, Hann)
+	if &got[0] != &x[0] {
+		t.Error("Apply should operate in place")
+	}
+	if x[0] != 0 {
+		t.Error("Hann taper not applied")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Hann.String() != "hann" || Rectangular.String() != "rectangular" ||
+		Hamming.String() != "hamming" || Blackman.String() != "blackman" {
+		t.Error("names wrong")
+	}
+}

@@ -1,0 +1,123 @@
+// Package eval is the evaluation harness: tolerance-based matching of
+// detected periods against ground truth, precision/recall/F1
+// aggregation over corpora, per-detector timing, and the experiment
+// drivers that regenerate every table and figure of the paper's
+// evaluation section (§4).
+package eval
+
+import (
+	"math"
+	"time"
+
+	"robustperiod/internal/baselines"
+	"robustperiod/internal/synthetic"
+)
+
+// Counts aggregates confusion counts over a corpus.
+type Counts struct {
+	TP, FP, FN int
+}
+
+// Add accumulates another count set.
+func (c *Counts) Add(o Counts) { c.TP += o.TP; c.FP += o.FP; c.FN += o.FN }
+
+// Precision returns TP/(TP+FP), defined as 0 when nothing was detected.
+func (c Counts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), defined as 0 when there is no truth.
+func (c Counts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Counts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Match compares detected periods against the truth with a relative
+// tolerance: a detection d matches truth t when |d−t| <= tol·t (tol=0
+// demands exact equality). Matching is greedy one-to-one from the
+// closest pair outward, following the paper's "±0% / ±2% tolerance
+// interval around the ground truth".
+func Match(detected, truth []int, tol float64) Counts {
+	usedD := make([]bool, len(detected))
+	usedT := make([]bool, len(truth))
+	tp := 0
+	for {
+		bestD, bestT := -1, -1
+		bestErr := math.Inf(1)
+		for i, d := range detected {
+			if usedD[i] {
+				continue
+			}
+			for j, tr := range truth {
+				if usedT[j] {
+					continue
+				}
+				e := math.Abs(float64(d - tr))
+				if e <= tol*float64(tr) && e < bestErr {
+					bestErr = e
+					bestD, bestT = i, j
+				}
+			}
+		}
+		if bestD < 0 {
+			break
+		}
+		usedD[bestD] = true
+		usedT[bestT] = true
+		tp++
+	}
+	return Counts{TP: tp, FP: len(detected) - tp, FN: len(truth) - tp}
+}
+
+// Metrics bundles the three headline scores.
+type Metrics struct {
+	Precision, Recall, F1 float64
+}
+
+// Outcome is the result of evaluating one detector on one corpus.
+type Outcome struct {
+	Detector string
+	Counts   Counts
+	Metrics  Metrics
+	// MeanTime is the average wall time per series.
+	MeanTime time.Duration
+}
+
+// Run evaluates a detector over a labeled corpus at the given
+// tolerance. When preprocess is true the shared HP detrending is
+// applied before detection (the paper detrends uniformly for all
+// algorithms).
+func Run(d baselines.Detector, corpus []synthetic.Labeled, tol float64, preprocess bool) Outcome {
+	var counts Counts
+	var elapsed time.Duration
+	for _, s := range corpus {
+		x := s.X
+		start := time.Now()
+		if preprocess {
+			x = baselines.Preprocess(x)
+		}
+		got := d.Periods(x)
+		elapsed += time.Since(start)
+		counts.Add(Match(got, s.Truth, tol))
+	}
+	out := Outcome{Detector: d.Name(), Counts: counts}
+	out.Metrics = Metrics{counts.Precision(), counts.Recall(), counts.F1()}
+	if len(corpus) > 0 {
+		out.MeanTime = elapsed / time.Duration(len(corpus))
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"robustperiod/internal/baselines"
+	"robustperiod/internal/synthetic"
+)
+
+func TestMatchExact(t *testing.T) {
+	c := Match([]int{20, 50, 100}, []int{20, 50, 100}, 0)
+	if c.TP != 3 || c.FP != 0 || c.FN != 0 {
+		t.Errorf("counts %+v", c)
+	}
+	if c.Precision() != 1 || c.Recall() != 1 || c.F1() != 1 {
+		t.Error("perfect match should score 1")
+	}
+}
+
+func TestMatchTolerance(t *testing.T) {
+	// 102 matches 100 at ±2% but not ±0%.
+	c0 := Match([]int{102}, []int{100}, 0)
+	if c0.TP != 0 || c0.FP != 1 || c0.FN != 1 {
+		t.Errorf("±0%%: %+v", c0)
+	}
+	c2 := Match([]int{102}, []int{100}, 0.02)
+	if c2.TP != 1 || c2.FP != 0 || c2.FN != 0 {
+		t.Errorf("±2%%: %+v", c2)
+	}
+	// 103 fails even at ±2%.
+	if c := Match([]int{103}, []int{100}, 0.02); c.TP != 0 {
+		t.Errorf("103 should not match 100 at 2%%: %+v", c)
+	}
+}
+
+func TestMatchOneToOne(t *testing.T) {
+	// Two detections near one truth: only one may match.
+	c := Match([]int{100, 101}, []int{100}, 0.02)
+	if c.TP != 1 || c.FP != 1 {
+		t.Errorf("%+v", c)
+	}
+	// Each truth needs its own detection.
+	c = Match([]int{100}, []int{100, 101}, 0.02)
+	if c.TP != 1 || c.FN != 1 {
+		t.Errorf("%+v", c)
+	}
+}
+
+func TestMatchGreedyPrefersClosest(t *testing.T) {
+	// detected 24 should pair with truth 24, not 25.
+	c := Match([]int{24, 25}, []int{24, 25}, 0.1)
+	if c.TP != 2 {
+		t.Errorf("%+v", c)
+	}
+}
+
+func TestMatchEmpty(t *testing.T) {
+	c := Match(nil, nil, 0)
+	if c.TP != 0 || c.FP != 0 || c.FN != 0 {
+		t.Error("empty")
+	}
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("degenerate metrics should be 0")
+	}
+	if Match([]int{5}, nil, 0).FP != 1 {
+		t.Error("unmatched detection is FP")
+	}
+	if Match(nil, []int{5}, 0).FN != 1 {
+		t.Error("missed truth is FN")
+	}
+}
+
+func TestCountsAddAndScores(t *testing.T) {
+	var c Counts
+	c.Add(Counts{TP: 3, FP: 1, FN: 2})
+	c.Add(Counts{TP: 1, FP: 1, FN: 0})
+	if c.TP != 4 || c.FP != 2 || c.FN != 2 {
+		t.Errorf("%+v", c)
+	}
+	if p := c.Precision(); p != 4.0/6 {
+		t.Errorf("precision %v", p)
+	}
+	if r := c.Recall(); r != 4.0/6 {
+		t.Errorf("recall %v", r)
+	}
+}
+
+func TestRunOnSmallCorpus(t *testing.T) {
+	corpus := synthetic.SinCorpus(4, 800, synthetic.Sine, []int{40}, 0.1, 0.01, 1)
+	out := Run(baselines.RobustPeriod{}, corpus, 0.02, true)
+	if out.Detector != "RobustPeriod" {
+		t.Error("name")
+	}
+	if out.Metrics.Recall < 0.7 {
+		t.Errorf("recall %v too low on easy corpus", out.Metrics.Recall)
+	}
+	if out.MeanTime <= 0 {
+		t.Error("timing missing")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := synthetic.Labeled{Name: "x", X: []float64{0, 1, 2, 3, 4, 5, 6, 7}, Truth: []int{4}}
+	up := Resample(s, 2)
+	if len(up.X) != 16 || up.Truth[0] != 8 {
+		t.Errorf("upsample: n=%d truth=%v", len(up.X), up.Truth)
+	}
+	// Interpolation midpoints.
+	if up.X[1] != 0.5 || up.X[2] != 1 {
+		t.Errorf("interp values %v", up.X[:4])
+	}
+	down := Resample(s, -2)
+	if len(down.X) != 4 || down.Truth[0] != 2 {
+		t.Errorf("downsample: n=%d truth=%v", len(down.X), down.Truth)
+	}
+	if down.X[0] != 0 || down.X[1] != 2 {
+		t.Errorf("decimation values %v", down.X)
+	}
+	same := Resample(s, 1)
+	if len(same.X) != len(s.X) {
+		t.Error("factor 1 must be identity")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"xx", "y"}},
+	}
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "bbbb") || !strings.Contains(s, "xx") {
+		t.Errorf("render: %q", s)
+	}
+}
+
+// Smoke tests for the drivers at tiny trial counts: every table must
+// render with the right shape. The headline claims (who wins) are
+// verified in the repo-level bench/experiment tests with more trials.
+func TestTableDriversSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	t1 := Table1(2, 1)
+	if len(t1.Rows) != 4 || len(t1.Rows[0]) != 7 {
+		t.Errorf("table1 shape: %dx%d", len(t1.Rows), len(t1.Rows[0]))
+	}
+	t2 := Table2(2, 2)
+	if len(t2.Rows) != 4 || len(t2.Rows[0]) != 9 {
+		t.Errorf("table2 shape")
+	}
+	t3 := Table3(2, 3)
+	if len(t3.Rows) != 4 || len(t3.Rows[0]) != 5 {
+		t.Errorf("table3 shape")
+	}
+	t5 := Table5(2, 5)
+	if len(t5.Rows) != 4 || len(t5.Rows[0]) != 7 {
+		t.Errorf("table5 shape")
+	}
+	t8 := Table8(2, 8)
+	if len(t8.Rows) != 4 || len(t8.Rows[0]) != 4 {
+		t.Errorf("table8 shape")
+	}
+}
+
+func TestTableImplAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := TableImplAblations(2, 9)
+	if len(tb.Rows) != 4 || len(tb.Rows[0]) != 4 {
+		t.Fatalf("shape %dx%d", len(tb.Rows), len(tb.Rows[0]))
+	}
+	if tb.Rows[0][0] != "default" {
+		t.Error("first variant should be the default configuration")
+	}
+}
+
+func TestFigure5Driver(t *testing.T) {
+	fig := Figure5(1)
+	if len(fig.Rows) < 5 {
+		t.Fatalf("figure 5 rows: %d", len(fig.Rows))
+	}
+	if !strings.Contains(fig.Title, "20") && !strings.Contains(fig.Title, "50") {
+		t.Errorf("figure 5 title should list detected periods: %s", fig.Title)
+	}
+}
+
+func TestFigure6Driver(t *testing.T) {
+	fig := Figure6(1)
+	if len(fig.Rows) != 6 {
+		t.Fatalf("figure 6 rows: %d", len(fig.Rows))
+	}
+	// The Huber/abnormal row must recover a period near 144.
+	for _, row := range fig.Rows {
+		if row[0] == "Huber" && row[1] == "abnormal" {
+			if !strings.HasPrefix(row[2], "14") {
+				t.Errorf("Huber abnormal spectral period %s, want ~144", row[2])
+			}
+			if row[3] != "144" && row[3] != "143" && row[3] != "145" {
+				t.Errorf("Huber abnormal ACF lag %s, want ~144", row[3])
+			}
+		}
+		if row[0] == "Original" && row[1] == "normal" {
+			if !strings.HasPrefix(row[2], "14") {
+				t.Errorf("Original normal spectral period %s, want ~144", row[2])
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"robustperiod/internal/peaks"
+	"robustperiod/internal/spectrum"
+)
+
+// Figure6 reproduces the periodogram/ACF scheme comparison of the
+// paper's Fig. 6: a 4-day Flink-TPS-like series (576 points, T=144) in
+// a normal and an outlier-contaminated version, analysed with the
+// original, LAD and Huber periodograms and their Wiener–Khinchin ACFs.
+// For each scheme it reports the spectral argmax, the top ACF peak
+// lag, and the resulting period estimate — the paper's claim is that
+// only Huber recovers the normal-data answer from the abnormal data.
+func Figure6(seed int64) Table {
+	n := 576
+	period := 144.0
+	rng := rand.New(rand.NewSource(seed))
+	normal := make([]float64, n)
+	for i := range normal {
+		pos := float64(i) / period
+		normal[i] = 5 + 4*math.Sin(2*math.Pi*pos) + 1.2*math.Sin(4*math.Pi*pos+0.8) + 0.3*rng.NormFloat64()
+	}
+	abnormal := append([]float64(nil), normal...)
+	// A burst of large one-sided spikes, as in the paper's abnormal case.
+	for k := 0; k < 18; k++ {
+		abnormal[rng.Intn(n)] += 10 + rng.Float64()*20
+	}
+
+	t := Table{
+		Title:  "Figure 6: periodogram/ACF schemes on normal vs abnormal Flink-like data (true T=144)",
+		Header: []string{"Scheme", "Data", "SpecArgmaxPeriod", "ACFPeakMedianDist"},
+	}
+	type scheme struct {
+		name string
+		loss spectrum.Loss
+	}
+	schemes := []scheme{
+		{"Original", spectrum.LossL2},
+		{"LAD", spectrum.LossLAD},
+		{"Huber", spectrum.LossHuber},
+	}
+	for _, sc := range schemes {
+		for _, d := range []struct {
+			name string
+			x    []float64
+		}{{"normal", normal}, {"abnormal", abnormal}} {
+			specP, acfLag := analyzeScheme(d.x, sc.loss)
+			t.Rows = append(t.Rows, []string{
+				sc.name, d.name,
+				fmt.Sprintf("%.1f", specP),
+				fmt.Sprintf("%d", acfLag),
+			})
+		}
+	}
+	return t
+}
+
+// analyzeScheme returns the period implied by the spectral argmax and
+// the median distance between qualifying ACF peaks — the same
+// summarizer the pipeline's Huber-ACF-Med step uses, which is what the
+// paper reads off the Fig. 6 ACF panels.
+func analyzeScheme(x []float64, loss spectrum.Loss) (specPeriod float64, acfLag int) {
+	n := len(x)
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	padded := make([]float64, 2*n)
+	for i, v := range x {
+		padded[i] = v - mean
+	}
+	half, err := spectrum.HybridPeriodogram(padded, 1, n-1, spectrum.Options{Loss: loss, FitLength: n})
+	if err != nil {
+		return 0, 0
+	}
+	kBest := 1
+	for k := 2; k < len(half); k++ {
+		if half[k] > half[kBest] {
+			kBest = k
+		}
+	}
+	specPeriod = float64(2*n) / float64(kBest)
+	acf, err := spectrum.ACFFromPeriodogram(spectrum.FullRange(half), n)
+	if err != nil {
+		return specPeriod, 0
+	}
+	idx := peaks.Find(acf[:3*n/4], peaks.Options{Height: 0.3, MinDistance: 36})
+	// Skip the short-lag shoulder (residual noise autocorrelation);
+	// the periods of interest in this figure are ≥ the daily scale.
+	for len(idx) > 0 && idx[0] < 24 {
+		idx = idx[1:]
+	}
+	if len(idx) == 1 {
+		return specPeriod, idx[0]
+	}
+	return specPeriod, peaks.MedianDistance(idx)
+}

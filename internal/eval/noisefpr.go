@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"robustperiod/internal/baselines"
+	"robustperiod/internal/synthetic"
+)
+
+// TableNoiseFPR measures each detector's false-positive behaviour on
+// pure Gaussian noise — a deployment-critical dimension the paper does
+// not tabulate: an alerting pipeline re-runs detection continuously,
+// so a detector that "finds" a period in noise creates phantom
+// seasonality downstream. Reported per series length: the fraction of
+// noise series on which the detector emitted at least one period
+// (FPR) and the mean number of periods emitted.
+func TableNoiseFPR(trials int, seed int64) Table {
+	if trials < 1 {
+		trials = 1
+	}
+	lengths := []int{512, 1000, 2000}
+	detectors := append(multiDetectors(),
+		baselines.ACFMed{}, baselines.LombScargle{})
+	t := Table{
+		Title:  "Noise false-positive rate (pure Gaussian noise; FPR = share of series with any period)",
+		Header: []string{"Algorithm"},
+	}
+	for _, n := range lengths {
+		t.Header = append(t.Header, fmt.Sprintf("FPR n=%d", n), fmt.Sprintf("mean# n=%d", n))
+	}
+	corpora := make(map[int][]synthetic.Labeled, len(lengths))
+	for _, n := range lengths {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		series := make([]synthetic.Labeled, trials)
+		for i := range series {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+			series[i] = synthetic.Labeled{Name: fmt.Sprintf("noise-%d-%d", n, i), X: x}
+		}
+		corpora[n] = series
+	}
+	for _, d := range detectors {
+		row := []string{d.Name()}
+		for _, n := range lengths {
+			flagged, total := 0, 0
+			for _, s := range corpora[n] {
+				got := d.Periods(baselines.Preprocess(s.X))
+				if len(got) > 0 {
+					flagged++
+				}
+				total += len(got)
+			}
+			row = append(row,
+				f3(float64(flagged)/float64(trials)),
+				fmt.Sprintf("%.2f", float64(total)/float64(trials)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,18 @@
+package eval
+
+import "testing"
+
+func TestTableNoiseFPRShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := TableNoiseFPR(3, 1)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != 7 {
+			t.Fatalf("row width %d", len(row))
+		}
+	}
+}

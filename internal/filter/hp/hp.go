@@ -1,0 +1,286 @@
+// Package hp implements the Hodrick–Prescott trend filter used by
+// RobustPeriod's preprocessing stage (Eq. 2 of the paper):
+//
+//	τ̂ = argmin_τ ½ Σ (y_t − τ_t)² + λ Σ (τ_{t−1} − 2τ_t + τ_{t+1})²
+//
+// The first-order condition is the symmetric positive-definite
+// pentadiagonal linear system (I + 2λ DᵀD) τ = y, where D is the
+// (N−2)×N second-difference operator. We solve it exactly in O(N)
+// with a banded LDLᵀ (Cholesky-style) factorization, no iteration.
+package hp
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrShort is returned when the input is too short to detrend.
+var ErrShort = errors.New("hp: series shorter than 3 points")
+
+// Filter returns the HP trend of y for smoothing parameter lambda > 0.
+// The input is not modified. Series of length < 3 return a copy of y
+// unchanged (there is no curvature to penalize); lambda <= 0 also
+// returns a copy (no smoothing requested).
+func Filter(y []float64, lambda float64) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	copy(out, y)
+	if n < 3 || lambda <= 0 {
+		return out
+	}
+	solvePentadiagonal(out, lambda)
+	return out
+}
+
+// LambdaForCutoff returns the smoothing parameter λ whose trend-filter
+// frequency response has gain 1/2 at the given cutoff period (in
+// samples): λ = 1 / (4·(1 − cos(2π/P))²). Oscillations slower than the
+// cutoff are mostly absorbed into the trend; faster ones mostly
+// survive detrending. Use a cutoff comfortably above the longest
+// period you want to detect (RobustPeriod defaults to n/2, the longest
+// detectable period).
+func LambdaForCutoff(period float64) float64 {
+	if period <= 2 {
+		return 0
+	}
+	d := 1 - math.Cos(2*math.Pi/period)
+	return 1 / (4 * d * d)
+}
+
+// Detrend returns y minus its HP trend, along with the trend itself.
+func Detrend(y []float64, lambda float64) (detrended, trend []float64) {
+	trend = Filter(y, lambda)
+	detrended = make([]float64, len(y))
+	for i := range y {
+		detrended[i] = y[i] - trend[i]
+	}
+	return detrended, trend
+}
+
+// solvePentadiagonal solves (I + 2λ DᵀD) x = y in place, where y is
+// passed in x. The matrix A = I + 2λDᵀD has bandwidth 2 with rows
+// (away from the boundary): [c, -4c, 1+6c, -4c, c] for c = 2λ, and the
+// well-known boundary corrections in the first/last two rows.
+func solvePentadiagonal(x []float64, lambda float64) {
+	n := len(x)
+	c := 2 * lambda
+
+	// Assemble the three distinct bands of the symmetric matrix:
+	// d[i] = A[i][i], e[i] = A[i][i+1], f[i] = A[i][i+2].
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	f := make([]float64, n-2)
+	for i := 0; i < n; i++ {
+		d[i] = 1 + 6*c
+	}
+	d[0], d[n-1] = 1+c, 1+c
+	if n >= 2 {
+		d[1], d[n-2] = 1+5*c, 1+5*c
+	}
+	if n == 3 {
+		// With a single curvature term the middle row is 1+4c.
+		d[1] = 1 + 4*c
+	}
+	for i := range e {
+		e[i] = -4 * c
+	}
+	e[0], e[n-2] = -2*c, -2*c
+	for i := range f {
+		f[i] = c
+	}
+
+	// Banded LDLᵀ factorization: A = L D Lᵀ with unit lower-triangular
+	// L having bands l1 (sub-diagonal) and l2 (second sub-diagonal).
+	dd := make([]float64, n) // D
+	l1 := make([]float64, n) // L[i][i-1]
+	l2 := make([]float64, n) // L[i][i-2]
+	dd[0] = d[0]
+	if n >= 2 {
+		l1[1] = e[0] / dd[0]
+		dd[1] = d[1] - l1[1]*l1[1]*dd[0]
+	}
+	for i := 2; i < n; i++ {
+		l2[i] = f[i-2] / dd[i-2]
+		l1[i] = (e[i-1] - l2[i]*l1[i-1]*dd[i-2]) / dd[i-1]
+		dd[i] = d[i] - l2[i]*l2[i]*dd[i-2] - l1[i]*l1[i]*dd[i-1]
+	}
+
+	// Forward substitution L z = y (z overwrites x).
+	for i := 1; i < n; i++ {
+		x[i] -= l1[i] * x[i-1]
+		if i >= 2 {
+			x[i] -= l2[i] * x[i-2]
+		}
+	}
+	// Diagonal scaling.
+	for i := 0; i < n; i++ {
+		x[i] /= dd[i]
+	}
+	// Back substitution Lᵀ x = z.
+	for i := n - 2; i >= 0; i-- {
+		x[i] -= l1[i+1] * x[i+1]
+		if i+2 < n {
+			x[i] -= l2[i+2] * x[i+2]
+		}
+	}
+}
+
+// RobustFilter returns an outlier-resistant HP trend: the quadratic
+// data-fidelity term is replaced by a Huber loss (the direction of the
+// authors' RobustTrend work, IJCAI'19 [59] in the paper) and solved by
+// iteratively reweighted least squares — each iteration solves a
+// weighted pentadiagonal system
+//
+//	(W + 2λ DᵀD) τ = W y,  w_t = ψ_huber(y_t − τ_t)/(y_t − τ_t),
+//
+// so isolated spikes stop dragging the trend toward themselves. zeta
+// <= 0 derives the Huber threshold from the residual MADN each
+// iteration (1.345·MADN). Series shorter than 3 points or lambda <= 0
+// return a copy of y, matching Filter.
+func RobustFilter(y []float64, lambda, zeta float64, maxIter int) []float64 {
+	n := len(y)
+	trend := Filter(y, lambda)
+	if n < 3 || lambda <= 0 {
+		return trend
+	}
+	if maxIter <= 0 {
+		maxIter = 10
+	}
+	w := make([]float64, n)
+	resid := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range resid {
+			resid[i] = y[i] - trend[i]
+		}
+		z := zeta
+		if z <= 0 {
+			z = 1.345 * madn(resid)
+			if z == 0 {
+				return trend
+			}
+		}
+		for i, r := range resid {
+			a := math.Abs(r)
+			if a <= z {
+				w[i] = 1
+			} else {
+				w[i] = z / a
+			}
+		}
+		next := solveWeightedPentadiagonal(y, w, lambda)
+		maxDelta := 0.0
+		for i := range next {
+			if d := math.Abs(next[i] - trend[i]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		copy(trend, next)
+		if maxDelta < 1e-9*(1+math.Abs(trend[0])) {
+			break
+		}
+	}
+	return trend
+}
+
+// madn is a local normal-consistent MAD (kept here to avoid an import
+// cycle with the robust statistics package, which imports nothing but
+// also should not be required for a filter primitive).
+func madn(x []float64) float64 {
+	n := len(x)
+	buf := append([]float64(nil), x...)
+	sort.Float64s(buf)
+	med := buf[n/2]
+	if n%2 == 0 {
+		med = (buf[n/2-1] + buf[n/2]) / 2
+	}
+	for i, v := range x {
+		buf[i] = math.Abs(v - med)
+	}
+	sort.Float64s(buf)
+	mad := buf[n/2]
+	if n%2 == 0 {
+		mad = (buf[n/2-1] + buf[n/2]) / 2
+	}
+	return 1.4826022185056018 * mad
+}
+
+// solveWeightedPentadiagonal solves (W + 2λ DᵀD) τ = W y for diagonal
+// weights w ∈ (0, 1].
+func solveWeightedPentadiagonal(y, w []float64, lambda float64) []float64 {
+	n := len(y)
+	c := 2 * lambda
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	f := make([]float64, n-2)
+	for i := 0; i < n; i++ {
+		d[i] = w[i] + 6*c
+	}
+	d[0], d[n-1] = w[0]+c, w[n-1]+c
+	if n >= 2 {
+		d[1], d[n-2] = w[1]+5*c, w[n-2]+5*c
+	}
+	if n == 3 {
+		d[1] = w[1] + 4*c
+	}
+	for i := range e {
+		e[i] = -4 * c
+	}
+	e[0], e[n-2] = -2*c, -2*c
+	for i := range f {
+		f[i] = c
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = w[i] * y[i]
+	}
+	// Banded LDLᵀ, as in solvePentadiagonal.
+	dd := make([]float64, n)
+	l1 := make([]float64, n)
+	l2 := make([]float64, n)
+	dd[0] = d[0]
+	if n >= 2 {
+		l1[1] = e[0] / dd[0]
+		dd[1] = d[1] - l1[1]*l1[1]*dd[0]
+	}
+	for i := 2; i < n; i++ {
+		l2[i] = f[i-2] / dd[i-2]
+		l1[i] = (e[i-1] - l2[i]*l1[i-1]*dd[i-2]) / dd[i-1]
+		dd[i] = d[i] - l2[i]*l2[i]*dd[i-2] - l1[i]*l1[i]*dd[i-1]
+	}
+	for i := 1; i < n; i++ {
+		x[i] -= l1[i] * x[i-1]
+		if i >= 2 {
+			x[i] -= l2[i] * x[i-2]
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] /= dd[i]
+	}
+	for i := n - 2; i >= 0; i-- {
+		x[i] -= l1[i+1] * x[i+1]
+		if i+2 < n {
+			x[i] -= l2[i+2] * x[i+2]
+		}
+	}
+	return x
+}
+
+// Objective evaluates the HP objective ½Σ(y−τ)² + λΣ(Δ²τ)² for a
+// candidate trend τ; exposed for testing and diagnostics.
+func Objective(y, trend []float64, lambda float64) float64 {
+	if len(y) != len(trend) {
+		panic("hp: length mismatch")
+	}
+	fit := 0.0
+	for i := range y {
+		d := y[i] - trend[i]
+		fit += d * d
+	}
+	pen := 0.0
+	for i := 1; i+1 < len(trend); i++ {
+		d2 := trend[i-1] - 2*trend[i] + trend[i+1]
+		pen += d2 * d2
+	}
+	return 0.5*fit + lambda*pen
+}

@@ -1,0 +1,316 @@
+package hp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSolve solves (I + 2λ DᵀD) τ = y with dense Gaussian elimination
+// as a reference implementation.
+func naiveSolve(y []float64, lambda float64) []float64 {
+	n := len(y)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		a[i][i] = 1
+	}
+	c := 2 * lambda
+	// A += c * DᵀD, building DᵀD row by row from D's rows [1,-2,1].
+	for t := 1; t+1 < n; t++ {
+		idx := [3]int{t - 1, t, t + 1}
+		coef := [3]float64{1, -2, 1}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a[idx[i]][idx[j]] += c * coef[i] * coef[j]
+			}
+		}
+	}
+	b := append([]float64(nil), y...)
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			m := a[r][col] / a[col][col]
+			if m == 0 {
+				continue
+			}
+			for cc := col; cc < n; cc++ {
+				a[r][cc] -= m * a[col][cc]
+			}
+			b[r] -= m * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for cc := r + 1; cc < n; cc++ {
+			s -= a[r][cc] * x[cc]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x
+}
+
+func TestFilterMatchesDenseSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{3, 4, 5, 8, 17, 50, 120} {
+		for _, lambda := range []float64{0.1, 1, 100, 1e5} {
+			y := make([]float64, n)
+			for i := range y {
+				y[i] = rng.NormFloat64()*3 + math.Sin(float64(i)/5)
+			}
+			got := Filter(y, lambda)
+			want := naiveSolve(y, lambda)
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > 1e-8 {
+					t.Fatalf("n=%d λ=%v idx=%d: got %v want %v", n, lambda, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFilterShortSeries(t *testing.T) {
+	for _, y := range [][]float64{nil, {1}, {1, 2}} {
+		got := Filter(y, 100)
+		if len(got) != len(y) {
+			t.Fatal("length changed")
+		}
+		for i := range y {
+			if got[i] != y[i] {
+				t.Errorf("short series should be returned unchanged")
+			}
+		}
+	}
+}
+
+func TestFilterZeroLambdaIsIdentity(t *testing.T) {
+	y := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	got := Filter(y, 0)
+	for i := range y {
+		if got[i] != y[i] {
+			t.Fatal("λ=0 must return the series itself")
+		}
+	}
+}
+
+func TestFilterDoesNotMutate(t *testing.T) {
+	y := []float64{3, 1, 4, 1, 5, 9}
+	orig := append([]float64(nil), y...)
+	Filter(y, 10)
+	for i := range y {
+		if y[i] != orig[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestLinearSeriesIsFixedPoint(t *testing.T) {
+	// A perfectly linear series has zero curvature penalty, so the
+	// trend equals the series for any lambda.
+	n := 64
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 2.5*float64(i) - 7
+	}
+	for _, lambda := range []float64{1, 1e4, 1e8} {
+		got := Filter(y, lambda)
+		for i := range y {
+			if math.Abs(got[i]-y[i]) > 1e-6 {
+				t.Fatalf("λ=%v: linear series distorted at %d: %v vs %v", lambda, i, got[i], y[i])
+			}
+		}
+	}
+}
+
+func TestLargeLambdaApproachesLinearFit(t *testing.T) {
+	// As λ→∞ the trend tends to the least-squares line.
+	rng := rand.New(rand.NewSource(2))
+	n := 200
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 0.3*float64(i) + 5 + rng.NormFloat64()
+	}
+	trend := Filter(y, 1e12)
+	// Fit LS line.
+	var sx, sy, sxx, sxy float64
+	for i := range y {
+		x := float64(i)
+		sx += x
+		sy += y[i]
+		sxx += x * x
+		sxy += x * y[i]
+	}
+	fn := float64(n)
+	b := (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+	a := (sy - b*sx) / fn
+	for i := range y {
+		want := a + b*float64(i)
+		if math.Abs(trend[i]-want) > 0.01 {
+			t.Fatalf("idx %d: trend %v, LS line %v", i, trend[i], want)
+		}
+	}
+}
+
+func TestSmallLambdaApproachesData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	y := make([]float64, 100)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	trend := Filter(y, 1e-9)
+	for i := range y {
+		if math.Abs(trend[i]-y[i]) > 1e-6 {
+			t.Fatalf("tiny λ should reproduce data at %d", i)
+		}
+	}
+}
+
+func TestDetrendSumsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	y := make([]float64, 150)
+	for i := range y {
+		y[i] = math.Sin(float64(i)/7) + 0.01*float64(i) + rng.NormFloat64()*0.2
+	}
+	det, tr := Detrend(y, 1600)
+	for i := range y {
+		if math.Abs(det[i]+tr[i]-y[i]) > 1e-10 {
+			t.Fatal("detrended + trend != original")
+		}
+	}
+}
+
+func TestDetrendRemovesTrendKeepsSeasonality(t *testing.T) {
+	n := 500
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 0.05*float64(i) + math.Sin(2*math.Pi*float64(i)/25)
+	}
+	det, _ := Detrend(y, 1e5)
+	// The detrended series should be roughly zero-mean and retain the
+	// period-25 oscillation.
+	mean := 0.0
+	for _, v := range det {
+		mean += v
+	}
+	mean /= float64(n)
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("detrended mean = %v, want ~0", mean)
+	}
+	// Interior amplitude should stay near 1.
+	maxAmp := 0.0
+	for i := 50; i < n-50; i++ {
+		if a := math.Abs(det[i] - mean); a > maxAmp {
+			maxAmp = a
+		}
+	}
+	if maxAmp < 0.8 || maxAmp > 1.3 {
+		t.Errorf("seasonal amplitude after detrend = %v, want ~1", maxAmp)
+	}
+}
+
+// Property: the solver's output minimizes the HP objective — no
+// perturbation direction improves it.
+func TestFilterIsMinimizerProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64, lamRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(60)
+		lambda := math.Pow(10, float64(lamRaw%7)-1)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = r.NormFloat64() * 5
+		}
+		trend := Filter(y, lambda)
+		base := Objective(y, trend, lambda)
+		for trial := 0; trial < 10; trial++ {
+			pert := append([]float64(nil), trend...)
+			for k := 0; k < 3; k++ {
+				pert[rng.Intn(n)] += (rng.Float64() - 0.5) * 0.1
+			}
+			if Objective(y, pert, lambda) < base-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLambdaForCutoff(t *testing.T) {
+	// The trend filter's gain at the cutoff period must be 1/2:
+	// gain(ω) = 1/(1 + 4λ(1−cos ω)²).
+	for _, p := range []float64{20, 112, 500, 2880} {
+		lambda := LambdaForCutoff(p)
+		w := 2 * math.Pi / p
+		gain := 1 / (1 + 4*lambda*math.Pow(1-math.Cos(w), 2))
+		if math.Abs(gain-0.5) > 1e-9 {
+			t.Errorf("cutoff %v: gain %v, want 0.5", p, gain)
+		}
+	}
+	// Known anchor: quarterly λ=1600 corresponds to ~40-quarter cutoff.
+	if l := LambdaForCutoff(39.7); math.Abs(l-1600) > 50 {
+		t.Errorf("cutoff 39.7: λ = %v, want ≈1600", l)
+	}
+	if LambdaForCutoff(2) != 0 || LambdaForCutoff(-1) != 0 {
+		t.Error("degenerate cutoffs should give 0")
+	}
+	// Longer cutoff → larger λ.
+	if LambdaForCutoff(100) >= LambdaForCutoff(200) {
+		t.Error("λ should grow with cutoff")
+	}
+}
+
+func TestFilterSeparatesSeasonalityFromTrend(t *testing.T) {
+	// With the cutoff at n/2, a period-168 component must survive
+	// detrending nearly intact while a period-2n trend is removed.
+	n := 1000
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = math.Sin(2*math.Pi*float64(i)/168) + 10*math.Sin(math.Pi*float64(i)/float64(n))
+	}
+	det, _ := Detrend(y, LambdaForCutoff(float64(n)/2))
+	// Compare against the pure seasonal component in the interior.
+	var num, den float64
+	for i := 100; i < n-100; i++ {
+		s := math.Sin(2 * math.Pi * float64(i) / 168)
+		num += (det[i] - s) * (det[i] - s)
+		den += s * s
+	}
+	if rel := math.Sqrt(num / den); rel > 0.25 {
+		t.Errorf("seasonal distortion %.2f too high after detrend", rel)
+	}
+}
+
+func TestObjectiveMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Objective([]float64{1, 2}, []float64{1}, 1)
+}
+
+func BenchmarkFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	y := make([]float64, 10000)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Filter(y, 1e5)
+	}
+}

@@ -1,0 +1,117 @@
+package hp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRobustFilterMatchesFilterOnCleanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	y := make([]float64, 300)
+	for i := range y {
+		y[i] = 0.02*float64(i) + 0.3*rng.NormFloat64()
+	}
+	plain := Filter(y, 1600)
+	robustT := RobustFilter(y, 1600, 0, 0)
+	for i := range y {
+		if math.Abs(plain[i]-robustT[i]) > 0.2 {
+			t.Fatalf("clean data: trends diverge at %d: %v vs %v", i, plain[i], robustT[i])
+		}
+	}
+}
+
+func TestRobustFilterResistsSpikes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 400
+	truth := make([]float64, n)
+	y := make([]float64, n)
+	for i := range y {
+		truth[i] = 5 + 0.01*float64(i)
+		y[i] = truth[i] + 0.2*rng.NormFloat64()
+	}
+	spikeAt := map[int]bool{}
+	for k := 0; k < 20; k++ {
+		i := rng.Intn(n)
+		y[i] += 30
+		spikeAt[i] = true
+	}
+	plain := Filter(y, 1e4)
+	robustT := RobustFilter(y, 1e4, 0, 0)
+	var errPlain, errRobust float64
+	for i := range y {
+		errPlain += math.Abs(plain[i] - truth[i])
+		errRobust += math.Abs(robustT[i] - truth[i])
+	}
+	if errRobust >= errPlain {
+		t.Errorf("robust trend error %v not better than plain %v under spikes", errRobust, errPlain)
+	}
+	// The robust trend should stay near the truth even at spike sites.
+	for i := range spikeAt {
+		if math.Abs(robustT[i]-truth[i]) > 2 {
+			t.Errorf("robust trend dragged to %v at spike %d (truth %v)", robustT[i], i, truth[i])
+		}
+	}
+}
+
+func TestRobustFilterDegenerate(t *testing.T) {
+	y := []float64{1, 2}
+	got := RobustFilter(y, 100, 0, 5)
+	for i := range y {
+		if got[i] != y[i] {
+			t.Error("short series should pass through")
+		}
+	}
+	// Constant series: zero residual MADN → early return without NaNs.
+	c := RobustFilter([]float64{3, 3, 3, 3, 3}, 10, 0, 5)
+	for _, v := range c {
+		if math.IsNaN(v) {
+			t.Fatal("NaN on constant input")
+		}
+	}
+}
+
+func TestRobustFilterFixedZeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	y := make([]float64, 200)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	y[100] += 50
+	got := RobustFilter(y, 1e4, 1.0, 8)
+	if math.Abs(got[100]) > 1.5 {
+		t.Errorf("fixed-zeta robust trend pulled to %v by the spike", got[100])
+	}
+}
+
+func TestWeightedSolverReducesToPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	y := make([]float64, 120)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	w := make([]float64, len(y))
+	for i := range w {
+		w[i] = 1
+	}
+	got := solveWeightedPentadiagonal(y, w, 42)
+	want := Filter(y, 42)
+	for i := range y {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("unit weights should reproduce Filter at %d", i)
+		}
+	}
+}
+
+func BenchmarkRobustFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	y := make([]float64, 5000)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RobustFilter(y, 1e5, 0, 0)
+	}
+}

@@ -1,0 +1,146 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// FourierRegression forecasts with a deterministic harmonic model:
+// ordinary least squares on [1, t, cos/sin harmonics for each period].
+// It is the fully deterministic cousin of the smoothing model — useful
+// when the seasonal pattern is stable over the training window.
+type FourierRegression struct {
+	// Periods lists the seasonal period lengths.
+	Periods []int
+	// Harmonics per period; <= 0 means min(3, period/2).
+	Harmonics int
+	// Ridge adds an L2 penalty for numerical stability; <= 0 means 1e-8.
+	Ridge float64
+}
+
+// Name implements Forecaster.
+func (FourierRegression) Name() string { return "fourier-regression" }
+
+// Forecast implements Forecaster.
+func (f FourierRegression) Forecast(train []float64, h int) ([]float64, error) {
+	n := len(train)
+	if n < 8 {
+		return nil, fmt.Errorf("forecast: training series too short (%d)", n)
+	}
+	ridge := f.Ridge
+	if ridge <= 0 {
+		ridge = 1e-8
+	}
+	design := f.designRow
+	// Count columns.
+	cols := len(design(0, n))
+	if cols >= n {
+		return nil, fmt.Errorf("forecast: %d regressors for %d observations", cols, n)
+	}
+	// Normal equations with ridge.
+	ata := make([][]float64, cols)
+	for i := range ata {
+		ata[i] = make([]float64, cols)
+	}
+	atb := make([]float64, cols)
+	for t := 0; t < n; t++ {
+		row := design(t, n)
+		for i := 0; i < cols; i++ {
+			atb[i] += row[i] * train[t]
+			for j := i; j < cols; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		ata[i][i] += ridge
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	beta, err := solveCholesky(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, h)
+	for k := 0; k < h; k++ {
+		row := design(n+k, n)
+		v := 0.0
+		for i := range row {
+			v += beta[i] * row[i]
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// designRow builds the regression row for time t (time is scaled by
+// the training length so the trend coefficient stays well-conditioned
+// when extrapolating).
+func (f FourierRegression) designRow(t, n int) []float64 {
+	row := []float64{1, float64(t) / float64(n)}
+	for _, p := range f.Periods {
+		if p < 2 {
+			continue
+		}
+		k := f.Harmonics
+		if k <= 0 {
+			k = 3
+		}
+		if k > p/2 {
+			k = p / 2
+		}
+		if k < 1 {
+			k = 1
+		}
+		for j := 1; j <= k; j++ {
+			ang := 2 * math.Pi * float64(j) * float64(t) / float64(p)
+			s, c := math.Sincos(ang)
+			row = append(row, c, s)
+		}
+	}
+	return row
+}
+
+// solveCholesky solves the symmetric positive-definite system Ax = b.
+func solveCholesky(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("forecast: normal equations not positive definite")
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	// Forward then back substitution.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i][k] * y[k]
+		}
+		y[i] = s / l[i][i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k][i] * x[k]
+		}
+		x[i] = s / l[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,113 @@
+package forecast
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMead minimizes f over R^dim starting from x0 using the
+// standard downhill-simplex method with adaptive coefficients. bounds,
+// when non-nil, clamps every candidate coordinate into
+// [bounds[i][0], bounds[i][1]] before evaluation, which is how the
+// smoothing parameters stay in (0, 1). It returns the best point and
+// its value.
+func NelderMead(f func([]float64) float64, x0 []float64, bounds [][2]float64, maxIter int) ([]float64, float64) {
+	dim := len(x0)
+	if dim == 0 {
+		return nil, f(nil)
+	}
+	if maxIter <= 0 {
+		maxIter = 400 * dim
+	}
+	clamp := func(x []float64) {
+		if bounds == nil {
+			return
+		}
+		for i := range x {
+			if x[i] < bounds[i][0] {
+				x[i] = bounds[i][0]
+			}
+			if x[i] > bounds[i][1] {
+				x[i] = bounds[i][1]
+			}
+		}
+	}
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	eval := func(x []float64) vertex {
+		clamp(x)
+		return vertex{x, f(x)}
+	}
+	simplex := make([]vertex, dim+1)
+	simplex[0] = eval(append([]float64(nil), x0...))
+	for i := 0; i < dim; i++ {
+		p := append([]float64(nil), x0...)
+		step := 0.1
+		if p[i] != 0 {
+			step = 0.1 * math.Abs(p[i])
+		}
+		p[i] += step
+		simplex[i+1] = eval(p)
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].v < simplex[b].v })
+		if math.Abs(simplex[dim].v-simplex[0].v) < 1e-12*(math.Abs(simplex[0].v)+1e-12) {
+			break
+		}
+		// Centroid of all but the worst.
+		cen := make([]float64, dim)
+		for _, vx := range simplex[:dim] {
+			for i := range cen {
+				cen[i] += vx.x[i]
+			}
+		}
+		for i := range cen {
+			cen[i] /= float64(dim)
+		}
+		worst := simplex[dim]
+		refl := make([]float64, dim)
+		for i := range refl {
+			refl[i] = cen[i] + alpha*(cen[i]-worst.x[i])
+		}
+		r := eval(refl)
+		switch {
+		case r.v < simplex[0].v:
+			exp := make([]float64, dim)
+			for i := range exp {
+				exp[i] = cen[i] + gamma*(refl[i]-cen[i])
+			}
+			if e := eval(exp); e.v < r.v {
+				simplex[dim] = e
+			} else {
+				simplex[dim] = r
+			}
+		case r.v < simplex[dim-1].v:
+			simplex[dim] = r
+		default:
+			con := make([]float64, dim)
+			for i := range con {
+				con[i] = cen[i] + rho*(worst.x[i]-cen[i])
+			}
+			if c := eval(con); c.v < worst.v {
+				simplex[dim] = c
+			} else {
+				for j := 1; j <= dim; j++ {
+					for i := range simplex[j].x {
+						simplex[j].x[i] = simplex[0].x[i] + sigma*(simplex[j].x[i]-simplex[0].x[i])
+					}
+					simplex[j] = eval(simplex[j].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].v < simplex[b].v })
+	return simplex[0].x, simplex[0].v
+}

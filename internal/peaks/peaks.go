@@ -1,0 +1,138 @@
+// Package peaks implements the peak detection used by RobustPeriod's
+// Huber-ACF-Med step: Palshikar-style S1 spike scoring combined with
+// simple local-maximum screening, plus the median inter-peak distance
+// summarizer.
+package peaks
+
+import (
+	"sort"
+
+	"robustperiod/internal/stat/robust"
+)
+
+// Options configures peak detection.
+type Options struct {
+	// Height is the minimum value a point must reach to qualify as a
+	// peak (applied to the raw series, e.g. an ACF).
+	Height float64
+	// Neighborhood is the half-window k of the Palshikar S1 score; a
+	// point's score is the mean of (x[i] − max of k left neighbors)
+	// and (x[i] − max of k right neighbors). <= 0 means 3.
+	Neighborhood int
+	// MinScore is the minimum S1 score; <= 0 disables score filtering
+	// and keeps every strict local maximum above Height.
+	MinScore float64
+	// MinDistance suppresses peaks closer than this to a stronger
+	// peak. <= 0 disables suppression.
+	MinDistance int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Neighborhood <= 0 {
+		o.Neighborhood = 3
+	}
+	return o
+}
+
+// Find returns the indices of peaks in x, sorted ascending.
+func Find(x []float64, opts Options) []int {
+	opts = opts.withDefaults()
+	n := len(x)
+	if n < 3 {
+		return nil
+	}
+	var cand []int
+	for i := 1; i < n-1; i++ {
+		if x[i] < opts.Height {
+			continue
+		}
+		// Strict local maximum (plateaus take the left edge).
+		if x[i] <= x[i-1] || x[i] < x[i+1] {
+			continue
+		}
+		if opts.MinScore > 0 && s1Score(x, i, opts.Neighborhood) < opts.MinScore {
+			continue
+		}
+		cand = append(cand, i)
+	}
+	if opts.MinDistance > 0 && len(cand) > 1 {
+		cand = suppress(x, cand, opts.MinDistance)
+	}
+	return cand
+}
+
+// s1Score is Palshikar's S1 spike function: the average over both
+// sides of the maximum difference between x[i] and its k neighbors on
+// that side (Palshikar 2009).
+func s1Score(x []float64, i, k int) float64 {
+	left, right := 0.0, 0.0
+	haveL, haveR := false, false
+	for d := 1; d <= k; d++ {
+		if j := i - d; j >= 0 {
+			if diff := x[i] - x[j]; !haveL || diff > left {
+				left = diff
+				haveL = true
+			}
+		}
+		if j := i + d; j < len(x) {
+			if diff := x[i] - x[j]; !haveR || diff > right {
+				right = diff
+				haveR = true
+			}
+		}
+	}
+	switch {
+	case haveL && haveR:
+		return (left + right) / 2
+	case haveL:
+		return left
+	case haveR:
+		return right
+	default:
+		return 0
+	}
+}
+
+// suppress drops peaks within minDist of a stronger accepted peak,
+// scanning candidates in decreasing height order.
+func suppress(x []float64, cand []int, minDist int) []int {
+	order := append([]int(nil), cand...)
+	sort.Slice(order, func(a, b int) bool { return x[order[a]] > x[order[b]] })
+	kept := make([]int, 0, len(order))
+	for _, idx := range order {
+		ok := true
+		for _, k := range kept {
+			if abs(idx-k) < minDist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, idx)
+		}
+	}
+	sort.Ints(kept)
+	return kept
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// MedianDistance returns the median gap between consecutive peak
+// indices, rounded to the nearest integer, or 0 if fewer than two
+// peaks are given. This is the "Med" of Huber-ACF-Med (§3.4.2).
+func MedianDistance(idx []int) int {
+	if len(idx) < 2 {
+		return 0
+	}
+	gaps := make([]float64, len(idx)-1)
+	for i := 1; i < len(idx); i++ {
+		gaps[i-1] = float64(idx[i] - idx[i-1])
+	}
+	m := robust.MedianInPlace(gaps)
+	return int(m + 0.5)
+}

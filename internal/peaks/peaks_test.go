@@ -1,0 +1,148 @@
+package peaks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFindSimplePeaks(t *testing.T) {
+	x := []float64{0, 1, 0, 2, 0, 3, 0}
+	got := Find(x, Options{})
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestFindHeightFilter(t *testing.T) {
+	x := []float64{0, 1, 0, 2, 0, 3, 0}
+	got := Find(x, Options{Height: 1.5})
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFindTooShort(t *testing.T) {
+	if Find([]float64{1, 2}, Options{}) != nil {
+		t.Error("short input should yield nil")
+	}
+}
+
+func TestFindNoEndpointPeaks(t *testing.T) {
+	x := []float64{5, 1, 1, 1, 9}
+	if got := Find(x, Options{}); len(got) != 0 {
+		t.Errorf("endpoints must not be peaks, got %v", got)
+	}
+}
+
+func TestFindPlateauTakesLeftEdge(t *testing.T) {
+	x := []float64{0, 2, 2, 0}
+	got := Find(x, Options{})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("plateau handling: got %v", got)
+	}
+}
+
+func TestFindSinusoidPeaks(t *testing.T) {
+	n := 400
+	period := 50
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * float64(i) / float64(period))
+	}
+	got := Find(x, Options{Height: 0.5})
+	// Peaks at 0 (excluded: endpoint effects aside, index 0 can't
+	// qualify), 50, 100, ..., 350.
+	if len(got) < 7 {
+		t.Fatalf("found %d peaks: %v", len(got), got)
+	}
+	for _, p := range got {
+		if p%period != 0 {
+			t.Errorf("peak at %d not a multiple of %d", p, period)
+		}
+	}
+	if d := MedianDistance(got); d != period {
+		t.Errorf("median distance %d, want %d", d, period)
+	}
+}
+
+func TestMinScoreRejectsNoiseBumps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 300
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2*math.Pi*float64(i)/60) + 0.05*rng.NormFloat64()
+	}
+	loose := Find(x, Options{Height: -1})
+	strict := Find(x, Options{Height: -1, MinScore: 0.15, Neighborhood: 5})
+	if len(strict) >= len(loose) {
+		t.Errorf("MinScore should prune: %d vs %d", len(strict), len(loose))
+	}
+	// Every strict peak must also be a loose peak.
+	set := map[int]bool{}
+	for _, p := range loose {
+		set[p] = true
+	}
+	for _, p := range strict {
+		if !set[p] {
+			t.Errorf("strict peak %d missing from loose set", p)
+		}
+	}
+	// With a sensible height threshold and distance suppression the
+	// median spacing recovers the true period.
+	good := Find(x, Options{Height: 0.5, MinDistance: 30})
+	if d := MedianDistance(good); d < 55 || d > 65 {
+		t.Errorf("median distance %d, want ~60 (peaks %v)", d, good)
+	}
+}
+
+func TestMinDistanceSuppression(t *testing.T) {
+	x := []float64{0, 5, 0, 4, 0, 0, 0, 0, 0, 0, 0, 3, 0}
+	got := Find(x, Options{MinDistance: 5})
+	// Peaks at 1 (h=5), 3 (h=4, within 5 of stronger 1 → dropped), 11.
+	if len(got) != 2 || got[0] != 1 || got[1] != 11 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMedianDistanceEdgeCases(t *testing.T) {
+	if MedianDistance(nil) != 0 || MedianDistance([]int{3}) != 0 {
+		t.Error("fewer than 2 peaks should give 0")
+	}
+	if got := MedianDistance([]int{0, 10, 20, 31}); got != 10 {
+		t.Errorf("got %d, want 10", got)
+	}
+	// Even number of gaps: median of {10, 12} = 11.
+	if got := MedianDistance([]int{0, 10, 22}); got != 11 {
+		t.Errorf("got %d, want 11", got)
+	}
+}
+
+func TestS1ScoreMonotone(t *testing.T) {
+	// A sharp isolated spike should outscore a broad bump of the same
+	// height.
+	sharp := []float64{0, 0, 0, 1, 0, 0, 0}
+	broad := []float64{0, 0.8, 0.95, 1, 0.95, 0.8, 0}
+	if s1Score(sharp, 3, 2) <= s1Score(broad, 3, 2) {
+		t.Error("sharp spike should have higher S1 score")
+	}
+}
+
+func BenchmarkFind(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = math.Cos(2*math.Pi*float64(i)/100) + 0.1*rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Find(x, Options{Height: 0.3, MinScore: 0.1})
+	}
+}

@@ -1,0 +1,85 @@
+package spectrum
+
+import (
+	"fmt"
+
+	"robustperiod/internal/dsp/fft"
+	"robustperiod/internal/dsp/window"
+)
+
+// WelchOptions configures the averaged PSD estimator.
+type WelchOptions struct {
+	// SegmentLength per segment; <= 0 picks len(x)/8 rounded down to a
+	// power of two (min 16).
+	SegmentLength int
+	// Overlap fraction in [0, 0.95]; < 0 or unset means 0.5.
+	Overlap float64
+	// Window taper; default Hann.
+	Window window.Kind
+}
+
+// Welch estimates the one-sided power spectral density of x by
+// averaging windowed periodograms of overlapping segments (Welch
+// 1967). The returned slice has SegmentLength/2+1 ordinates; ordinate
+// k corresponds to frequency k/SegmentLength cycles per sample. The
+// variance of the estimate shrinks with the number of segments, at
+// the cost of frequency resolution — the classical trade against the
+// raw periodogram.
+func Welch(x []float64, opts WelchOptions) ([]float64, error) {
+	n := len(x)
+	seg := opts.SegmentLength
+	if seg <= 0 {
+		seg = 16
+		for seg*2 <= n/8 {
+			seg *= 2
+		}
+	}
+	if seg < 4 || seg > n {
+		return nil, fmt.Errorf("spectrum: segment length %d invalid for n=%d", seg, n)
+	}
+	overlap := opts.Overlap
+	if overlap < 0 || opts.Overlap == 0 {
+		overlap = 0.5
+	}
+	if overlap > 0.95 {
+		overlap = 0.95
+	}
+	step := int(float64(seg) * (1 - overlap))
+	if step < 1 {
+		step = 1
+	}
+	coeffs := window.Coefficients(opts.Window, seg)
+	gain := window.PowerGain(opts.Window, seg)
+
+	psd := make([]float64, seg/2+1)
+	buf := make([]float64, seg)
+	count := 0
+	for start := 0; start+seg <= n; start += step {
+		// Demean the segment, then taper.
+		mean := 0.0
+		for i := 0; i < seg; i++ {
+			mean += x[start+i]
+		}
+		mean /= float64(seg)
+		for i := 0; i < seg; i++ {
+			buf[i] = (x[start+i] - mean) * coeffs[i]
+		}
+		p := fft.Periodogram(buf)
+		for k := 0; k <= seg/2; k++ {
+			psd[k] += p[k]
+		}
+		count++
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("spectrum: no complete segments")
+	}
+	inv := 1 / (float64(count) * gain)
+	for k := range psd {
+		psd[k] *= inv
+		// One-sided convention: double the interior ordinates.
+		if k != 0 && k != seg/2 {
+			psd[k] *= 2
+		}
+	}
+	return psd, nil
+}

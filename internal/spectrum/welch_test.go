@@ -1,0 +1,123 @@
+package spectrum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustperiod/internal/dsp/window"
+)
+
+func TestWelchWhiteNoiseFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 16384
+	sigma2 := 2.0
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sqrt(sigma2) * rng.NormFloat64()
+	}
+	psd, err := Welch(x, WelchOptions{SegmentLength: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-sided white-noise PSD is 2σ² per unit frequency; averaged
+	// over interior ordinates it should integrate back to σ².
+	var sum float64
+	for k := 1; k < len(psd)-1; k++ {
+		sum += psd[k]
+	}
+	mean := sum / float64(len(psd)-2)
+	// Total power check: Σ psd / segLen ≈ σ².
+	total := 0.0
+	for _, v := range psd {
+		total += v
+	}
+	total /= 256
+	if math.Abs(total-sigma2) > 0.2*sigma2 {
+		t.Errorf("integrated PSD %v, want ~%v", total, sigma2)
+	}
+	// Flatness: no ordinate should stray wildly from the mean.
+	for k := 4; k < len(psd)-4; k++ {
+		if psd[k] > 3*mean || psd[k] < mean/4 {
+			t.Errorf("ordinate %d = %v vs mean %v: not flat", k, psd[k], mean)
+		}
+	}
+}
+
+func TestWelchSinusoidPeak(t *testing.T) {
+	n := 8192
+	seg := 256
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 16) // freq 1/16 → bin 16 of 256
+	}
+	psd, err := Welch(x, WelchOptions{SegmentLength: seg, Window: window.Hann})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 1
+	for k := 2; k < len(psd); k++ {
+		if psd[k] > psd[best] {
+			best = k
+		}
+	}
+	if best != seg/16 {
+		t.Errorf("peak at bin %d, want %d", best, seg/16)
+	}
+}
+
+func TestWelchVarianceReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 8192
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	relVar := func(psd []float64) float64 {
+		var s, ss float64
+		c := 0.0
+		for k := 4; k < len(psd)-4; k++ {
+			s += psd[k]
+			ss += psd[k] * psd[k]
+			c++
+		}
+		m := s / c
+		return (ss/c - m*m) / (m * m)
+	}
+	few, err := Welch(x, WelchOptions{SegmentLength: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Welch(x, WelchOptions{SegmentLength: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relVar(many) >= relVar(few) {
+		t.Errorf("more segments should mean lower relative variance: %v vs %v",
+			relVar(many), relVar(few))
+	}
+}
+
+func TestWelchErrors(t *testing.T) {
+	if _, err := Welch(make([]float64, 10), WelchOptions{SegmentLength: 100}); err == nil {
+		t.Error("segment longer than series should error")
+	}
+	if _, err := Welch(make([]float64, 10), WelchOptions{SegmentLength: 2}); err == nil {
+		t.Error("tiny segment should error")
+	}
+}
+
+func TestWelchDefaultsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	psd, err := Welch(x, WelchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psd) < 9 {
+		t.Errorf("default segmentation too coarse: %d ordinates", len(psd))
+	}
+}

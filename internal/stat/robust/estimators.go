@@ -1,0 +1,102 @@
+package robust
+
+import (
+	"math"
+	"sort"
+)
+
+// TrimmedMean returns the mean of x after discarding the lowest and
+// highest trim fraction of the sample (trim in [0, 0.5)). trim = 0 is
+// the ordinary mean; trim → 0.5 approaches the median.
+func TrimmedMean(x []float64, trim float64) float64 {
+	n := len(x)
+	if n == 0 {
+		panic(ErrEmpty)
+	}
+	if trim < 0 {
+		trim = 0
+	}
+	if trim >= 0.5 {
+		return Median(x)
+	}
+	buf := append([]float64(nil), x...)
+	sort.Float64s(buf)
+	k := int(trim * float64(n))
+	kept := buf[k : n-k]
+	s := 0.0
+	for _, v := range kept {
+		s += v
+	}
+	return s / float64(len(kept))
+}
+
+// HodgesLehmann returns the Hodges–Lehmann location estimator: the
+// median of all pairwise Walsh averages (x_i + x_j)/2 for i <= j. It
+// combines high Gaussian efficiency (~96%) with a 29% breakdown point.
+// The computation is O(n²) in memory and time; samples larger than
+// maxHLSample are estimated from an evenly strided subsample.
+func HodgesLehmann(x []float64) float64 {
+	n := len(x)
+	if n == 0 {
+		panic(ErrEmpty)
+	}
+	const maxHLSample = 1024
+	if n > maxHLSample {
+		stride := (n + maxHLSample - 1) / maxHLSample
+		sub := make([]float64, 0, maxHLSample)
+		for i := 0; i < n; i += stride {
+			sub = append(sub, x[i])
+		}
+		x = sub
+		n = len(x)
+	}
+	walsh := make([]float64, 0, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			walsh = append(walsh, (x[i]+x[j])/2)
+		}
+	}
+	return MedianInPlace(walsh)
+}
+
+// Sn returns Rousseeuw & Croux's Sn scale estimator:
+//
+//	Sn = c · med_i { med_j |x_i − x_j| }
+//
+// with consistency constant c = 1.1926 for the normal model. Unlike
+// the MAD it needs no location estimate and stays 58% efficient. This
+// implementation is the direct O(n²) one, subsampled above maxSnSample
+// points like HodgesLehmann.
+func Sn(x []float64) float64 {
+	n := len(x)
+	if n == 0 {
+		panic(ErrEmpty)
+	}
+	if n == 1 {
+		return 0
+	}
+	const maxSnSample = 1024
+	if n > maxSnSample {
+		stride := (n + maxSnSample - 1) / maxSnSample
+		sub := make([]float64, 0, maxSnSample)
+		for i := 0; i < n; i += stride {
+			sub = append(sub, x[i])
+		}
+		x = sub
+		n = len(x)
+	}
+	inner := make([]float64, n)
+	buf := make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		idx := 0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			buf[idx] = math.Abs(x[i] - x[j])
+			idx++
+		}
+		inner[i] = MedianInPlace(buf[:idx])
+	}
+	return 1.1926 * MedianInPlace(inner)
+}

@@ -1,0 +1,127 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTrimmedMean(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 100}
+	if got := TrimmedMean(x, 0); !almostEq(got, 22, 1e-12) {
+		t.Errorf("trim 0: %v", got)
+	}
+	// 20% trim drops 1 and 100: mean of {2,3,4} = 3.
+	if got := TrimmedMean(x, 0.2); !almostEq(got, 3, 1e-12) {
+		t.Errorf("trim 0.2: %v", got)
+	}
+	// trim >= 0.5 collapses to the median.
+	if got := TrimmedMean(x, 0.6); !almostEq(got, 3, 1e-12) {
+		t.Errorf("trim 0.6: %v", got)
+	}
+	// Negative trim treated as 0.
+	if got := TrimmedMean(x, -1); !almostEq(got, 22, 1e-12) {
+		t.Errorf("trim -1: %v", got)
+	}
+}
+
+func TestTrimmedMeanPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TrimmedMean(nil, 0.1)
+}
+
+func TestHodgesLehmannGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 800)
+	for i := range x {
+		x[i] = 5 + rng.NormFloat64()
+	}
+	if got := HodgesLehmann(x); math.Abs(got-5) > 0.15 {
+		t.Errorf("HL = %v, want ~5", got)
+	}
+}
+
+func TestHodgesLehmannRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := 0; i < 100; i++ { // ~18% contamination (collisions)
+		x[rng.Intn(len(x))] = 1000
+	}
+	// HL's breakdown point is 29%: the estimate shifts by a fraction
+	// of σ, not toward the 1000-unit outliers (the plain mean lands
+	// near 180 here).
+	if got := HodgesLehmann(x); math.Abs(got) > 1.5 {
+		t.Errorf("HL under contamination: %v", got)
+	}
+	if m := Mean(x); m < 100 {
+		t.Errorf("sanity: plain mean should be destroyed, got %v", m)
+	}
+}
+
+func TestHodgesLehmannSubsampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 5000)
+	for i := range x {
+		x[i] = 3 + 0.5*rng.NormFloat64()
+	}
+	if got := HodgesLehmann(x); math.Abs(got-3) > 0.1 {
+		t.Errorf("subsampled HL = %v", got)
+	}
+}
+
+func TestSnConsistencyOnGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = 2 * rng.NormFloat64()
+	}
+	if got := Sn(x); math.Abs(got-2) > 0.25 {
+		t.Errorf("Sn = %v, want ~2", got)
+	}
+}
+
+func TestSnRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 600)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	clean := Sn(x)
+	for i := 0; i < 120; i++ {
+		x[rng.Intn(len(x))] = 500
+	}
+	dirty := Sn(x)
+	if dirty > 2*clean {
+		t.Errorf("Sn moved too much under 20%% contamination: %v vs %v", dirty, clean)
+	}
+}
+
+func TestSnEdgeCases(t *testing.T) {
+	if Sn([]float64{7}) != 0 {
+		t.Error("single point should have zero scale")
+	}
+	if got := Sn([]float64{3, 3, 3, 3}); got != 0 {
+		t.Errorf("constant sample: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty")
+		}
+	}()
+	Sn(nil)
+}
+
+func TestHodgesLehmannMatchesMedianOnSymmetric(t *testing.T) {
+	// For a symmetric sample HL and the median agree closely.
+	x := []float64{-3, -1, 0, 1, 3}
+	if got := HodgesLehmann(x); !almostEq(got, 0, 1e-12) {
+		t.Errorf("HL on symmetric sample: %v", got)
+	}
+}

@@ -1,0 +1,194 @@
+// Package stream provides sliding-window periodicity monitoring — the
+// "apply RobustPeriod in more time series tasks" direction the paper's
+// conclusion sketches (and the setting of its reference [40]):
+// observations arrive one at a time, the detector re-runs every Stride
+// points over the trailing Window, and subscribers get an event
+// whenever the set of detected periods changes.
+package stream
+
+import (
+	"fmt"
+
+	"robustperiod/internal/core"
+)
+
+// EventKind classifies a monitor event.
+type EventKind int
+
+// Event kinds: the first successful detection, a change in the period
+// set, and a loss of periodicity.
+const (
+	PeriodsDetected EventKind = iota
+	PeriodsChanged
+	PeriodsLost
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case PeriodsDetected:
+		return "detected"
+	case PeriodsChanged:
+		return "changed"
+	case PeriodsLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event reports a change in the monitored series' periodicity.
+type Event struct {
+	Kind    EventKind
+	At      int   // index of the observation that triggered the re-detection
+	Periods []int // the new period set (empty for PeriodsLost)
+	Prev    []int // the previous period set
+}
+
+// Monitor watches a stream of observations.
+type Monitor struct {
+	window  int
+	stride  int
+	confirm int
+	opts    core.Options
+	buf     []float64 // ring of the last `window` values
+	n       int       // total observations seen
+	current []int
+	primed  bool
+
+	pending      []int
+	pendingCount int
+	havePending  bool
+}
+
+// NewMonitor creates a monitor that re-detects over the trailing
+// window of the given size every stride observations. window must be
+// at least 32; stride at least 1 (values are clamped). Events fire on
+// the first detection immediately; use SetConfirm to require changed
+// period sets to persist over several consecutive re-detections before
+// an event fires (debouncing against borderline windows).
+func NewMonitor(window, stride int, opts core.Options) *Monitor {
+	if window < 32 {
+		window = 32
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	return &Monitor{
+		window:  window,
+		stride:  stride,
+		confirm: 1,
+		opts:    opts,
+		buf:     make([]float64, 0, window),
+	}
+}
+
+// SetConfirm requires a changed period set to be observed in k
+// consecutive re-detections before the change event fires (k < 1 is
+// treated as 1). Narrow-band noise over a handful of cycles can fool a
+// single detection; it rarely fools two in a row on disjoint strides.
+func (m *Monitor) SetConfirm(k int) {
+	if k < 1 {
+		k = 1
+	}
+	m.confirm = k
+}
+
+// Window returns the monitor's window length.
+func (m *Monitor) Window() int { return m.window }
+
+// Reset clears the buffer and all detection state, keeping the
+// configuration; use it after a known discontinuity (restart, backfill)
+// so stale samples do not blend regimes.
+func (m *Monitor) Reset() {
+	m.buf = m.buf[:0]
+	m.n = 0
+	m.current = nil
+	m.primed = false
+	m.havePending = false
+	m.pendingCount = 0
+}
+
+// Current returns the most recent period set (nil before the first
+// detection).
+func (m *Monitor) Current() []int { return append([]int(nil), m.current...) }
+
+// Seen returns the number of observations pushed so far.
+func (m *Monitor) Seen() int { return m.n }
+
+// Push appends one observation and returns a non-nil event when the
+// detected period set changed at this step. Detection runs only once
+// the window is full and then every stride observations.
+func (m *Monitor) Push(v float64) (*Event, error) {
+	if len(m.buf) < m.window {
+		m.buf = append(m.buf, v)
+	} else {
+		copy(m.buf, m.buf[1:])
+		m.buf[m.window-1] = v
+	}
+	m.n++
+	if len(m.buf) < m.window {
+		return nil, nil
+	}
+	if m.primed && (m.n%m.stride) != 0 {
+		return nil, nil
+	}
+	m.primed = true
+	res, err := core.Detect(m.buf, m.opts)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if samePeriodSet(res.Periods, m.current) {
+		m.havePending = false
+		return nil, nil
+	}
+	if m.confirm > 1 {
+		if m.havePending && samePeriodSet(res.Periods, m.pending) {
+			m.pendingCount++
+		} else {
+			m.pending = append(m.pending[:0], res.Periods...)
+			m.pendingCount = 1
+			m.havePending = true
+		}
+		if m.pendingCount < m.confirm {
+			return nil, nil
+		}
+		m.havePending = false
+	}
+	ev := &Event{
+		At:      m.n - 1,
+		Periods: append([]int(nil), res.Periods...),
+		Prev:    append([]int(nil), m.current...),
+	}
+	switch {
+	case len(m.current) == 0:
+		ev.Kind = PeriodsDetected
+	case len(res.Periods) == 0:
+		ev.Kind = PeriodsLost
+	default:
+		ev.Kind = PeriodsChanged
+	}
+	m.current = append(m.current[:0], res.Periods...)
+	return ev, nil
+}
+
+// samePeriodSet compares period sets with a 3% tolerance per entry so
+// one-sample jitter in a re-detection does not spam change events.
+func samePeriodSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		lim := a[i]
+		if b[i] < lim {
+			lim = b[i]
+		}
+		if d > 1 && float64(d) > 0.03*float64(lim) {
+			return false
+		}
+	}
+	return true
+}

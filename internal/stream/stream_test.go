@@ -1,0 +1,203 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustperiod/internal/core"
+)
+
+func push(t *testing.T, m *Monitor, vals []float64) []Event {
+	t.Helper()
+	var events []Event
+	for _, v := range vals {
+		ev, err := m.Push(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			events = append(events, *ev)
+		}
+	}
+	return events
+}
+
+func sine(n, period int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return x
+}
+
+func TestMonitorDetectsInitialPeriod(t *testing.T) {
+	m := NewMonitor(512, 64, core.Options{})
+	events := push(t, m, sine(600, 32, 0.1, 1))
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	first := events[0]
+	if first.Kind != PeriodsDetected {
+		t.Fatalf("first event kind %v", first.Kind)
+	}
+	if len(first.Periods) != 1 || first.Periods[0] < 31 || first.Periods[0] > 33 {
+		t.Fatalf("periods %v, want ~32", first.Periods)
+	}
+	cur := m.Current()
+	if len(cur) != 1 || cur[0] != first.Periods[0] {
+		t.Fatalf("Current() %v inconsistent", cur)
+	}
+}
+
+func TestMonitorReportsPeriodChange(t *testing.T) {
+	m := NewMonitor(512, 64, core.Options{})
+	// Period 32 for 800 points, then period 80 for another 1200.
+	events := push(t, m, sine(800, 32, 0.1, 2))
+	events = append(events, push(t, m, sine(1200, 80, 0.1, 3))...)
+	// The transition may surface either as a direct PeriodsChanged or
+	// as PeriodsLost (mixed-regime window) followed by a fresh
+	// PeriodsDetected — both are correct narrations of the change.
+	var sawNew bool
+	for _, ev := range events {
+		if ev.Kind != PeriodsChanged && ev.Kind != PeriodsDetected {
+			continue
+		}
+		for _, p := range ev.Periods {
+			if p >= 76 && p <= 84 {
+				sawNew = true
+			}
+		}
+	}
+	if !sawNew {
+		t.Fatalf("no event carrying period ~80; events: %+v", events)
+	}
+	cur := m.Current()
+	if len(cur) == 0 || cur[0] < 76 || cur[0] > 84 {
+		t.Fatalf("final period set %v, want ~80", cur)
+	}
+}
+
+func TestMonitorPeriodsLost(t *testing.T) {
+	m := NewMonitor(512, 64, core.Options{})
+	events := push(t, m, sine(640, 32, 0.1, 4))
+	rng := rand.New(rand.NewSource(5))
+	noise := make([]float64, 1400)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	events = append(events, push(t, m, noise)...)
+	last := events[len(events)-1]
+	if last.Kind != PeriodsLost || len(m.Current()) != 0 {
+		t.Fatalf("expected a lost event and empty current set; last=%+v current=%v", last, m.Current())
+	}
+}
+
+func TestMonitorStrideControlsCadence(t *testing.T) {
+	// Detection must not run on every push once primed; with a huge
+	// stride no further events can fire after the first.
+	m := NewMonitor(256, 1000000, core.Options{})
+	events := push(t, m, sine(900, 32, 0.1, 6))
+	if len(events) != 1 {
+		t.Fatalf("expected exactly the priming event, got %d", len(events))
+	}
+}
+
+func TestMonitorClampsArguments(t *testing.T) {
+	m := NewMonitor(1, 0, core.Options{})
+	if m.Window() != 32 {
+		t.Errorf("window clamped to %d", m.Window())
+	}
+	if _, err := m.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Seen() != 1 {
+		t.Error("Seen broken")
+	}
+}
+
+func TestSamePeriodSetTolerance(t *testing.T) {
+	if !samePeriodSet([]int{100}, []int{101}) {
+		t.Error("1-sample jitter should match")
+	}
+	if !samePeriodSet([]int{100}, []int{102}) {
+		t.Error("2% jitter should match")
+	}
+	if samePeriodSet([]int{100}, []int{110}) {
+		t.Error("10% shift should differ")
+	}
+	if samePeriodSet([]int{100}, []int{100, 200}) {
+		t.Error("different cardinality should differ")
+	}
+	if !samePeriodSet(nil, nil) {
+		t.Error("empty sets match")
+	}
+}
+
+func TestMonitorConfirmDebounces(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// With Confirm(2), isolated one-off detections on a noise stream
+	// must be suppressed; a persistent periodicity must still surface.
+	m := NewMonitor(512, 64, core.Options{})
+	m.SetConfirm(2)
+	var events []Event
+	for i := 0; i < 2000; i++ {
+		ev, err := m.Push(rng.NormFloat64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			events = append(events, *ev)
+		}
+	}
+	noiseEvents := len(events)
+	for i := 0; i < 1200; i++ {
+		v := math.Sin(2*math.Pi*float64(i)/40) + 0.2*rng.NormFloat64()
+		ev, err := m.Push(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			events = append(events, *ev)
+		}
+	}
+	if noiseEvents > 2 {
+		t.Errorf("%d events on pure noise despite confirmation", noiseEvents)
+	}
+	cur := m.Current()
+	if len(cur) != 1 || cur[0] < 38 || cur[0] > 42 {
+		t.Errorf("persistent period not confirmed: %v", cur)
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m := NewMonitor(512, 64, core.Options{})
+	push(t, m, sine(700, 32, 0.1, 8))
+	if len(m.Current()) == 0 {
+		t.Fatal("precondition: something detected")
+	}
+	m.Reset()
+	if m.Seen() != 0 || len(m.Current()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+	// The monitor works again after a reset.
+	events := push(t, m, sine(600, 48, 0.1, 9))
+	if len(events) == 0 || events[0].Kind != PeriodsDetected {
+		t.Fatalf("post-reset detection broken: %+v", events)
+	}
+}
+
+func TestSetConfirmClamp(t *testing.T) {
+	m := NewMonitor(64, 1, core.Options{})
+	m.SetConfirm(-3)
+	if m.confirm != 1 {
+		t.Error("confirm not clamped")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if PeriodsDetected.String() != "detected" || PeriodsChanged.String() != "changed" || PeriodsLost.String() != "lost" {
+		t.Error("kind strings wrong")
+	}
+}

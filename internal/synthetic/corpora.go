@@ -1,0 +1,292 @@
+package synthetic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Labeled pairs a generated series with its ground-truth periods.
+type Labeled struct {
+	Name  string
+	X     []float64
+	Truth []int
+}
+
+// SinCorpus generates the paper's Table 1/2 synthetic collections:
+// count series of length n with the given shape, true periods, noise
+// variance and outlier ratio.
+func SinCorpus(count, n int, shape WaveShape, periods []int, sigma2, eta float64, seed int64) []Labeled {
+	out := make([]Labeled, count)
+	for i := range out {
+		cfg := PaperConfig(n, shape, periods, sigma2, eta, seed+int64(i)*7919)
+		out[i] = Labeled{
+			Name:  fmt.Sprintf("%s-%d", shape, i),
+			X:     Generate(cfg),
+			Truth: append([]int(nil), periods...),
+		}
+	}
+	return out
+}
+
+// CRANCorpus surrogates the 82-series CRAN single-period collection
+// used in Table 1: real-world-like series with lengths in [16, 3024]
+// and period lengths in [2, 52], mixing waveform shapes, trend
+// strength, noise levels and a deliberately hard subset (the published
+// corpus yields only ~0.44–0.61 precision for every method).
+func CRANCorpus(seed int64) []Labeled {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Labeled, 0, 82)
+	for i := 0; i < 82; i++ {
+		period := 2 + rng.Intn(51) // [2, 52]
+		// Lengths follow the published spread: many short series, a
+		// few long ones, always at least ~3 cycles when possible.
+		var n int
+		switch {
+		case i%7 == 0:
+			n = 16 + rng.Intn(48)
+		case i%7 < 4:
+			n = 64 + rng.Intn(200)
+		default:
+			n = 300 + rng.Intn(2724)
+		}
+		if n < 3*period {
+			n = 3*period + rng.Intn(2*period+1)
+		}
+		shape := WaveShape(rng.Intn(3))
+		amp := 1.0
+		noise := 0.05 + rng.Float64()*0.3
+		trend := 0.0
+		if rng.Float64() < 0.5 {
+			trend = rng.Float64() * 5
+		}
+		// Hard subset: ~40% of series get noise comparable to signal,
+		// mimicking the messy real-world members of the corpus.
+		if rng.Float64() < 0.4 {
+			noise = 0.8 + rng.Float64()*1.5
+		}
+		cfg := Config{
+			N: n,
+			Components: []Component{{
+				Shape: shape, Period: float64(period), Amplitude: amp, Phase: math.NaN(),
+			}},
+			TrendLinearSlope: trend,
+			NoiseSigma2:      noise,
+			OutlierRate:      0.01,
+			OutlierMag:       6,
+			Seed:             seed + int64(i)*104729,
+		}
+		out = append(out, Labeled{
+			Name:  fmt.Sprintf("cran-%02d", i),
+			X:     Generate(cfg),
+			Truth: []int{period},
+		})
+	}
+	return out
+}
+
+// YahooA3Corpus surrogates the Yahoo Webscope S5 A3 benchmark used in
+// Table 2: count series of 1680 points carrying the three interlaced
+// periods 12, 24 and 168 with moderate noise and sparse outliers.
+func YahooA3Corpus(count int, seed int64) []Labeled {
+	return yahooCorpus(count, seed, false)
+}
+
+// YahooA4Corpus surrogates Yahoo A4, which adds changepoints and trend
+// on top of A3's three seasonalities, making it strictly harder.
+func YahooA4Corpus(count int, seed int64) []Labeled {
+	return yahooCorpus(count, seed, true)
+}
+
+func yahooCorpus(count int, seed int64, changepoints bool) []Labeled {
+	out := make([]Labeled, count)
+	name := "yahooA3"
+	if changepoints {
+		name = "yahooA4"
+	}
+	for i := range out {
+		rng := rand.New(rand.NewSource(seed + int64(i)*6007))
+		cfg := Config{
+			N: 1680,
+			Components: []Component{
+				{Shape: Sine, Period: 12, Amplitude: 0.6 + rng.Float64()*0.6, Phase: math.NaN()},
+				{Shape: Sine, Period: 24, Amplitude: 0.8 + rng.Float64()*0.8, Phase: math.NaN()},
+				{Shape: Sine, Period: 168, Amplitude: 1.0 + rng.Float64()*1.2, Phase: math.NaN()},
+			},
+			NoiseSigma2: 0.15 + rng.Float64()*0.2,
+			OutlierRate: 0.01,
+			OutlierMag:  8,
+			Seed:        seed + int64(i)*6007 + 1,
+		}
+		if changepoints {
+			cfg.TrendLinearSlope = (rng.Float64() - 0.5) * 8
+			cfg.TrendSteps = []Step{
+				{At: 400 + rng.Intn(400), Delta: (rng.Float64() - 0.5) * 6},
+				{At: 900 + rng.Intn(500), Delta: (rng.Float64() - 0.5) * 6},
+			}
+			cfg.OutlierRate = 0.02
+		}
+		out[i] = Labeled{
+			Name:  fmt.Sprintf("%s-%03d", name, i),
+			X:     Generate(cfg),
+			Truth: []int{12, 24, 168},
+		}
+	}
+	return out
+}
+
+// RetailCorpus generates the paper's §1 motivating scenario: daily
+// sales of an online retailer with weekly seasonality whose level
+// "changes dramatically when big promotion happens such as black
+// Friday". Each series covers two years of daily data (period 7, with
+// a yearly envelope), plus a handful of multi-day promotion bursts an
+// order of magnitude above the baseline.
+func RetailCorpus(count int, seed int64) []Labeled {
+	out := make([]Labeled, count)
+	for i := range out {
+		rng := rand.New(rand.NewSource(seed + int64(i)*7793))
+		n := 730
+		x := make([]float64, n)
+		for t := 0; t < n; t++ {
+			weekly := math.Sin(2*math.Pi*float64(t)/7 + 0.4)
+			// Slow annual envelope modulating demand.
+			annual := 1 + 0.3*math.Sin(2*math.Pi*float64(t)/365)
+			x[t] = 100*annual + 25*weekly*annual + 6*rng.NormFloat64()
+		}
+		// Promotion bursts: 2-4 events of 2-5 days at 5-10× the swing.
+		events := 2 + rng.Intn(3)
+		for e := 0; e < events; e++ {
+			start := rng.Intn(n - 6)
+			dur := 2 + rng.Intn(4)
+			lift := 150 + rng.Float64()*250
+			for t := start; t < start+dur && t < n; t++ {
+				x[t] += lift
+			}
+		}
+		out[i] = Labeled{
+			Name:  fmt.Sprintf("retail-%02d", i),
+			X:     x,
+			Truth: []int{7},
+		}
+	}
+	return out
+}
+
+// Cloud monitoring surrogates (Fig. 4 / Table 4). Each mimics the
+// stated length, true period(s), and pathologies of one panel.
+
+// CloudData1 surrogates "Database Job RT" (N=4000, T=720): a daily
+// pattern with sharp load peaks, heavy right-skewed spikes and noise.
+func CloudData1(seed int64) Labeled {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4000
+	x := make([]float64, n)
+	for i := range x {
+		pos := math.Mod(float64(i), 720) / 720
+		// Sharp asymmetric daily peak plus a broad base wave.
+		base := math.Sin(2 * math.Pi * pos)
+		peak := math.Exp(-math.Pow((pos-0.3)/0.05, 2)) * 4
+		x[i] = 2*base + peak + 0.4*rng.NormFloat64()
+		if rng.Float64() < 0.03 {
+			x[i] += rng.Float64() * 12 // response-time spikes are one-sided
+		}
+	}
+	return Labeled{Name: "cloud1-db-rt", X: x, Truth: []int{720}}
+}
+
+// CloudData2 surrogates "File Exchange Count" (N=4000, T=288): a
+// near-flat baseline with a modest periodic swing and deep outage dips.
+func CloudData2(seed int64) Labeled {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4000
+	x := make([]float64, n)
+	for i := range x {
+		pos := float64(i) / 288
+		x[i] = 100 + 3*math.Sin(2*math.Pi*pos) + 0.8*rng.NormFloat64()
+		if rng.Float64() < 0.01 {
+			x[i] -= 10 + rng.Float64()*25 // dips
+		}
+	}
+	// One sustained outage block.
+	start := 1500 + rng.Intn(500)
+	for i := start; i < start+40 && i < n; i++ {
+		x[i] -= 30
+	}
+	return Labeled{Name: "cloud2-file-exchange", X: x, Truth: []int{288}}
+}
+
+// CloudData3 surrogates "Flink Job TPS" (N=1000, T=144): a clean daily
+// throughput wave with bursty noise and occasional zero-drops.
+func CloudData3(seed int64) Labeled {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1000
+	x := make([]float64, n)
+	for i := range x {
+		pos := float64(i) / 144
+		level := 20 + 12*math.Sin(2*math.Pi*pos) + 4*math.Sin(4*math.Pi*pos+1)
+		x[i] = level + 1.5*rng.NormFloat64()
+		if rng.Float64() < 0.01 {
+			x[i] = rng.Float64() * 3 // drop to ~0
+		}
+	}
+	return Labeled{Name: "cloud3-flink-tps", X: x, Truth: []int{144}}
+}
+
+// CloudData4 surrogates "Execution Job Count" (N=1000, T = 24 and
+// 168): hourly samples with daily and weekly periodicity.
+func CloudData4(seed int64) Labeled {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1000
+	x := make([]float64, n)
+	for i := range x {
+		daily := math.Sin(2 * math.Pi * float64(i) / 24)
+		weekly := math.Sin(2*math.Pi*float64(i)/168 + 0.7)
+		x[i] = 300 + 120*daily + 180*weekly + 25*rng.NormFloat64()
+		if rng.Float64() < 0.015 {
+			x[i] += rng.Float64() * 400
+		}
+		if x[i] < 0 {
+			x[i] = 0
+		}
+	}
+	return Labeled{Name: "cloud4-job-count", X: x, Truth: []int{24, 168}}
+}
+
+// CloudData5 surrogates "CPU Usage, 10.5% missing" (N=7000, T=1440):
+// minute-level CPU utilisation with a daily cycle, noise, outliers and
+// 10.5% block-missing samples refilled by linear interpolation.
+func CloudData5(seed int64) Labeled {
+	return cloudCPU(seed, 0.105, "cloud5-cpu-miss10")
+}
+
+// CloudData6 surrogates "CPU Usage, 20.5% missing" (N=7000, T=1440).
+func CloudData6(seed int64) Labeled {
+	return cloudCPU(seed, 0.205, "cloud6-cpu-miss20")
+}
+
+func cloudCPU(seed int64, missFrac float64, name string) Labeled {
+	rng := rand.New(rand.NewSource(seed))
+	n := 7000
+	x := make([]float64, n)
+	for i := range x {
+		frac := math.Mod(float64(i), 1440) / 1440
+		// Business-hours hump: an asymmetric but strictly 1440-periodic
+		// daily shape (harmonics are phase-locked to the fundamental).
+		usage := 0.25 + 0.45*math.Exp(-math.Pow((frac-0.45)/0.22, 2))
+		usage += 0.05 * rng.NormFloat64()
+		if rng.Float64() < 0.02 {
+			usage += rng.Float64() * 0.4
+		}
+		x[i] = math.Max(0, math.Min(1, usage))
+	}
+	filled, _ := BlockMissing(x, missFrac, 120, seed+99)
+	return Labeled{Name: name, X: filled, Truth: []int{1440}}
+}
+
+// CloudAll returns the six cloud surrogates in paper order.
+func CloudAll(seed int64) []Labeled {
+	return []Labeled{
+		CloudData1(seed + 1), CloudData2(seed + 2), CloudData3(seed + 3),
+		CloudData4(seed + 4), CloudData5(seed + 5), CloudData6(seed + 6),
+	}
+}

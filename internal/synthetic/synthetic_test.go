@@ -1,0 +1,366 @@
+package synthetic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := PaperConfig(500, Sine, []int{20, 50}, 0.5, 0.05, 42)
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the series")
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c := Generate(cfg2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateCleanSineProperties(t *testing.T) {
+	cfg := Config{
+		N:          200,
+		Components: []Component{{Shape: Sine, Period: 40, Amplitude: 2, Phase: 0}},
+	}
+	x := Generate(cfg)
+	// Exact periodic repetition.
+	for i := 0; i+40 < len(x); i++ {
+		if math.Abs(x[i]-x[i+40]) > 1e-9 {
+			t.Fatalf("sine not periodic at %d", i)
+		}
+	}
+	// Amplitude respected.
+	max := 0.0
+	for _, v := range x {
+		if math.Abs(v) > max {
+			max = math.Abs(v)
+		}
+	}
+	if max > 2+1e-9 || max < 1.9 {
+		t.Errorf("max amplitude %v, want ~2", max)
+	}
+}
+
+func TestSquareAndTriangleShapes(t *testing.T) {
+	sq := Generate(Config{N: 100, Components: []Component{{Shape: Square, Period: 20, Amplitude: 1, Phase: 0}}})
+	// Square: only ±1 values.
+	for i, v := range sq {
+		if math.Abs(math.Abs(v)-1) > 1e-12 {
+			t.Fatalf("square value %v at %d", v, i)
+		}
+	}
+	// Period check.
+	for i := 0; i+20 < len(sq); i++ {
+		if sq[i] != sq[i+20] {
+			t.Fatal("square not periodic")
+		}
+	}
+	tr := Generate(Config{N: 100, Components: []Component{{Shape: Triangle, Period: 20, Amplitude: 1, Phase: 0}}})
+	for i := 0; i+20 < len(tr); i++ {
+		if math.Abs(tr[i]-tr[i+20]) > 1e-9 {
+			t.Fatal("triangle not periodic")
+		}
+	}
+	// Triangle range is [−1, 1] and hits both extremes.
+	lo, hi := 1.0, -1.0
+	for _, v := range tr {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo > -0.95 || hi < 0.95 {
+		t.Errorf("triangle range [%v,%v]", lo, hi)
+	}
+}
+
+func TestSawtoothAndPulseShapes(t *testing.T) {
+	saw := Generate(Config{N: 100, Components: []Component{{Shape: Sawtooth, Period: 20, Amplitude: 1, Phase: 0}}})
+	for i := 0; i+20 < len(saw); i++ {
+		if math.Abs(saw[i]-saw[i+20]) > 1e-9 {
+			t.Fatal("sawtooth not periodic")
+		}
+	}
+	// Ramps from −1 toward +1 within a cycle.
+	if saw[0] != -1 || saw[19] <= saw[1] {
+		t.Errorf("sawtooth ramp wrong: %v ... %v", saw[0], saw[19])
+	}
+	pulse := Generate(Config{N: 100, Components: []Component{{Shape: Pulse, Period: 20, Amplitude: 1, Phase: 0}}})
+	for i := 0; i+20 < len(pulse); i++ {
+		if pulse[i] != pulse[i+20] {
+			t.Fatal("pulse not periodic")
+		}
+	}
+	// ~10% high samples per cycle, zero mean over a cycle.
+	high := 0
+	sum := 0.0
+	for i := 0; i < 20; i++ {
+		if pulse[i] > 0 {
+			high++
+		}
+		sum += pulse[i]
+	}
+	if high != 2 {
+		t.Errorf("pulse duty cycle: %d/20 high", high)
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("pulse cycle mean %v, want 0", sum)
+	}
+	if Sawtooth.String() != "sawtooth" || Pulse.String() != "pulse" {
+		t.Error("names wrong")
+	}
+}
+
+func TestTrendComponents(t *testing.T) {
+	x := Generate(Config{N: 100, TrendTriangleAmp: 10})
+	if math.Abs(x[0]) > 0.3 || math.Abs(x[50]-10) > 0.3 {
+		t.Errorf("triangle trend wrong: x[0]=%v x[50]=%v", x[0], x[50])
+	}
+	y := Generate(Config{N: 100, TrendLinearSlope: 5})
+	if math.Abs(y[99]-5*99.0/100) > 1e-9 || y[0] != 0 {
+		t.Errorf("linear trend wrong: %v %v", y[0], y[99])
+	}
+	z := Generate(Config{N: 100, TrendSteps: []Step{{At: 50, Delta: 3}}})
+	if z[49] != 0 || z[50] != 3 || z[99] != 3 {
+		t.Errorf("step trend wrong: %v %v %v", z[49], z[50], z[99])
+	}
+}
+
+func TestNoiseVariance(t *testing.T) {
+	x := Generate(Config{N: 100000, NoiseSigma2: 2, Seed: 7})
+	var s, ss float64
+	for _, v := range x {
+		s += v
+		ss += v * v
+	}
+	mean := s / float64(len(x))
+	varv := ss/float64(len(x)) - mean*mean
+	if math.Abs(varv-2) > 0.08 {
+		t.Errorf("noise variance %v, want ~2", varv)
+	}
+}
+
+func TestOutlierRate(t *testing.T) {
+	x := Generate(Config{N: 50000, OutlierRate: 0.1, OutlierMag: 10, Seed: 8})
+	count := 0
+	for _, v := range x {
+		if v != 0 {
+			count++
+		}
+	}
+	rate := float64(count) / float64(len(x))
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Errorf("outlier rate %v, want ~0.1", rate)
+	}
+}
+
+func TestBlockMissing(t *testing.T) {
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = float64(i % 50)
+	}
+	filled, mask := BlockMissing(x, 0.2, 30, 9)
+	missing := 0
+	for _, m := range mask {
+		if m {
+			missing++
+		}
+	}
+	if missing < 150 || missing > 300 {
+		t.Errorf("missing count %d, want ≈200", missing)
+	}
+	// No NaNs, interpolation bounded by neighbours' range.
+	for i, v := range filled {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN at %d", i)
+		}
+		if v < -0.001 || v > 49.001 {
+			t.Fatalf("interpolated value %v out of range at %d", v, i)
+		}
+	}
+	// Non-missing entries unchanged.
+	for i := range x {
+		if !mask[i] && filled[i] != x[i] {
+			t.Fatalf("surviving sample modified at %d", i)
+		}
+	}
+}
+
+func TestBlockMissingEdges(t *testing.T) {
+	x := []float64{1, 2, 3}
+	out, mask := BlockMissing(x, 0, 10, 1)
+	for i := range x {
+		if out[i] != x[i] || mask[i] {
+			t.Fatal("frac=0 must be identity")
+		}
+	}
+	// Interpolation at series edges: force-missing via interpolate.
+	y := []float64{0, 0, 5, 0, 0}
+	m := []bool{true, true, false, true, true}
+	interpolate(y, m)
+	for _, v := range y {
+		if v != 5 {
+			t.Fatalf("edge extension wrong: %v", y)
+		}
+	}
+}
+
+func TestCRANCorpusShape(t *testing.T) {
+	corpus := CRANCorpus(1)
+	if len(corpus) != 82 {
+		t.Fatalf("%d series, want 82", len(corpus))
+	}
+	for _, s := range corpus {
+		if len(s.Truth) != 1 {
+			t.Fatalf("%s: single-period corpus must have 1 truth", s.Name)
+		}
+		p := s.Truth[0]
+		if p < 2 || p > 52 {
+			t.Errorf("%s: period %d outside [2,52]", s.Name, p)
+		}
+		if len(s.X) < 16 || len(s.X) > 3200 {
+			t.Errorf("%s: length %d outside published range", s.Name, len(s.X))
+		}
+		if len(s.X) < 2*p {
+			t.Errorf("%s: fewer than 2 cycles (n=%d, T=%d)", s.Name, len(s.X), p)
+		}
+	}
+}
+
+func TestYahooCorpora(t *testing.T) {
+	for _, c := range [][]Labeled{YahooA3Corpus(5, 2), YahooA4Corpus(5, 3)} {
+		if len(c) != 5 {
+			t.Fatal("count ignored")
+		}
+		for _, s := range c {
+			if len(s.X) != 1680 {
+				t.Errorf("%s: length %d, want 1680", s.Name, len(s.X))
+			}
+			if len(s.Truth) != 3 || s.Truth[0] != 12 || s.Truth[1] != 24 || s.Truth[2] != 168 {
+				t.Errorf("%s: truth %v", s.Name, s.Truth)
+			}
+		}
+	}
+}
+
+func TestCloudSurrogates(t *testing.T) {
+	all := CloudAll(7)
+	if len(all) != 6 {
+		t.Fatal("want 6 datasets")
+	}
+	wantN := []int{4000, 4000, 1000, 1000, 7000, 7000}
+	wantT := [][]int{{720}, {288}, {144}, {24, 168}, {1440}, {1440}}
+	for i, s := range all {
+		if len(s.X) != wantN[i] {
+			t.Errorf("%s: n=%d want %d", s.Name, len(s.X), wantN[i])
+		}
+		if len(s.Truth) != len(wantT[i]) {
+			t.Errorf("%s: truth %v want %v", s.Name, s.Truth, wantT[i])
+		}
+		for j := range s.Truth {
+			if s.Truth[j] != wantT[i][j] {
+				t.Errorf("%s: truth %v want %v", s.Name, s.Truth, wantT[i])
+			}
+		}
+		for j, v := range s.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: bad value at %d", s.Name, j)
+			}
+		}
+	}
+	// CPU usage stays in [0, 1] even after interpolation.
+	for _, s := range all[4:] {
+		for i, v := range s.X {
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Errorf("%s: CPU usage %v out of [0,1] at %d", s.Name, v, i)
+			}
+		}
+	}
+}
+
+func TestRetailCorpus(t *testing.T) {
+	c := RetailCorpus(8, 5)
+	if len(c) != 8 {
+		t.Fatal("count")
+	}
+	for _, s := range c {
+		if len(s.X) != 730 || len(s.Truth) != 1 || s.Truth[0] != 7 {
+			t.Fatalf("%s: shape wrong", s.Name)
+		}
+		// Sales are positive and have visible promotion spikes.
+		maxV, minV := s.X[0], s.X[0]
+		for _, v := range s.X {
+			maxV = math.Max(maxV, v)
+			minV = math.Min(minV, v)
+		}
+		if minV < 0 {
+			t.Errorf("%s: negative sales %v", s.Name, minV)
+		}
+		if maxV < 250 {
+			t.Errorf("%s: no promotion burst visible (max %v)", s.Name, maxV)
+		}
+	}
+}
+
+func TestSinCorpus(t *testing.T) {
+	c := SinCorpus(10, 500, Square, []int{20, 50}, 0.1, 0.01, 11)
+	if len(c) != 10 {
+		t.Fatal("count")
+	}
+	seen := map[string]bool{}
+	for _, s := range c {
+		if seen[s.Name] {
+			t.Error("duplicate name")
+		}
+		seen[s.Name] = true
+		if len(s.X) != 500 || len(s.Truth) != 2 {
+			t.Error("shape wrong")
+		}
+	}
+	// Distinct seeds → distinct series.
+	if c[0].X[0] == c[1].X[0] && c[0].X[1] == c[1].X[1] && c[0].X[2] == c[1].X[2] {
+		t.Error("series look identical across corpus members")
+	}
+}
+
+func TestWaveShapeString(t *testing.T) {
+	if Sine.String() != "sine" || Square.String() != "square" || Triangle.String() != "triangle" {
+		t.Error("strings wrong")
+	}
+}
+
+// Property: interpolate never produces values outside the convex hull
+// of the surviving samples.
+func TestInterpolateBoundedProperty(t *testing.T) {
+	f := func(seedRaw uint16, fracRaw uint8) bool {
+		seed := int64(seedRaw)
+		frac := float64(fracRaw%60) / 100
+		x := Generate(Config{N: 300, Components: []Component{{Shape: Sine, Period: 30, Amplitude: 1, Phase: 0}}, NoiseSigma2: 0.1, Seed: seed})
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range x {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		filled, _ := BlockMissing(x, frac, 20, seed)
+		for _, v := range filled {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package wavelet
+
+import "fmt"
+
+// DWT holds a classical decimated discrete wavelet transform with
+// periodic boundary handling. Level j holds ⌊N/2^j⌋ coefficients.
+// It is the substrate of the Wavelet-Fisher baseline (Almasri 2011).
+type DWT struct {
+	Filter *Filter
+	Levels int
+	W      [][]float64 // W[j-1] = level-j detail coefficients
+	V      []float64   // final approximation coefficients
+}
+
+// DWTransform computes a level-J periodic DWT of x. The series is
+// truncated to a multiple of 2^J first (the decimated transform halves
+// the length at each stage). It errors if the truncated series is too
+// short for the requested depth.
+func DWTransform(x []float64, f *Filter, levels int) (*DWT, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("wavelet: levels must be >= 1, got %d", levels)
+	}
+	block := 1 << uint(levels)
+	n := (len(x) / block) * block
+	if n == 0 {
+		return nil, fmt.Errorf("wavelet: series length %d too short for %d DWT levels", len(x), levels)
+	}
+	v := append([]float64(nil), x[:n]...)
+	out := &DWT{Filter: f, Levels: levels}
+	out.W = make([][]float64, levels)
+	L := f.Len()
+	for j := 1; j <= levels; j++ {
+		half := len(v) / 2
+		wj := make([]float64, half)
+		vj := make([]float64, half)
+		for t := 0; t < half; t++ {
+			var sw, sv float64
+			idx := 2*t + 1
+			for l := 0; l < L; l++ {
+				sw += f.h[l] * v[idx]
+				sv += f.g[l] * v[idx]
+				idx--
+				if idx < 0 {
+					idx += len(v)
+				}
+			}
+			wj[t] = sw
+			vj[t] = sv
+		}
+		out.W[j-1] = wj
+		v = vj
+	}
+	out.V = v
+	return out, nil
+}
+
+// Energy returns the total energy in the transform, which equals the
+// energy of the (truncated) input by orthonormality.
+func (d *DWT) Energy() float64 {
+	e := sumSq(d.V)
+	for _, w := range d.W {
+		e += sumSq(w)
+	}
+	return e
+}

@@ -1,0 +1,28 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLAFilterEndToEnd(t *testing.T) {
+	f := MustFilter(LA8)
+	n := 256
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 32)
+	}
+	m, err := Transform(x, f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := m.Energy(); math.Abs(e-sumSq(x)) > 1e-8*sumSq(x) {
+		t.Errorf("LA8 energy %v vs %v", e, sumSq(x))
+	}
+	y := m.Inverse()
+	for i := range x {
+		if math.Abs(x[i]-y[i]) > 1e-9 {
+			t.Fatalf("LA8 round trip broke at %d", i)
+		}
+	}
+}

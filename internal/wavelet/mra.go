@@ -1,0 +1,126 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+
+	"robustperiod/internal/stat/dist"
+)
+
+// MRA is a multiresolution analysis: the additive decomposition of the
+// original series into per-level detail series and a final smooth,
+//
+//	x_t = Σ_j D_j(t) + S_J(t),
+//
+// obtained by inverting the MODWT with all but one level's
+// coefficients zeroed (Percival & Walden §5.5). Each detail isolates
+// the series' variation in one octave band in the time domain.
+type MRA struct {
+	Details [][]float64 // Details[j-1] = level-j detail series
+	Smooth  []float64   // level-J smooth
+}
+
+// MultiResolution computes the MRA of the transform. It is only
+// available for circular (invertible) transforms.
+func (m *MODWT) MultiResolution() (*MRA, error) {
+	if m.reflected {
+		return nil, fmt.Errorf("wavelet: MRA requires a circular (invertible) transform")
+	}
+	out := &MRA{Details: make([][]float64, m.Levels)}
+	// Invert with only level j's wavelet coefficients retained.
+	zeros := make([]float64, m.N)
+	withOnly := func(keepW int, keepV bool) []float64 {
+		saveW := m.W
+		saveV := m.V
+		wv := make([][]float64, m.Levels)
+		for j := range wv {
+			if j == keepW {
+				wv[j] = saveW[j]
+			} else {
+				wv[j] = zeros
+			}
+		}
+		m.W = wv
+		if !keepV {
+			m.V = zeros
+		}
+		x := m.Inverse()
+		m.W = saveW
+		m.V = saveV
+		return x
+	}
+	for j := 0; j < m.Levels; j++ {
+		out.Details[j] = withOnly(j, false)
+	}
+	out.Smooth = withOnly(-1, true)
+	return out, nil
+}
+
+// VarianceCI augments a level variance with an approximate
+// 100(1−α)% confidence interval.
+type VarianceCI struct {
+	LevelVariance
+	Lo, Hi float64
+	EDOF   float64 // equivalent degrees of freedom used
+}
+
+// RobustVariancesCI returns the robust per-level wavelet variances
+// with chi-square confidence intervals based on the band-limited
+// equivalent degrees of freedom η_j = max(M_j / 2^j, 1) (Percival &
+// Walden Eq. 313c): the interval is
+//
+//	[ η ν² / Q_η(1−α/2) ,  η ν² / Q_η(α/2) ]
+//
+// where Q_η is the χ²_η quantile function.
+func (m *MODWT) RobustVariancesCI(minCount int, alpha float64) []VarianceCI {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	vars := m.RobustVariances(minCount)
+	out := make([]VarianceCI, len(vars))
+	for i, lv := range vars {
+		eta := math.Max(float64(lv.Count)/math.Pow(2, float64(lv.Level)), 1)
+		qLo := chiSquareQuantile(1-alpha/2, eta)
+		qHi := chiSquareQuantile(alpha/2, eta)
+		ci := VarianceCI{LevelVariance: lv, EDOF: eta}
+		if qLo > 0 {
+			ci.Lo = eta * lv.Variance / qLo
+		}
+		if qHi > 0 {
+			ci.Hi = eta * lv.Variance / qHi
+		} else {
+			ci.Hi = math.Inf(1)
+		}
+		out[i] = ci
+	}
+	return out
+}
+
+// chiSquareQuantile inverts the χ² CDF by bisection.
+func chiSquareQuantile(p, k float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, k+1
+	for dist.ChiSquareCDF(hi, k) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if dist.ChiSquareCDF(mid, k) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-10*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,210 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustperiod/internal/stat/dist"
+)
+
+func TestMRAAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []Kind{Haar, Daub8} {
+		f := MustFilter(k)
+		n := 256
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(2*math.Pi*float64(i)/32) + 0.3*rng.NormFloat64()
+		}
+		m, err := Transform(x, f, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mra, err := m.MultiResolution()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mra.Details) != 4 {
+			t.Fatalf("%d details", len(mra.Details))
+		}
+		for i := range x {
+			sum := mra.Smooth[i]
+			for _, d := range mra.Details {
+				sum += d[i]
+			}
+			if math.Abs(sum-x[i]) > 1e-9 {
+				t.Fatalf("%v: additivity broken at %d: %v vs %v", k, i, sum, x[i])
+			}
+		}
+	}
+}
+
+func TestMRADetailIsolatesBand(t *testing.T) {
+	// A period-32 sinusoid lives in level 5's octave [32,64); its MRA
+	// detail must carry most of the energy.
+	n := 512
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 32)
+	}
+	m, err := Transform(x, MustFilter(Daub8), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mra, err := m.MultiResolution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	energies := make([]float64, 6)
+	for j, d := range mra.Details {
+		energies[j] = sumSq(d)
+	}
+	best := 0
+	for j := range energies {
+		if energies[j] > energies[best] {
+			best = j
+		}
+	}
+	if best+1 != 5 {
+		t.Errorf("dominant detail level %d, want 5 (energies %v)", best+1, energies)
+	}
+}
+
+func TestMRARejectsReflected(t *testing.T) {
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	m, err := TransformReflected(x, MustFilter(Haar), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Reflected() {
+		t.Fatal("Reflected() should be true")
+	}
+	if _, err := m.MultiResolution(); err == nil {
+		t.Error("MRA on reflected transform should error")
+	}
+}
+
+func TestInversePanicsOnReflected(t *testing.T) {
+	x := make([]float64, 128)
+	m, _ := TransformReflected(x, MustFilter(Haar), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Inverse()
+}
+
+func TestRobustVariancesCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/50) + 0.2*rng.NormFloat64()
+	}
+	m, err := Transform(x, MustFilter(Daub8), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cis := m.RobustVariancesCI(16, 0.05)
+	if len(cis) != 6 {
+		t.Fatalf("%d CIs", len(cis))
+	}
+	for _, ci := range cis {
+		if ci.Lo > ci.Variance || ci.Hi < ci.Variance {
+			t.Errorf("level %d: CI [%v,%v] excludes estimate %v", ci.Level, ci.Lo, ci.Hi, ci.Variance)
+		}
+		if ci.Lo < 0 {
+			t.Errorf("level %d: negative lower bound", ci.Level)
+		}
+		if ci.EDOF < 1 {
+			t.Errorf("level %d: EDOF %v < 1", ci.Level, ci.EDOF)
+		}
+	}
+	// Coarser levels (fewer EDOF) must have relatively wider intervals.
+	relWidth := func(ci VarianceCI) float64 {
+		if ci.Variance == 0 {
+			return 0
+		}
+		return (ci.Hi - ci.Lo) / ci.Variance
+	}
+	if relWidth(cis[5]) <= relWidth(cis[0]) {
+		t.Errorf("level-6 CI (%v) should be relatively wider than level-1 (%v)",
+			relWidth(cis[5]), relWidth(cis[0]))
+	}
+	// Bad alpha falls back without exploding.
+	if got := m.RobustVariancesCI(16, 2); len(got) != 6 {
+		t.Error("alpha fallback broken")
+	}
+}
+
+// TestMODWTGaussianizes empirically verifies the paper's §3.3.1 claim
+// (via its reference [35], Mallows: "linear processes are nearly
+// Gaussian"): wavelet coefficients of heavy-tailed noise are closer to
+// Gaussian than the raw series, because each coefficient is a weighted
+// sum. The KS distance to a fitted normal must shrink at coarser
+// levels, where the effective filters are longer.
+func TestMODWTGaussianizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 4096
+	x := make([]float64, n)
+	for i := range x {
+		// Student-t(3)-like heavy tails: normal over sqrt(chi2/df).
+		den := math.Sqrt((sq(rng.NormFloat64()) + sq(rng.NormFloat64()) + sq(rng.NormFloat64())) / 3)
+		if den < 0.05 {
+			den = 0.05
+		}
+		x[i] = rng.NormFloat64() / den
+	}
+	m, err := Transform(x, MustFilter(Daub8), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksOf := func(v []float64) float64 {
+		var mean, sd float64
+		for _, u := range v {
+			mean += u
+		}
+		mean /= float64(len(v))
+		for _, u := range v {
+			sd += (u - mean) * (u - mean)
+		}
+		sd = math.Sqrt(sd / float64(len(v)))
+		return dist.KSStatisticNormal(v, mean, sd)
+	}
+	raw := ksOf(x)
+	level4 := ksOf(m.W[3])
+	if level4 >= raw {
+		t.Errorf("level-4 coefficients (D=%v) should be more Gaussian than raw data (D=%v)", level4, raw)
+	}
+	// And the coarser the level, the more Gaussian (longer filters).
+	level1 := ksOf(m.W[0])
+	if level4 >= level1 {
+		t.Errorf("level 4 (D=%v) should beat level 1 (D=%v)", level4, level1)
+	}
+}
+
+func sq(v float64) float64 { return v * v }
+
+func TestChiSquareQuantile(t *testing.T) {
+	// Known values: χ²_1(0.95) ≈ 3.841, χ²_10(0.95) ≈ 18.307.
+	for _, c := range []struct{ p, k, want float64 }{
+		{0.95, 1, 3.841458820694124},
+		{0.95, 10, 18.307038053275146},
+		{0.05, 10, 3.940299136075622},
+	} {
+		if got := chiSquareQuantile(c.p, c.k); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("Q_%v(%v) = %v, want %v", c.k, c.p, got, c.want)
+		}
+	}
+	if chiSquareQuantile(0, 5) != 0 {
+		t.Error("p=0 should give 0")
+	}
+	if !math.IsInf(chiSquareQuantile(1, 5), 1) {
+		t.Error("p=1 should give +Inf")
+	}
+}

@@ -1,0 +1,69 @@
+package robustperiod
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterpolateFillsGaps(t *testing.T) {
+	nan := math.NaN()
+	y := []float64{1, nan, nan, 4, 5, nan, 7}
+	got, mask := Interpolate(y)
+	want := []float64{1, 2, 3, 4, 5, 6, 7}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("idx %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	wantMask := []bool{false, true, true, false, false, true, false}
+	for i := range wantMask {
+		if mask[i] != wantMask[i] {
+			t.Fatalf("mask %v", mask)
+		}
+	}
+	// Original untouched.
+	if !math.IsNaN(y[1]) {
+		t.Error("input mutated")
+	}
+}
+
+func TestInterpolateEdges(t *testing.T) {
+	nan := math.NaN()
+	got, _ := Interpolate([]float64{nan, nan, 5, 6, nan})
+	want := []float64{5, 5, 5, 6, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge fill: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestInterpolateAllNaN(t *testing.T) {
+	nan := math.NaN()
+	got, mask := Interpolate([]float64{nan, nan, nan})
+	for i := range got {
+		if got[i] != 0 || !mask[i] {
+			t.Fatalf("all-NaN: got %v mask %v", got, mask)
+		}
+	}
+}
+
+func TestInterpolateThenDetect(t *testing.T) {
+	// End-to-end: a periodic series with 15% NaN gaps still detects.
+	n := 1000
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = math.Sin(2 * math.Pi * float64(i) / 50)
+	}
+	for i := 0; i < n; i += 7 {
+		y[i] = math.NaN()
+	}
+	filled, _ := Interpolate(y)
+	ps, err := Detect(filled, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) == 0 || ps[0] < 48 || ps[0] > 52 {
+		t.Errorf("periods after interpolation: %v", ps)
+	}
+}

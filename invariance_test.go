@@ -1,0 +1,140 @@
+package robustperiod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: detected periods always lie in [2, n/2] and come back
+// sorted ascending without duplicates, for any input.
+func TestPeriodsWellFormedProperty(t *testing.T) {
+	f := func(seed int64, kind uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 128 + int(kind%4)*137
+		x := make([]float64, n)
+		switch kind % 3 {
+		case 0: // noise
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+		case 1: // periodic + noise
+			p := 8 + rng.Intn(n/4)
+			for i := range x {
+				x[i] = math.Sin(2*math.Pi*float64(i)/float64(p)) + 0.3*rng.NormFloat64()
+			}
+		default: // trend + spikes
+			for i := range x {
+				x[i] = 0.1 * float64(i)
+				if rng.Float64() < 0.05 {
+					x[i] += rng.NormFloat64() * 20
+				}
+			}
+		}
+		ps, err := Detect(x, nil)
+		if err != nil {
+			return false
+		}
+		for i, p := range ps {
+			if p < 2 || p > n/2 {
+				return false
+			}
+			if i > 0 && ps[i] <= ps[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: detection is invariant under affine transforms of the
+// data (a·x + b with a > 0): the preprocessing normalizes scale and
+// the HP filter is linear.
+func TestAffineInvarianceProperty(t *testing.T) {
+	base := synth(900, []int{36}, 0.2, 0.02, 61)
+	ref, err := Detect(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aRaw, bRaw int16) bool {
+		a := 0.01 + math.Abs(float64(aRaw))/100
+		b := float64(bRaw)
+		y := make([]float64, len(base))
+		for i, v := range base {
+			y[i] = a*v + b
+		}
+		got, err := Detect(y, nil)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: negating the series (a < 0) must not change the detected
+// periods either — periodicity has no sign.
+func TestNegationInvariance(t *testing.T) {
+	x := synth(800, []int{25, 100}, 0.2, 0.01, 62)
+	ref, err := Detect(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := make([]float64, len(x))
+	for i, v := range x {
+		neg[i] = -v
+	}
+	got, err := Detect(neg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("negation changed detection: %v vs %v", got, ref)
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("negation changed detection: %v vs %v", got, ref)
+		}
+	}
+}
+
+// Property: appending whole extra cycles of a clean periodic signal
+// never makes the period disappear.
+func TestMoreCyclesNeverHurt(t *testing.T) {
+	period := 32
+	for _, cycles := range []int{8, 16, 32} {
+		n := cycles * period
+		x := make([]float64, n)
+		rng := rand.New(rand.NewSource(63))
+		for i := range x {
+			x[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.2*rng.NormFloat64()
+		}
+		ps, err := Detect(x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := false
+		for _, p := range ps {
+			if p >= period-1 && p <= period+1 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%d cycles: period %d not found (%v)", cycles, period, ps)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package robustperiod detects single and multiple periodicities in
+// noisy real-world time series. It is a from-scratch Go implementation
+// of the RobustPeriod algorithm (Wen et al., SIGMOD 2021):
+//
+//  1. the series is detrended with a Hodrick–Prescott filter and
+//     normalized with a winsorizing Ψ transform;
+//  2. a maximal overlap discrete wavelet transform (MODWT) decouples
+//     interlaced periodic components into octave levels, which are
+//     ranked by a robust (biweight) unbiased wavelet variance;
+//  3. each promising level is tested with Fisher's g-test on a
+//     Huber-periodogram, and the candidate period is validated and
+//     refined by the Huber-ACF (computed in O(N log N) from the
+//     periodogram via the Wiener–Khinchin theorem).
+//
+// The package is pure standard library. The simplest entry point:
+//
+//	periods, err := robustperiod.Detect(series, nil)
+//
+// For diagnostics (per-level periodograms, ACFs, wavelet variances —
+// everything in the paper's Fig. 5) use DetectDetails.
+package robustperiod
+
+import (
+	"robustperiod/internal/core"
+	"robustperiod/internal/detect"
+	"robustperiod/internal/spectrum"
+	"robustperiod/internal/wavelet"
+)
+
+// Options configures detection; the zero value reproduces the paper's
+// default configuration. See the field documentation in
+// internal/core.Options (the type is aliased so every field is usable
+// directly).
+type Options = core.Options
+
+// Result carries the detected periods plus full per-level diagnostics.
+type Result = core.Result
+
+// LevelDetail is the per-wavelet-level diagnostic record.
+type LevelDetail = core.LevelDetail
+
+// WaveletKind names a Daubechies filter family.
+type WaveletKind = wavelet.Kind
+
+// Wavelet families accepted in Options.Wavelet.
+const (
+	Haar   = wavelet.Haar
+	Daub4  = wavelet.Daub4
+	Daub6  = wavelet.Daub6
+	Daub8  = wavelet.Daub8
+	Daub10 = wavelet.Daub10
+	Daub12 = wavelet.Daub12
+	Daub16 = wavelet.Daub16
+	Daub20 = wavelet.Daub20
+)
+
+// Detect runs RobustPeriod on y and returns the detected period
+// lengths in ascending order (empty when the series is aperiodic).
+// opts may be nil for defaults.
+func Detect(y []float64, opts *Options) ([]int, error) {
+	res, err := DetectDetails(y, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Periods, nil
+}
+
+// DetectDetails runs RobustPeriod and returns the full result,
+// including per-level wavelet variances, hybrid Huber-periodograms,
+// Huber-ACFs and the Fisher-test verdicts (the paper's Fig. 5).
+func DetectDetails(y []float64, opts *Options) (*Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	return core.Detect(y, o)
+}
+
+// SingleResult reports a standalone single-periodicity detection.
+type SingleResult = detect.Result
+
+// DetectSingle runs the robust single-period detector directly on a
+// series without the wavelet decomposition — useful when at most one
+// periodicity is expected. The robust periodogram is evaluated on the
+// entire usable frequency band.
+func DetectSingle(y []float64, opts *Options) (SingleResult, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	cfg := o.Detect
+	if o.NonRobust {
+		cfg.MPOpts.Loss = spectrum.LossL2
+	}
+	return detect.Single(y, 1, len(y)-1, cfg)
+}

@@ -1,0 +1,106 @@
+package robustperiod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func synth(n int, periods []int, sigma, eta float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for _, p := range periods {
+		ph := rng.Float64() * 2 * math.Pi
+		for i := range x {
+			x[i] += math.Sin(2*math.Pi*float64(i)/float64(p) + ph)
+		}
+	}
+	for i := range x {
+		x[i] += sigma * rng.NormFloat64()
+		if rng.Float64() < eta {
+			x[i] += (rng.Float64()*2 - 1) * 10
+		}
+	}
+	return x
+}
+
+func TestDetectPublicAPI(t *testing.T) {
+	x := synth(1000, []int{24, 168}, 0.2, 0.02, 1)
+	periods, err := Detect(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(want int) bool {
+		for _, p := range periods {
+			if math.Abs(float64(p-want)) <= 0.02*float64(want)+1 {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(24) || !has(168) {
+		t.Errorf("periods = %v, want 24 and 168", periods)
+	}
+}
+
+func TestDetectWithOptions(t *testing.T) {
+	x := synth(800, []int{50}, 0.1, 0, 2)
+	periods, err := Detect(x, &Options{Wavelet: Daub4, EnergyShare: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(periods) == 0 || periods[0] < 48 || periods[0] > 52 {
+		t.Errorf("periods = %v", periods)
+	}
+}
+
+func TestDetectDetailsDiagnostics(t *testing.T) {
+	x := synth(1000, []int{60}, 0.1, 0.01, 3)
+	res, err := DetectDetails(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) == 0 || res.Preprocessed == nil {
+		t.Fatal("diagnostics missing")
+	}
+	anySelected := false
+	for _, lv := range res.Levels {
+		if lv.Selected {
+			anySelected = true
+			if lv.Detection.Periodogram == nil || lv.Detection.ACF == nil {
+				t.Error("selected level missing spectra")
+			}
+		}
+	}
+	if !anySelected {
+		t.Error("no level selected")
+	}
+}
+
+func TestDetectSinglePublic(t *testing.T) {
+	x := synth(600, []int{40}, 0.2, 0.02, 4)
+	res, err := DetectSingle(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Periodic || res.Final < 39 || res.Final > 41 {
+		t.Errorf("single detection: %+v", res.Final)
+	}
+}
+
+func TestDetectErrorPropagates(t *testing.T) {
+	if _, err := Detect(make([]float64, 5), nil); err == nil {
+		t.Error("expected error for tiny series")
+	}
+}
+
+func BenchmarkPublicDetect(b *testing.B) {
+	x := synth(1000, []int{20, 50, 100}, 0.3, 0.01, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(x, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
