@@ -34,7 +34,7 @@ func main() {
 		col        = flag.Int("col", 0, "0-based column of a comma-separated file")
 		skipHeader = flag.Bool("skip-header", false, "skip the first input line")
 		details    = flag.Bool("details", false, "print per-level diagnostics (paper Fig. 5)")
-		wavelet    = flag.String("wavelet", "db4", "Daubechies filter: haar, db2, db3, db4, db5, db6, db8, db10")
+		wavelet    = flag.String("wavelet", "db4", "wavelet filter: "+strings.Join(robustperiod.WaveletNames(), ", "))
 		lambda     = flag.Float64("lambda", 0, "HP-filter λ (0 = automatic from series length)")
 		alpha      = flag.Float64("alpha", 0, "Fisher-test significance level (0 = default 0.01)")
 		energy     = flag.Float64("energy", 0, "wavelet-variance energy share to process (0 = default 0.95)")
@@ -211,25 +211,14 @@ func readSeriesNaN(path string, col int, skipHeader, allowNaN bool) ([]float64, 
 	return out, sc.Err()
 }
 
-func waveletKind(name string) (k robustperiod.WaveletKind, err error) {
-	switch strings.ToLower(name) {
-	case "haar", "db1":
-		return robustperiod.Haar, nil
-	case "db2":
-		return robustperiod.Daub4, nil
-	case "db3":
-		return robustperiod.Daub6, nil
-	case "db4", "":
+// waveletKind resolves a -wavelet flag value through the library's
+// canonical parser, so the flag's help text, the accepted names and
+// the wavelet.Kind set can never drift apart. An empty value keeps
+// the library default (db4); unknown names are errors, not silent
+// defaults.
+func waveletKind(name string) (robustperiod.WaveletKind, error) {
+	if name == "" {
 		return robustperiod.Daub8, nil
-	case "db5":
-		return robustperiod.Daub10, nil
-	case "db6":
-		return robustperiod.Daub12, nil
-	case "db8":
-		return robustperiod.Daub16, nil
-	case "db10":
-		return robustperiod.Daub20, nil
-	default:
-		return 0, fmt.Errorf("unknown wavelet %q", name)
 	}
+	return robustperiod.ParseWavelet(name)
 }

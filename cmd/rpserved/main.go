@@ -1,0 +1,55 @@
+// Command rpserved runs the RobustPeriod detection service: a JSON
+// HTTP API over the library, with a bounded worker pool, an LRU
+// result cache, per-request timeouts, expvar metrics, and graceful
+// drain on SIGTERM/SIGINT.
+//
+// Endpoints:
+//
+//	POST /v1/detect        {"series":[...], "options":{...}, "details":bool}
+//	POST /v1/detect/batch  {"series":[[...],[...]], "options":{...}}
+//	GET  /healthz
+//	GET  /metrics
+//
+// Example:
+//
+//	rpserved -addr :8080 &
+//	curl -s localhost:8080/v1/detect -d '{"series":[...]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+
+	"robustperiod/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rpserved: ")
+
+	var cfg serve.Config
+	flag.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
+	flag.DurationVar(&cfg.RequestTimeout, "timeout", 0, "per-request compute deadline (0 = 30s)")
+	flag.DurationVar(&cfg.DrainTimeout, "drain", 0, "graceful-shutdown drain deadline (0 = 30s)")
+	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", 0, "request body limit in bytes (0 = 8 MiB)")
+	flag.IntVar(&cfg.MaxSeriesLen, "max-series", 0, "points per series limit (0 = 1048576)")
+	flag.IntVar(&cfg.MaxBatch, "max-batch", 0, "series per batch request limit (0 = 256)")
+	flag.IntVar(&cfg.Workers, "workers", 0, "detection worker count (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.CacheSize, "cache", 0, "LRU result-cache entries (0 = 1024, negative disables)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	srv := serve.New(cfg)
+	log.Printf("listening on %s", cfg.Addr)
+	if err := srv.Run(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("drained, bye")
+}

@@ -1,0 +1,109 @@
+package robustperiod
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func ctxTestSeries(n, period int) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) +
+			0.1*math.Sin(2*math.Pi*float64(i)/7.3) // deterministic clutter
+	}
+	return y
+}
+
+func TestDetectContextMatchesDetect(t *testing.T) {
+	y := ctxTestSeries(480, 24)
+	want, err := Detect(y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DetectContext(context.Background(), y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DetectContext = %v, Detect = %v", got, want)
+	}
+}
+
+func TestDetectContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := DetectContext(ctx, ctxTestSeries(480, 24), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDetectContextDeadlinePrompt(t *testing.T) {
+	y := ctxTestSeries(1<<14, 128)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := DetectDetailsContext(ctx, y, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v for a 1ms deadline", elapsed)
+	}
+}
+
+func TestDetectContextNilContext(t *testing.T) {
+	// A nil ctx must behave like context.Background, not panic.
+	got, err := DetectContext(nil, ctxTestSeries(480, 24), nil) //nolint:staticcheck
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Error("no periods detected with nil context")
+	}
+}
+
+func TestDetectSingleShortSeries(t *testing.T) {
+	for n := 0; n < MinSingleLen; n++ {
+		_, err := DetectSingle(make([]float64, n), nil)
+		if err == nil {
+			t.Errorf("n=%d: want error, got nil", n)
+		}
+	}
+	// At the boundary the detector must accept the series.
+	if _, err := DetectSingle(ctxTestSeries(MinSingleLen, 4), nil); err != nil {
+		t.Errorf("n=%d: unexpected error %v", MinSingleLen, err)
+	}
+}
+
+func TestParseWavelet(t *testing.T) {
+	cases := map[string]WaveletKind{
+		"haar": Haar, "db1": Haar, "db2": Daub4, "db4": Daub8,
+		"DB10": Daub20, "la8": LA8, "LA16": LA16,
+	}
+	for name, want := range cases {
+		got, err := ParseWavelet(name)
+		if err != nil || got != want {
+			t.Errorf("ParseWavelet(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "db99", "sym4", "haarx"} {
+		if _, err := ParseWavelet(bad); err == nil {
+			t.Errorf("ParseWavelet(%q) should error", bad)
+		}
+	}
+	// Every advertised name must round-trip through the parser.
+	for _, name := range WaveletNames() {
+		k, err := ParseWavelet(name)
+		if err != nil {
+			t.Errorf("advertised name %q does not parse: %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("round trip %q -> %v -> %q", name, k, k.String())
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command service shows the serving layer end to end: it starts the
+// rpserved HTTP service in-process on an ephemeral port, submits a
+// single detection and a batch over JSON — exactly what an external
+// client would send with curl — and reads the metrics endpoint. The
+// repeated request demonstrates the LRU result cache.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+
+	"robustperiod/internal/serve"
+)
+
+func main() {
+	// An hourly metric with daily (24) and weekly (168) cycles, as in
+	// the quickstart example.
+	rng := rand.New(rand.NewSource(1))
+	n := 1344
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = 50 +
+			3*math.Sin(2*math.Pi*float64(i)/24) +
+			5*math.Sin(2*math.Pi*float64(i)/168) +
+			0.5*rng.NormFloat64()
+	}
+
+	// Start the service on an ephemeral local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(serve.Config{})
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	fmt.Println("rpserved listening on", base)
+
+	// POST /v1/detect — twice, to show the result cache.
+	for i := 0; i < 2; i++ {
+		var resp struct {
+			Periods   []int   `json:"periods"`
+			Cached    bool    `json:"cached"`
+			ElapsedMS float64 `json:"elapsedMs"`
+		}
+		postJSON(base+"/v1/detect", map[string]any{"series": series}, &resp)
+		fmt.Printf("detect: periods=%v cached=%v elapsed=%.2fms\n",
+			resp.Periods, resp.Cached, resp.ElapsedMS)
+	}
+
+	// POST /v1/detect/batch — several series in one request, fanned
+	// out across the worker pool.
+	batch := [][]float64{series[:672], series[:1008], series}
+	var batchResp struct {
+		Results []struct {
+			Index   int   `json:"index"`
+			Periods []int `json:"periods"`
+			Cached  bool  `json:"cached"`
+		} `json:"results"`
+	}
+	postJSON(base+"/v1/detect/batch", map[string]any{"series": batch}, &batchResp)
+	for _, r := range batchResp.Results {
+		fmt.Printf("batch[%d]: periods=%v cached=%v\n", r.Index, r.Periods, r.Cached)
+	}
+
+	// GET /metrics — request and cache counters.
+	var metrics map[string]any
+	getJSON(base+"/metrics", &metrics)
+	fmt.Printf("metrics: requests=%v cache_hits=%v cache_misses=%v\n",
+		metrics["requests"], metrics["cache_hits"], metrics["cache_misses"])
+
+	// Graceful shutdown: stop accepting, drain, exit.
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("service drained cleanly")
+}
+
+func postJSON(url string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -139,8 +140,23 @@ type Result struct {
 
 // Detect runs RobustPeriod on y and returns every detected periodicity.
 func Detect(y []float64, opts Options) (*Result, error) {
+	return DetectContext(context.Background(), y, opts)
+}
+
+// DetectContext is Detect with cooperative cancellation: ctx is
+// checked between pipeline stages, before each per-level detection,
+// and (through spectrum.Options.Ctx) inside the per-frequency robust
+// regressions, so a cancelled or expired context stops the heavy
+// periodogram work mid-flight. The first error returned after
+// cancellation is ctx.Err().
+func DetectContext(ctx context.Context, y []float64, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(y)
 	opts = opts.withDefaults(n)
+	// Hand the context to every robust-periodogram solve downstream.
+	opts.Detect.MPOpts.Ctx = ctx
 	if n < 16 {
 		return nil, fmt.Errorf("core: series too short (%d < 16)", n)
 	}
@@ -148,6 +164,10 @@ func Detect(y []float64, opts Options) (*Result, error) {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("core: non-finite value at index %d; fill gaps first (e.g. robustperiod.Interpolate)", i)
 		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	res := &Result{}
@@ -260,6 +280,9 @@ func Detect(y []float64, opts Options) (*Result, error) {
 	}
 
 	detectLevel := func(idx int) (detect.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return detect.Result{}, err
+		}
 		kLo, kHi := Passband(n, idx+1)
 		if opts.FullRobustBand {
 			kLo, kHi = 1, n-1
@@ -309,6 +332,9 @@ func Detect(y []float64, opts Options) (*Result, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	acfFull := fft.Autocorrelation(x)
 
 	// Refinement against the full-series ACF is only trustworthy when

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"robustperiod"
+)
+
+// cacheKey identifies one (series, options) detection request. Two
+// independent FNV hashes (FNV-1a and FNV-1) plus the series length
+// give an effective ~128-bit fingerprint, so accidental collisions
+// between distinct requests are out of reach without storing the
+// series itself in the cache.
+type cacheKey struct {
+	h1, h2 uint64
+	n      int
+}
+
+// requestKey fingerprints a detection request. optsTag must be a
+// canonical encoding of the options (the handler uses the normalized
+// JSON of the request's options object).
+func requestKey(series []float64, optsTag []byte) cacheKey {
+	a := fnv.New64a()
+	b := fnv.New64()
+	var buf [8]byte
+	for _, v := range series {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		a.Write(buf[:])
+		b.Write(buf[:])
+	}
+	// Separator avoids ambiguity between series bytes and options tag.
+	a.Write([]byte{0xff})
+	b.Write([]byte{0xff})
+	a.Write(optsTag)
+	b.Write(optsTag)
+	return cacheKey{h1: a.Sum64(), h2: b.Sum64(), n: len(series)}
+}
+
+// resultCache is a strict-LRU memo of detection results, safe for
+// concurrent use. A nil *resultCache is a valid always-miss cache.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *robustperiod.Result
+}
+
+// newResultCache returns a cache holding at most capacity results;
+// capacity <= 0 disables caching (returns nil).
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for k, refreshing its recency.
+func (c *resultCache) get(k cacheKey) (*robustperiod.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add inserts (or refreshes) a result, evicting the least recently
+// used entry when over capacity.
+func (c *resultCache) add(k cacheKey, res *robustperiod.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: k, res: res})
+	c.items[k] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,389 @@
+// HTTP handlers and the JSON wire types of the detection API.
+//
+// Endpoints:
+//
+//	POST /v1/detect        one series  -> periods (+ per-level details)
+//	POST /v1/detect/batch  many series -> one result per series
+//	GET  /healthz          liveness
+//	GET  /metrics          expvar counters as one JSON object
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"robustperiod"
+)
+
+// APIOptions is the JSON surface of robustperiod.Options. Every field
+// is optional; the zero value reproduces the paper's defaults. It is
+// deliberately flat — the nested library config (detect.Config,
+// spectrum.Options) is an implementation detail clients should not
+// couple to.
+type APIOptions struct {
+	Lambda           float64 `json:"lambda,omitempty"`
+	ClipC            float64 `json:"clipC,omitempty"`
+	Wavelet          string  `json:"wavelet,omitempty"` // "haar", "db2".."db10", "la8", "la16"
+	MaxLevels        int     `json:"maxLevels,omitempty"`
+	EnergyShare      float64 `json:"energyShare,omitempty"`
+	Alpha            float64 `json:"alpha,omitempty"`     // Fisher significance level
+	ACFHeight        float64 `json:"acfHeight,omitempty"` // minimum ACF peak height
+	MinPeriod        int     `json:"minPeriod,omitempty"`
+	SkipPreprocess   bool    `json:"skipPreprocess,omitempty"`
+	RobustTrend      bool    `json:"robustTrend,omitempty"`
+	FullRobustBand   bool    `json:"fullRobustBand,omitempty"`
+	NonRobust        bool    `json:"nonRobust,omitempty"`
+	NoHarmonicFilter bool    `json:"noHarmonicFilter,omitempty"`
+	CircularBoundary bool    `json:"circularBoundary,omitempty"`
+}
+
+// toOptions converts the wire options to library options. A nil
+// receiver yields the defaults.
+func (o *APIOptions) toOptions() (*robustperiod.Options, error) {
+	if o == nil {
+		return nil, nil
+	}
+	opts := &robustperiod.Options{
+		Lambda:           o.Lambda,
+		ClipC:            o.ClipC,
+		MaxLevels:        o.MaxLevels,
+		EnergyShare:      o.EnergyShare,
+		SkipPreprocess:   o.SkipPreprocess,
+		RobustTrend:      o.RobustTrend,
+		FullRobustBand:   o.FullRobustBand,
+		NonRobust:        o.NonRobust,
+		NoHarmonicFilter: o.NoHarmonicFilter,
+		CircularBoundary: o.CircularBoundary,
+	}
+	if o.Wavelet != "" {
+		k, err := robustperiod.ParseWavelet(o.Wavelet)
+		if err != nil {
+			return nil, err
+		}
+		opts.Wavelet = k
+	}
+	opts.Detect.Alpha = o.Alpha
+	opts.Detect.ACFHeight = o.ACFHeight
+	opts.Detect.MinPeriod = o.MinPeriod
+	return opts, nil
+}
+
+// canonicalTag returns the canonical byte encoding of the options for
+// cache keying: JSON of the struct (fixed field order, omitempty), or
+// "null" for defaults — so {"options":{}} and a missing options object
+// hash identically.
+func (o *APIOptions) canonicalTag() []byte {
+	if o == nil || *o == (APIOptions{}) {
+		return []byte("null")
+	}
+	b, _ := json.Marshal(o)
+	return b
+}
+
+// DetectRequest is the body of POST /v1/detect.
+type DetectRequest struct {
+	Series  []float64   `json:"series"`
+	Options *APIOptions `json:"options,omitempty"`
+	Details bool        `json:"details,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/detect/batch: many series
+// sharing one options object, detected concurrently on the worker
+// pool.
+type BatchRequest struct {
+	Series  [][]float64 `json:"series"`
+	Options *APIOptions `json:"options,omitempty"`
+	Details bool        `json:"details,omitempty"`
+}
+
+// LevelDetail is the per-wavelet-level diagnostic row of a response
+// (the paper's Fig. 5 table, without the bulky periodogram/ACF
+// arrays).
+type LevelDetail struct {
+	Level     int     `json:"level"`
+	Variance  float64 `json:"variance"`
+	Selected  bool    `json:"selected"`
+	PValue    float64 `json:"pValue"`
+	Candidate int     `json:"candidate"`
+	ACFPeriod int     `json:"acfPeriod"`
+	Final     int     `json:"final"`
+	Periodic  bool    `json:"periodic"`
+}
+
+// DetectResponse is the body of a successful POST /v1/detect.
+type DetectResponse struct {
+	Periods   []int         `json:"periods"`
+	Cached    bool          `json:"cached"`
+	ElapsedMS float64       `json:"elapsedMs"`
+	Levels    []LevelDetail `json:"levels,omitempty"`
+}
+
+// BatchItem is one entry of a batch response, in request order.
+// Exactly one of Error or Periods is meaningful.
+type BatchItem struct {
+	Index   int           `json:"index"`
+	Periods []int         `json:"periods"`
+	Cached  bool          `json:"cached"`
+	Levels  []LevelDetail `json:"levels,omitempty"`
+	Error   *APIError     `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/detect/batch.
+type BatchResponse struct {
+	Results   []BatchItem `json:"results"`
+	ElapsedMS float64     `json:"elapsedMs"`
+}
+
+// APIError is the structured error envelope every non-2xx response
+// carries under the "error" key.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *APIError) Error() string { return e.Code + ": " + e.Message }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]*APIError{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// decodeBody decodes one JSON value from an already size-limited body,
+// translating the failure modes into structured responses. It returns
+// false after writing the error response itself.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds %d bytes", maxErr.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad_json", "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// validateSeries rejects series the detector cannot accept, before
+// any CPU is spent: empty input, non-finite values (unrepresentable
+// in strict JSON, but reachable through other encodings), and
+// over-long series that would monopolize a worker.
+func validateSeries(series []float64, maxLen int) *APIError {
+	if len(series) == 0 {
+		return &APIError{Code: "empty_series", Message: "series must contain at least one value"}
+	}
+	if maxLen > 0 && len(series) > maxLen {
+		return &APIError{
+			Code:    "series_too_long",
+			Message: fmt.Sprintf("series has %d points, limit is %d", len(series), maxLen),
+		}
+	}
+	for i, v := range series {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &APIError{
+				Code:    "non_finite_value",
+				Message: fmt.Sprintf("series[%d] is not finite; fill gaps before submitting", i),
+			}
+		}
+	}
+	return nil
+}
+
+// detOut is a worker's answer to one detection job.
+type detOut struct {
+	res *robustperiod.Result
+	err error
+}
+
+// runDetection serves one series: cache lookup, then a pool-bounded
+// DetectDetailsContext, then cache fill. It reports whether the
+// answer came from the cache.
+func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *APIOptions) (*robustperiod.Result, bool, error) {
+	opts, err := apiOpts.toOptions()
+	if err != nil {
+		return nil, false, &APIError{Code: "bad_options", Message: err.Error()}
+	}
+	key := requestKey(series, apiOpts.canonicalTag())
+	if res, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return res, true, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	out := make(chan detOut, 1)
+	job := func() {
+		res, err := robustperiod.DetectDetailsContext(ctx, series, opts)
+		out <- detOut{res: res, err: err}
+	}
+	if err := s.pool.submit(ctx, job); err != nil {
+		return nil, false, err
+	}
+	o := <-out
+	if o.err != nil {
+		return nil, false, o.err
+	}
+	s.cache.add(key, o.res)
+	return o.res, false, nil
+}
+
+// toAPIError maps a detection failure onto a status and a structured
+// error. An *APIError passes through unwrapped so its message is not
+// double-prefixed with the code.
+func toAPIError(err error) (int, *APIError) {
+	var apiErr *APIError
+	switch {
+	case errors.As(err, &apiErr):
+		return http.StatusBadRequest, apiErr
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, &APIError{Code: "deadline_exceeded", Message: err.Error()}
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is written to a dead connection
+		// but keeps logs and metrics truthful.
+		return 499, &APIError{Code: "client_closed_request", Message: err.Error()}
+	case errors.Is(err, errPoolClosed):
+		return http.StatusServiceUnavailable, &APIError{Code: "shutting_down", Message: err.Error()}
+	default:
+		return http.StatusBadRequest, &APIError{Code: "detect_failed", Message: err.Error()}
+	}
+}
+
+func resultLevels(res *robustperiod.Result) []LevelDetail {
+	levels := make([]LevelDetail, 0, len(res.Levels))
+	for _, lv := range res.Levels {
+		d := lv.Detection
+		levels = append(levels, LevelDetail{
+			Level:     lv.Level,
+			Variance:  lv.Variance.Variance,
+			Selected:  lv.Selected,
+			PValue:    d.PValue,
+			Candidate: d.Candidate,
+			ACFPeriod: d.ACFPeriod,
+			Final:     d.Final,
+			Periodic:  d.Periodic,
+		})
+	}
+	return levels
+}
+
+// nonNil maps a nil period slice to an empty one, for stable JSON
+// ("periods":[] rather than "periods":null).
+func nonNil(p []int) []int {
+	if p == nil {
+		return []int{}
+	}
+	return p
+}
+
+// handleDetect serves POST /v1/detect.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req DetectRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if apiErr := validateSeries(req.Series, s.cfg.MaxSeriesLen); apiErr != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]*APIError{"error": apiErr})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	res, cached, err := s.runDetection(ctx, req.Series, req.Options)
+	if err != nil {
+		status, apiErr := toAPIError(err)
+		writeJSON(w, status, map[string]*APIError{"error": apiErr})
+		return
+	}
+	resp := DetectResponse{
+		Periods:   nonNil(res.Periods),
+		Cached:    cached,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if req.Details {
+		resp.Levels = resultLevels(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch serves POST /v1/detect/batch: every series is its own
+// pool job, so a batch uses as many cores as are free, and one bad
+// series fails only its own slot.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Series) == 0 {
+		writeError(w, http.StatusBadRequest, "empty_batch", "batch must contain at least one series")
+		return
+	}
+	if s.cfg.MaxBatch > 0 && len(req.Series) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch_too_large",
+			"batch has %d series, limit is %d", len(req.Series), s.cfg.MaxBatch)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	items := make([]BatchItem, len(req.Series))
+	var wg sync.WaitGroup
+	for i, series := range req.Series {
+		items[i].Index = i
+		items[i].Periods = []int{}
+		if apiErr := validateSeries(series, s.cfg.MaxSeriesLen); apiErr != nil {
+			items[i].Error = apiErr
+			continue
+		}
+		wg.Add(1)
+		i, series := i, series
+		go func() {
+			defer wg.Done()
+			res, cached, err := s.runDetection(ctx, series, req.Options)
+			if err != nil {
+				_, items[i].Error = toAPIError(err)
+				return
+			}
+			items[i].Periods = nonNil(res.Periods)
+			items[i].Cached = cached
+			if req.Details {
+				items[i].Levels = resultLevels(res)
+			}
+		}()
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Results:   items,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves GET /metrics: the server's expvar map as one
+// JSON object.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.metrics.vars.String())
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the histogram bucket upper bounds, in
+// milliseconds. The spread covers everything from a cache hit (<1ms)
+// to a robust periodogram over a very long series (tens of seconds).
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// histogram is a fixed-bucket latency histogram implementing
+// expvar.Var, so it can live inside an expvar.Map and render itself
+// as JSON on /metrics.
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // one per bucket, plus a final +Inf bucket
+	total  uint64
+	sumMS  float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBucketsMS)+1)}
+}
+
+// Observe records one request duration.
+func (h *histogram) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sumMS += ms
+	h.mu.Unlock()
+}
+
+// String renders the histogram as a JSON object with cumulative
+// bucket counts (Prometheus-style "le" semantics).
+func (h *histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sumMs":%.3f,"buckets":{`, h.total, h.sumMS)
+	cum := uint64(0)
+	for i, bound := range latencyBucketsMS {
+		cum += h.counts[i]
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `"le%g":%d`, bound, cum)
+	}
+	fmt.Fprintf(&b, `,"leInf":%d}}`, h.total)
+	return b.String()
+}
+
+// metrics aggregates every counter the service exports. The vars live
+// in a per-Server expvar.Map rather than the process-global expvar
+// registry, so multiple servers (e.g. in tests) never collide on
+// Publish and /metrics reports exactly one server's view.
+type metrics struct {
+	vars *expvar.Map
+
+	requests    *expvar.Map // per-endpoint request counters
+	errors      *expvar.Map // per-endpoint error (non-2xx) counters
+	inFlight    *expvar.Int
+	cacheHits   *expvar.Int
+	cacheMisses *expvar.Int
+	latency     map[string]*histogram // per-endpoint
+}
+
+func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
+	m := &metrics{
+		vars:        new(expvar.Map).Init(),
+		requests:    new(expvar.Map).Init(),
+		errors:      new(expvar.Map).Init(),
+		inFlight:    new(expvar.Int),
+		cacheHits:   new(expvar.Int),
+		cacheMisses: new(expvar.Int),
+		latency:     make(map[string]*histogram, len(endpoints)),
+	}
+	lat := new(expvar.Map).Init()
+	for _, ep := range endpoints {
+		m.requests.Add(ep, 0)
+		m.errors.Add(ep, 0)
+		h := newHistogram()
+		m.latency[ep] = h
+		lat.Set(ep, h)
+	}
+	m.vars.Set("requests", m.requests)
+	m.vars.Set("errors", m.errors)
+	m.vars.Set("in_flight", m.inFlight)
+	m.vars.Set("cache_hits", m.cacheHits)
+	m.vars.Set("cache_misses", m.cacheMisses)
+	m.vars.Set("latency_ms", lat)
+	m.vars.Set("worker_queue_depth", expvar.Func(func() any { return queueDepth() }))
+	m.vars.Set("cache_entries", expvar.Func(func() any { return cacheLen() }))
+	return m
+}
+
+// observe records one finished request on endpoint ep.
+func (m *metrics) observe(ep string, d time.Duration, status int) {
+	m.requests.Add(ep, 1)
+	if status >= 400 {
+		m.errors.Add(ep, 1)
+	}
+	if h, ok := m.latency[ep]; ok {
+		h.Observe(d)
+	}
+}

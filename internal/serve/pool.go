@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// errPoolClosed is returned by submit after close has been called.
+var errPoolClosed = errors.New("serve: worker pool closed")
+
+// workerPool bounds the number of detections running at once. HTTP
+// handler goroutines are cheap and unbounded; the CPU-heavy robust
+// periodogram work is not, so every detection — single or batch item —
+// funnels through this fixed set of workers. The queue gives short
+// bursts somewhere to wait; sustained overload surfaces as submit
+// blocking until the caller's context expires (backpressure, not
+// collapse).
+type workerPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	// mu serializes channel-close against in-flight sends: submitters
+	// hold the read side for the whole send, close takes the write
+	// side before closing the channel, so a send on a closed channel
+	// is impossible. Blocked submitters never deadlock close: the
+	// workers keep draining the queue until the channel is closed,
+	// which frees every pending send first.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newWorkerPool starts workers goroutines (<= 0 means GOMAXPROCS)
+// with a queue of queueLen pending jobs (<= 0 means 4× workers).
+func newWorkerPool(workers, queueLen int) *workerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueLen <= 0 {
+		queueLen = 4 * workers
+	}
+	p := &workerPool{jobs: make(chan func(), queueLen)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues job, blocking while the queue is full. It fails
+// with ctx.Err() when the caller gives up first, or errPoolClosed
+// after close.
+func (p *workerPool) submit(ctx context.Context, job func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return errPoolClosed
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// depth reports the number of queued (not yet started) jobs.
+func (p *workerPool) depth() int { return len(p.jobs) }
+
+// close stops accepting jobs, runs everything already queued, and
+// waits for the workers to drain. Safe to call more than once; call
+// after the HTTP server has stopped accepting requests.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

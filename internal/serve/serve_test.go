@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"robustperiod"
+)
+
+// sineSeries builds a deterministic noisy sinusoid of the given
+// period; phase seeds keep distinct series distinct for the cache.
+func sineSeries(n, period int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 10*math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.3*rng.NormFloat64()
+	}
+	return y
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func detectBody(t *testing.T, series []float64, opts *APIOptions, details bool) string {
+	t.Helper()
+	b, err := json.Marshal(DetectRequest{Series: series, Options: opts, Details: details})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func errCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var env struct {
+		Error *APIError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+		t.Fatalf("no error envelope in %s", body)
+	}
+	return env.Error.Code
+}
+
+func TestDetectHandlerBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 4096, MaxSeriesLen: 128})
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"invalid json", `{"series":[1,2`, http.StatusBadRequest, "bad_json"},
+		{"nan literal", `{"series":[NaN,1,2]}`, http.StatusBadRequest, "bad_json"},
+		{"inf literal", `{"series":[Infinity]}`, http.StatusBadRequest, "bad_json"},
+		{"unknown field", `{"serie":[1,2,3]}`, http.StatusBadRequest, "bad_json"},
+		{"empty series", `{"series":[]}`, http.StatusBadRequest, "empty_series"},
+		{"missing series", `{}`, http.StatusBadRequest, "empty_series"},
+		{"series too long", detectBody(t, make([]float64, 200), nil, false), http.StatusBadRequest, "series_too_long"},
+		{"unknown wavelet", `{"series":[1,2,3],"options":{"wavelet":"db99"}}`, http.StatusBadRequest, "bad_options"},
+		{"oversized body", `{"series":[` + strings.Repeat("1,", 4000) + `1]}`,
+			http.StatusRequestEntityTooLarge, "body_too_large"},
+		{"too short for detector", `{"series":[1,2,3]}`, http.StatusBadRequest, "detect_failed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/detect", tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d want %d (body %s)", resp.StatusCode, tc.wantStatus, body)
+			}
+			if code := errCode(t, body); code != tc.wantCode {
+				t.Errorf("code = %q want %q", code, tc.wantCode)
+			}
+		})
+	}
+}
+
+func TestValidateSeriesNonFinite(t *testing.T) {
+	// Strict JSON cannot carry NaN/Inf, but other entry points can;
+	// the validator must catch them before the detector.
+	if err := validateSeries([]float64{1, math.NaN(), 3}, 0); err == nil || err.Code != "non_finite_value" {
+		t.Errorf("NaN: got %v", err)
+	}
+	if err := validateSeries([]float64{math.Inf(1)}, 0); err == nil || err.Code != "non_finite_value" {
+		t.Errorf("Inf: got %v", err)
+	}
+	if err := validateSeries([]float64{1, 2, 3}, 0); err != nil {
+		t.Errorf("finite: got %v", err)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/detect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/detect = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestDetectMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	series := sineSeries(480, 24, 2)
+	want, err := robustperiod.Detect(series, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/detect", detectBody(t, series, nil, true))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got DetectResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Periods, want) {
+		t.Errorf("periods = %v, direct Detect = %v", got.Periods, want)
+	}
+	if got.Cached {
+		t.Error("first request reported cached")
+	}
+	if len(got.Levels) == 0 {
+		t.Error("details requested but no levels returned")
+	}
+}
+
+func TestBatchConcurrentCorrectness(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	batch := [][]float64{
+		sineSeries(480, 24, 3),
+		sineSeries(512, 32, 4),
+		sineSeries(400, 20, 5),
+		sineSeries(480, 48, 6),
+	}
+	wants := make([][]int, len(batch))
+	for i, series := range batch {
+		w, err := robustperiod.Detect(series, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w == nil {
+			w = []int{}
+		}
+		wants[i] = w
+	}
+	// One bad series in the middle must fail alone.
+	batch = append(batch[:2], append([][]float64{{}}, batch[2:]...)...)
+	wants = append(wants[:2], append([][]int{nil}, wants[2:]...)...)
+
+	b, _ := json.Marshal(BatchRequest{Series: batch})
+	resp, body := postJSON(t, ts.URL+"/v1/detect/batch", string(b))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got BatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(batch) {
+		t.Fatalf("got %d results, want %d", len(got.Results), len(batch))
+	}
+	for i, item := range got.Results {
+		if item.Index != i {
+			t.Errorf("result %d has index %d", i, item.Index)
+		}
+		if wants[i] == nil {
+			if item.Error == nil || item.Error.Code != "empty_series" {
+				t.Errorf("result %d: want empty_series error, got %+v", i, item.Error)
+			}
+			continue
+		}
+		if item.Error != nil {
+			t.Errorf("result %d: unexpected error %v", i, item.Error)
+			continue
+		}
+		if !reflect.DeepEqual(item.Periods, wants[i]) {
+			t.Errorf("result %d periods = %v, direct Detect = %v", i, item.Periods, wants[i])
+		}
+	}
+}
+
+// metricsSnapshot fetches and decodes GET /metrics.
+func metricsSnapshot(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCacheHitAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	series := sineSeries(480, 24, 7)
+	body := detectBody(t, series, nil, false)
+
+	_, first := postJSON(t, ts.URL+"/v1/detect", body)
+	resp, second := postJSON(t, ts.URL+"/v1/detect", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, second)
+	}
+	var r1, r2 DetectResponse
+	if err := json.Unmarshal(first, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Error("first request reported cached")
+	}
+	if !r2.Cached {
+		t.Error("warm repeat not served from cache")
+	}
+	if !reflect.DeepEqual(r1.Periods, r2.Periods) {
+		t.Errorf("cached periods %v != fresh periods %v", r2.Periods, r1.Periods)
+	}
+
+	// Same series, different options: must be a distinct cache entry.
+	resp, third := postJSON(t, ts.URL+"/v1/detect",
+		detectBody(t, series, &APIOptions{EnergyShare: 1}, false))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, third)
+	}
+	var r3 DetectResponse
+	if err := json.Unmarshal(third, &r3); err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cached {
+		t.Error("different options served from cache")
+	}
+
+	m := metricsSnapshot(t, ts.URL)
+	if hits, _ := m["cache_hits"].(float64); hits < 1 {
+		t.Errorf("cache_hits = %v, want >= 1", m["cache_hits"])
+	}
+	if misses, _ := m["cache_misses"].(float64); misses < 2 {
+		t.Errorf("cache_misses = %v, want >= 2", m["cache_misses"])
+	}
+	reqs, _ := m["requests"].(map[string]any)
+	if reqs == nil || reqs["detect"].(float64) < 3 {
+		t.Errorf("requests.detect = %v, want >= 3", reqs)
+	}
+	lat, _ := m["latency_ms"].(map[string]any)
+	if lat == nil {
+		t.Fatalf("no latency_ms in metrics: %v", m)
+	}
+	det, _ := lat["detect"].(map[string]any)
+	if det == nil || det["count"].(float64) < 3 {
+		t.Errorf("latency_ms.detect = %v, want count >= 3", lat["detect"])
+	}
+}
+
+func TestCacheEvictionThroughHandlers(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: 2})
+	a := detectBody(t, sineSeries(256, 16, 10), nil, false)
+	b := detectBody(t, sineSeries(256, 16, 11), nil, false)
+	c := detectBody(t, sineSeries(256, 16, 12), nil, false)
+
+	cachedOf := func(body string) bool {
+		t.Helper()
+		resp, raw := postJSON(t, ts.URL+"/v1/detect", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		var r DetectResponse
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatal(err)
+		}
+		return r.Cached
+	}
+
+	if cachedOf(a) || cachedOf(b) {
+		t.Fatal("cold requests reported cached")
+	}
+	if !cachedOf(a) {
+		t.Error("a should be cached (LRU order [a b])")
+	}
+	// Inserting c evicts b (the least recently used), not a.
+	if cachedOf(c) {
+		t.Error("cold c reported cached")
+	}
+	if !cachedOf(a) {
+		t.Error("a evicted although it was the most recently used")
+	}
+	if cachedOf(b) {
+		t.Error("b survived although it was the LRU at eviction time")
+	}
+}
+
+func TestDetectContextCancelsPromptly(t *testing.T) {
+	// A service must be able to abandon work: a 1ms deadline on a
+	// long series has to surface context.DeadlineExceeded long before
+	// the detection could have finished.
+	series := sineSeries(1<<14, 128, 13)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := robustperiod.DetectContext(ctx, series, nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v; the deadline was 1ms", elapsed)
+	}
+}
+
+func TestHandlerRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Millisecond})
+	series := sineSeries(1<<14, 128, 14)
+	resp, body := postJSON(t, ts.URL+"/v1/detect", detectBody(t, series, nil, false))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	if code := errCode(t, body); code != "deadline_exceeded" {
+		t.Errorf("code = %q, want deadline_exceeded", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var v map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil || v["status"] != "ok" {
+		t.Fatalf("healthz body = %v, %v", v, err)
+	}
+}
+
+func TestGracefulServeShutdown(t *testing.T) {
+	s := New(Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	url := fmt.Sprintf("http://%s", ln.Addr())
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not drain within 10s")
+	}
+}

@@ -1,0 +1,186 @@
+// Package serve is the always-on serving layer over the robustperiod
+// library: a JSON HTTP API with a bounded worker pool, an LRU result
+// cache, per-request timeouts and cancellation, expvar metrics, and
+// graceful drain on shutdown. It is the deployment shape the paper's
+// motivating scenario (large-scale cloud monitoring) actually runs:
+// many independent series arriving concurrently at one detector.
+//
+// The package is pure standard library, like everything else in this
+// repository.
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config tunes the service. The zero value is production-safe.
+type Config struct {
+	// Addr is the listen address; "" means ":8080".
+	Addr string
+	// RequestTimeout bounds the compute time of one request (detect
+	// or batch); 0 means 30s. The deadline propagates into the robust
+	// periodogram solvers via context, so a timed-out request stops
+	// consuming a worker almost immediately.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful-shutdown drain; 0 means 30s.
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps a request body; 0 means 8 MiB.
+	MaxBodyBytes int64
+	// MaxSeriesLen caps the points of one series; 0 means 1<<20.
+	MaxSeriesLen int
+	// MaxBatch caps the series count of one batch request; 0 means 256.
+	MaxBatch int
+	// Workers sizes the detection worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// QueueLen bounds the pending-job queue; 0 means 4×Workers.
+	QueueLen int
+	// CacheSize is the LRU result-cache capacity in entries; 0 means
+	// 1024, negative disables caching.
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxSeriesLen == 0 {
+		c.MaxSeriesLen = 1 << 20
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// endpoint labels used in metrics.
+const (
+	epDetect  = "detect"
+	epBatch   = "batch"
+	epHealthz = "healthz"
+	epMetrics = "metrics"
+)
+
+// Server is one instance of the detection service. Create with New,
+// serve with Run (or mount Handler in an existing server), and Close
+// when done.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	pool    *workerPool
+	cache   *resultCache
+	metrics *metrics
+}
+
+// New assembles a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  newWorkerPool(cfg.Workers, cfg.QueueLen),
+		cache: newResultCache(cfg.CacheSize),
+	}
+	s.metrics = newMetrics(
+		[]string{epDetect, epBatch, epHealthz, epMetrics},
+		s.pool.depth, s.cache.len,
+	)
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/detect", s.instrument(epDetect, s.handleDetect))
+	s.mux.Handle("POST /v1/detect/batch", s.instrument(epBatch, s.handleBatch))
+	s.mux.Handle("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
+	return s
+}
+
+// Handler returns the fully-instrumented HTTP handler, for mounting
+// the service inside another server (or an httptest.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool after draining queued jobs. Call after
+// the HTTP listener has stopped accepting requests.
+func (s *Server) Close() { s.pool.close() }
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request-size limit and the
+// per-endpoint metrics (request count, error count, in-flight gauge,
+// latency histogram).
+func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.metrics.observe(ep, time.Since(start), rec.status)
+	})
+}
+
+// Run listens on cfg.Addr and serves until ctx is cancelled (e.g. by
+// SIGTERM via signal.NotifyContext), then shuts down gracefully:
+// the listener closes, in-flight requests get up to DrainTimeout to
+// finish, and the worker pool drains. Returns nil on a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run on a caller-provided listener (useful for tests and
+// examples that need an ephemeral port).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// Request contexts deliberately do not inherit the run context:
+	// graceful shutdown should let in-flight detections finish inside
+	// the drain window, not abort them the instant SIGTERM arrives.
+	// Each request is still bounded by RequestTimeout.
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(drainCtx)
+	s.Close()
+	if err != nil {
+		return err
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	return nil
+}

@@ -6,6 +6,7 @@
 package spectrum
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -71,6 +72,12 @@ type Options struct {
 	// when the requested band is wide enough to amortize the goroutine
 	// overhead. Results are identical to the sequential path.
 	Parallel bool
+
+	// Ctx, when non-nil, is polled between per-frequency regressions
+	// and between solver iterations; once it is cancelled the
+	// periodogram functions stop and return Ctx.Err(). A nil Ctx (the
+	// zero value) never cancels.
+	Ctx context.Context
 
 	// FitLength, when positive, restricts the M-regression to the
 	// first FitLength samples while keeping the frequency grid of the
@@ -152,10 +159,14 @@ func MPeriodogram(x []float64, kLo, kHi int, opts Options) ([]float64, error) {
 	scale := float64(m) * float64(m) / (4 * float64(n))
 	out := make([]float64, kHi-kLo+1)
 
+	done := ctxDone(opts.Ctx)
 	solveRange := func(lo, hi int) {
 		cosBuf := make([]float64, m)
 		sinBuf := make([]float64, m)
 		for k := lo; k <= hi; k++ {
+			if cancelled(done) {
+				return
+			}
 			w := 2 * math.Pi * float64(k) / float64(n)
 			for t := 0; t < m; t++ {
 				s, c := math.Sincos(w * float64(t))
@@ -177,6 +188,9 @@ func MPeriodogram(x []float64, kLo, kHi int, opts Options) ([]float64, error) {
 	workers := runtime.NumCPU()
 	if !opts.Parallel || nFreq < 64 || workers < 2 {
 		solveRange(kLo, kHi)
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
 		return out, nil
 	}
 	if workers > nFreq {
@@ -200,7 +214,37 @@ func MPeriodogram(x []float64, kLo, kHi int, opts Options) ([]float64, error) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// ctxDone returns the context's done channel, or nil for a nil context
+// (a nil channel never receives, so cancelled() stays false).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// cancelled non-blockingly reports whether done has fired.
+func cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// ctxErr is ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // olsInit returns the exact least-squares harmonic fit by solving the
@@ -234,7 +278,11 @@ func solveIRLS(x, cosB, sinB []float64, opts Options) (a, b float64) {
 		return a, b
 	}
 	const ladEps = 1e-8
+	done := ctxDone(opts.Ctx)
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if cancelled(done) {
+			return a, b
+		}
 		var scc, sss, scs, sxc, sxs float64
 		for t := range x {
 			r := a*cosB[t] + b*sinB[t] - x[t]
@@ -292,7 +340,11 @@ func solveADMM(x, cosB, sinB []float64, opts Options) (a, b float64) {
 		z[t] = a*cosB[t] + b*sinB[t] - x[t]
 	}
 	rho := opts.Rho
+	done := ctxDone(opts.Ctx)
 	for iter := 0; iter < 4*opts.MaxIter; iter++ {
+		if cancelled(done) {
+			return a, b
+		}
 		// β-update: least squares of Φβ = x + z − u.
 		var sc, ss float64
 		for t := range x {
@@ -373,7 +425,11 @@ func RobustNyquist(x []float64, opts Options) float64 {
 		return scale * beta * beta
 	}
 	const ladEps = 1e-8
+	done := ctxDone(opts.Ctx)
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if cancelled(done) {
+			break
+		}
 		var sw, swx float64
 		sign = 1.0
 		for _, v := range fit {

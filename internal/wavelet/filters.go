@@ -11,7 +11,10 @@
 // g̃ = g/√2, h̃ = h/√2.
 package wavelet
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Kind names a Daubechies filter by its width L (number of taps).
 type Kind int
@@ -43,6 +46,42 @@ func (k Kind) String() string {
 		return fmt.Sprintf("la%d", -int(k))
 	}
 	return fmt.Sprintf("db%d", int(k)/2)
+}
+
+// Kinds returns every supported filter family, shortest filter first.
+// It is the single source of truth for name parsing and for help text
+// listing the accepted wavelets.
+func Kinds() []Kind {
+	return []Kind{Haar, Daub4, Daub6, Daub8, Daub10, Daub12, Daub16, Daub20, LA8, LA16}
+}
+
+// KindNames returns the canonical names of Kinds(), in order.
+func KindNames() []string {
+	ks := Kinds()
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.String()
+	}
+	return names
+}
+
+// ParseKind maps a conventional filter name — exactly the strings
+// Kind.String produces ("haar", "db2" … "db10", "la8", "la16"), plus
+// the alias "db1" for Haar — back to its Kind. Matching is
+// case-insensitive; an unknown name is an error naming the accepted
+// set, never a silent default.
+func ParseKind(name string) (Kind, error) {
+	s := strings.ToLower(strings.TrimSpace(name))
+	if s == "db1" {
+		s = "haar"
+	}
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("wavelet: unknown filter %q (accepted: %s)",
+		name, strings.Join(KindNames(), ", "))
 }
 
 // scaling filter coefficients (low-pass, Σ=√2, Σ²=1), indexed by Kind.

@@ -21,6 +21,9 @@
 package robustperiod
 
 import (
+	"context"
+	"fmt"
+
 	"robustperiod/internal/core"
 	"robustperiod/internal/detect"
 	"robustperiod/internal/spectrum"
@@ -42,7 +45,9 @@ type LevelDetail = core.LevelDetail
 // WaveletKind names a Daubechies filter family.
 type WaveletKind = wavelet.Kind
 
-// Wavelet families accepted in Options.Wavelet.
+// Wavelet families accepted in Options.Wavelet. DaubN has N filter
+// taps (N/2 vanishing moments), so Daub8 is the conventional "db4";
+// LA8/LA16 are the least-asymmetric (symlet) variants.
 const (
 	Haar   = wavelet.Haar
 	Daub4  = wavelet.Daub4
@@ -52,7 +57,18 @@ const (
 	Daub12 = wavelet.Daub12
 	Daub16 = wavelet.Daub16
 	Daub20 = wavelet.Daub20
+	LA8    = wavelet.LA8
+	LA16   = wavelet.LA16
 )
+
+// ParseWavelet maps a conventional wavelet name ("haar", "db2" …
+// "db10", "la8", "la16"; case-insensitive) to its WaveletKind, and
+// errors on unknown names. WaveletNames lists the accepted set in the
+// same spelling, for building help text.
+func ParseWavelet(name string) (WaveletKind, error) { return wavelet.ParseKind(name) }
+
+// WaveletNames returns the canonical names accepted by ParseWavelet.
+func WaveletNames() []string { return wavelet.KindNames() }
 
 // Detect runs RobustPeriod on y and returns the detected period
 // lengths in ascending order (empty when the series is aperiodic).
@@ -69,21 +85,52 @@ func Detect(y []float64, opts *Options) ([]int, error) {
 // including per-level wavelet variances, hybrid Huber-periodograms,
 // Huber-ACFs and the Fisher-test verdicts (the paper's Fig. 5).
 func DetectDetails(y []float64, opts *Options) (*Result, error) {
+	return DetectDetailsContext(context.Background(), y, opts)
+}
+
+// DetectContext is Detect with cooperative cancellation: when ctx is
+// cancelled or its deadline passes, detection aborts between pipeline
+// stages and inside the per-frequency robust regressions, returning
+// ctx.Err() (context.Canceled or context.DeadlineExceeded) promptly
+// instead of finishing the periodogram work. Intended for serving
+// contexts where an abandoned request must stop burning CPU.
+func DetectContext(ctx context.Context, y []float64, opts *Options) ([]int, error) {
+	res, err := DetectDetailsContext(ctx, y, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Periods, nil
+}
+
+// DetectDetailsContext is DetectDetails with cooperative cancellation;
+// see DetectContext.
+func DetectDetailsContext(ctx context.Context, y []float64, opts *Options) (*Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
-	return core.Detect(y, o)
+	return core.DetectContext(ctx, y, o)
 }
 
 // SingleResult reports a standalone single-periodicity detection.
 type SingleResult = detect.Result
 
+// MinSingleLen is the shortest series DetectSingle accepts: the
+// detector needs a handful of spectral bins for Fisher's test and at
+// least two observable repetitions of any reportable period.
+const MinSingleLen = 8
+
 // DetectSingle runs the robust single-period detector directly on a
 // series without the wavelet decomposition — useful when at most one
 // periodicity is expected. The robust periodogram is evaluated on the
-// entire usable frequency band.
+// entire usable frequency band. Series shorter than MinSingleLen
+// samples are rejected with a clear error rather than handed to the
+// spectral machinery.
 func DetectSingle(y []float64, opts *Options) (SingleResult, error) {
+	if len(y) < MinSingleLen {
+		return SingleResult{}, fmt.Errorf(
+			"robustperiod: DetectSingle needs at least %d samples, got %d", MinSingleLen, len(y))
+	}
 	var o Options
 	if opts != nil {
 		o = *opts
