@@ -1,6 +1,7 @@
 // Command rpbench regenerates the tables and figures of the paper's
 // evaluation section (§4) on the synthetic and surrogate corpora
-// described in DESIGN.md.
+// described in DESIGN.md, and doubles as the machine-readable
+// benchmark harness behind the CI bench-guard job.
 //
 //	rpbench -table all            # every table
 //	rpbench -table 2 -trials 100  # Table 2 with 100 series per corpus
@@ -9,14 +10,32 @@
 //
 // Trial counts default to 50 per corpus; the paper uses 1000, which is
 // reachable with -trials 1000 if you have the patience.
+//
+// Bench mode scores the RobustPeriod detector on the Tables 1–3
+// corpora and times whole detections (with the per-stage breakdown
+// from the trace layer) at N=500/1000/2000, emitting JSON with schema
+// "robustperiod-bench/v1":
+//
+//	rpbench -quick -json bench/                     # write BENCH_<ts>.json
+//	rpbench -quick -baseline bench/BENCH_x.json     # gate against a baseline
+//	rpbench -quick -baseline ... -max-regress 0.2   # allow +20% wall time
+//
+// With -baseline, rpbench exits non-zero when any Tables 1–3 quality
+// score drops or whole-detection wall time regresses beyond
+// -max-regress. Quality scores are deterministic in (-trials, -seed),
+// so gate runs must use the same values the baseline was generated
+// with; -quick pins both for CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
+	"time"
 
 	"robustperiod/internal/eval"
 )
@@ -32,12 +51,21 @@ func main() {
 		report    = flag.String("report", "", "run everything and write a markdown report to this path")
 		trials    = flag.Int("trials", 50, "series per synthetic corpus")
 		seed      = flag.Int64("seed", 1, "base RNG seed")
+
+		quick      = flag.Bool("quick", false, "bench mode with CI-sized corpora (pins -trials 5 -seed 1)")
+		jsonOut    = flag.String("json", "", "bench mode: write the JSON report to this path (a directory gets BENCH_<timestamp>.json)")
+		baseline   = flag.String("baseline", "", "bench mode: gate the run against this baseline JSON report, exit 1 on regression")
+		maxRegress = flag.Float64("max-regress", 0.20, "bench gate: allowed whole-detection wall-time regression (0.20 = +20%; negative disables the perf gate)")
 	)
 	flag.Parse()
 
-	if *table == "" && *figure == "" && !*ablations && *report == "" {
+	benchMode := *quick || *jsonOut != "" || *baseline != ""
+	if *table == "" && *figure == "" && !*ablations && *report == "" && !benchMode {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if benchMode {
+		runBench(*quick, *trials, *seed, *jsonOut, *baseline, *maxRegress)
 	}
 	if *report != "" {
 		if err := os.WriteFile(*report, []byte(eval.Report(*trials, *seed)), 0o644); err != nil {
@@ -114,4 +142,61 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// runBench runs the quality+perf suites and optionally writes the
+// JSON report and/or gates against a baseline. Exits the process:
+// 0 on success, 1 on a failed gate or I/O error.
+func runBench(quick bool, trials int, seed int64, jsonOut, baselinePath string, maxRegress float64) {
+	if quick {
+		// Pin the corpus shape so -quick runs are comparable across
+		// machines and across the committed baseline.
+		trials, seed = 5, 1
+	}
+	log.Printf("bench: trials=%d seed=%d quick=%v", trials, seed, quick)
+	rep := eval.RunBench(quick, trials, seed)
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+
+	for _, q := range rep.Quality {
+		log.Printf("bench: %-28s %s=%.4f (p=%.4f r=%.4f f1=%.4f)",
+			q.Key(), q.Metric, q.Score, q.Precision, q.Recall, q.F1)
+	}
+	for _, p := range rep.Perf {
+		log.Printf("bench: %-16s %8.2fms/op  %d allocs/op", p.Name, float64(p.NsPerOp)/1e6, p.AllocsPerOp)
+	}
+
+	if jsonOut != "" {
+		path := jsonOut
+		if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+			path = filepath.Join(path, "BENCH_"+time.Now().UTC().Format("20060102T150405Z")+".json")
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base eval.BenchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			log.Fatalf("parse baseline %s: %v", baselinePath, err)
+		}
+		violations := eval.CompareBench(base, rep, maxRegress)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				log.Printf("REGRESSION: %s", v)
+			}
+			os.Exit(1)
+		}
+		log.Printf("bench gate passed against %s", baselinePath)
+	}
+	os.Exit(0)
 }

@@ -6,14 +6,22 @@
 // Endpoints:
 //
 //	POST /v1/detect        {"series":[...], "options":{...}, "details":bool}
+//	                       (?debug=1 bypasses the cache and inlines
+//	                       per-stage pipeline timings in the response)
 //	POST /v1/detect/batch  {"series":[[...],[...]], "options":{...}}
 //	GET  /healthz
 //	GET  /metrics
 //
+// With -debug-addr a second listener serves net/http/pprof under
+// /debug/pprof/ and the expvar dump under /debug/vars; keep it on
+// loopback or an internal interface.
+//
 // Example:
 //
-//	rpserved -addr :8080 &
+//	rpserved -addr :8080 -debug-addr 127.0.0.1:6060 &
 //	curl -s localhost:8080/v1/detect -d '{"series":[...]}'
+//	curl -s 'localhost:8080/v1/detect?debug=1' -d '{"series":[...]}'
+//	go tool pprof localhost:6060/debug/pprof/profile
 package main
 
 import (
@@ -34,6 +42,7 @@ func main() {
 
 	var cfg serve.Config
 	flag.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.DebugAddr, "debug-addr", "", "debug listener address for pprof + expvar, e.g. 127.0.0.1:6060 (empty disables)")
 	flag.DurationVar(&cfg.RequestTimeout, "timeout", 0, "per-request compute deadline (0 = 30s)")
 	flag.DurationVar(&cfg.DrainTimeout, "drain", 0, "graceful-shutdown drain deadline (0 = 30s)")
 	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", 0, "request body limit in bytes (0 = 8 MiB)")
@@ -48,6 +57,9 @@ func main() {
 
 	srv := serve.New(cfg)
 	log.Printf("listening on %s", cfg.Addr)
+	if cfg.DebugAddr != "" {
+		log.Printf("debug listener (pprof, expvar) on %s", cfg.DebugAddr)
+	}
 	if err := srv.Run(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"robustperiod/internal/filter/hp"
 	"robustperiod/internal/spectrum"
 	"robustperiod/internal/stat/robust"
+	"robustperiod/internal/trace"
 	"robustperiod/internal/wavelet"
 )
 
@@ -76,6 +77,11 @@ type Options struct {
 	// Results are identical to the sequential path; only wall-clock
 	// time changes.
 	Parallel bool
+	// Trace, when non-nil, collects per-stage wall time, allocation
+	// counts and stage diagnostics across the whole pipeline; the
+	// summary lands in Result.Trace. A nil Trace (the default) is
+	// free: the pipeline performs no timing work at all.
+	Trace *trace.Trace
 	// CircularBoundary disables the reflection-boundary fallback
 	// (ablation switch). By default a level whose detection fails on
 	// the circular MODWT is retried on a reflection-extended MODWT:
@@ -136,6 +142,9 @@ type Result struct {
 	// Trend is the HP trend removed during preprocessing (nil when
 	// SkipPreprocess).
 	Trend []float64
+	// Trace is the per-stage timing/diagnostic summary; populated only
+	// when Options.Trace was set.
+	Trace *trace.Summary
 }
 
 // Detect runs RobustPeriod on y and returns every detected periodicity.
@@ -149,14 +158,25 @@ func Detect(y []float64, opts Options) (*Result, error) {
 // regressions, so a cancelled or expired context stops the heavy
 // periodogram work mid-flight. The first error returned after
 // cancellation is ctx.Err().
-func DetectContext(ctx context.Context, y []float64, opts Options) (*Result, error) {
+func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	n := len(y)
 	opts = opts.withDefaults(n)
-	// Hand the context to every robust-periodogram solve downstream.
+	// Hand the context to every robust-periodogram solve downstream,
+	// and the trace to every stage.
 	opts.Detect.MPOpts.Ctx = ctx
+	tr := opts.Trace
+	opts.Detect.Trace = tr
+	if tr.Enabled() {
+		defer func() {
+			if err == nil && res != nil {
+				s := tr.Summary()
+				res.Trace = &s
+			}
+		}()
+	}
 	if n < 16 {
 		return nil, fmt.Errorf("core: series too short (%d < 16)", n)
 	}
@@ -170,12 +190,15 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (*Result, err
 		return nil, err
 	}
 
-	res := &Result{}
+	res = &Result{}
 	x := y
 	if !opts.SkipPreprocess {
+		st := tr.StartStage(trace.StageHPFilter)
 		var detrended, trend []float64
 		if opts.RobustTrend {
-			trend = hp.RobustFilter(y, opts.Lambda, 0, 0)
+			var irlsIters int
+			trend, irlsIters = hp.RobustFilterN(y, opts.Lambda, 0, 0)
+			tr.Count(trace.StageHPFilter, "irls_iters", int64(irlsIters))
 			detrended = make([]float64, n)
 			for i := range y {
 				detrended[i] = y[i] - trend[i]
@@ -191,9 +214,11 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (*Result, err
 		rawScale := robust.MADN(y)
 		if rawScale > 0 && robust.MADN(detrended) < opts.MinResidualRatio*rawScale {
 			res.Preprocessed = detrended
+			st.End()
 			return res, nil
 		}
 		x = robust.Winsorize(detrended, opts.ClipC)
+		st.End()
 	} else {
 		x = append([]float64(nil), y...)
 	}
@@ -221,7 +246,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (*Result, err
 		return res, nil
 	}
 
-	m, err := wavelet.Transform(x, f, levels)
+	m, err := wavelet.TransformTraced(x, f, levels, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -231,10 +256,13 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (*Result, err
 	var mrOnce sync.Once
 	reflected := func() *wavelet.MODWT {
 		mrOnce.Do(func() {
+			st := tr.StartStage(trace.StageMODWT)
 			mr, _ = wavelet.TransformReflected(x, f, levels)
+			st.End()
 		})
 		return mr
 	}
+	st := tr.StartStage(trace.StageRanking)
 	var vars []wavelet.LevelVariance
 	if opts.NonRobust {
 		vars = m.ClassicalVariances(opts.MinLevelCount)
@@ -256,6 +284,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (*Result, err
 	// only a coherent echo of that residue and any "period" found in
 	// them is an artifact.
 	if xVar := robust.BiweightMidvariance(x); total < 0.01*xVar {
+		st.End()
 		return res, nil
 	}
 
@@ -278,6 +307,9 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (*Result, err
 			}
 		}
 	}
+	st.End()
+	tr.Count(trace.StageRanking, "levels_ranked", int64(levels))
+	tr.Count(trace.StageRanking, "levels_selected", int64(len(selected)))
 
 	detectLevel := func(idx int) (detect.Result, error) {
 		if err := ctx.Err(); err != nil {
@@ -331,10 +363,30 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (*Result, err
 			hits = append(hits, found{results[idx].Final, vars[idx].Variance})
 		}
 	}
+	if tr.Enabled() {
+		alpha := opts.Detect.Alpha
+		if alpha <= 0 {
+			alpha = 0.01
+		}
+		for j := range res.Levels {
+			lv := res.Levels[j]
+			d := lv.Detection
+			tr.RecordLevel(trace.LevelOutcome{
+				Level:    lv.Level,
+				Variance: lv.Variance.Variance,
+				Boundary: lv.Variance.Boundary,
+				Selected: lv.Selected,
+				Fisher:   lv.Selected && d.Candidate != 0 && d.PValue < alpha,
+				Periodic: d.Periodic,
+				Period:   d.Final,
+			})
+		}
+	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sv := tr.StartStage(trace.StageValidation)
 	acfFull := fft.Autocorrelation(x)
 
 	// Refinement against the full-series ACF is only trustworthy when
@@ -392,6 +444,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (*Result, err
 	}
 	sort.Ints(periods)
 	res.Periods = periods
+	sv.End()
 	return res, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"robustperiod/internal/spectrum"
 	"robustperiod/internal/stat/dist"
 	"robustperiod/internal/stat/robust"
+	"robustperiod/internal/trace"
 )
 
 // Config tunes the single-period detector.
@@ -27,6 +28,10 @@ type Config struct {
 	// Parallel fans the robust periodogram's per-frequency regressions
 	// out over all CPUs.
 	Parallel bool
+	// Trace, when non-nil, times the periodogram and validation stages
+	// and tallies Fisher/ACF verdicts. Same-named stages from
+	// concurrent per-level detections merge into one accumulator.
+	Trace *trace.Trace
 	// MPOpts configures the robust periodogram.
 	MPOpts spectrum.Options
 }
@@ -128,9 +133,14 @@ func Single(x []float64, kLo, kHi int, cfg Config) (Result, error) {
 	// shrink strong ordinates more than weak ones.
 	cfg.MPOpts.FitLength = n
 	cfg.MPOpts.Parallel = cfg.MPOpts.Parallel || cfg.Parallel
+	if cfg.MPOpts.Trace == nil {
+		cfg.MPOpts.Trace = cfg.Trace
+	}
 
+	stp := cfg.Trace.StartStage(trace.StagePeriodogram)
 	half, err := spectrum.HybridPeriodogram(padded, kLo, kHi, cfg.MPOpts)
 	if err != nil {
+		stp.End()
 		return Result{}, err
 	}
 	res := Result{Periodogram: half}
@@ -145,28 +155,34 @@ func Single(x []float64, kLo, kHi int, cfg Config) (Result, error) {
 			res.Candidate = cand
 		}
 	}
+	stp.End()
+	cfg.Trace.CountBool(trace.StagePeriodogram, pv < cfg.Alpha, "fisher_pass", "fisher_reject")
 
+	stv := cfg.Trace.StartStage(trace.StageValidation)
 	acf, err := spectrum.ACFFromPeriodogram(spectrum.FullRange(half), n)
 	if err != nil {
+		stv.End()
 		return Result{}, err
 	}
 	res.ACF = acf
 
 	if pv >= cfg.Alpha || res.Candidate == 0 {
+		stv.End()
 		return res, nil
 	}
 
 	res.ACFPeriod = acfMedianPeriod(acf, res.Candidate, cfg)
-	if res.ACFPeriod == 0 {
-		return res, nil
+	if res.ACFPeriod != 0 {
+		lo, hi := acceptRange(half, n, kHat)
+		if float64(res.ACFPeriod) >= lo && float64(res.ACFPeriod) <= hi &&
+			res.ACFPeriod >= cfg.MinPeriod && res.ACFPeriod <= n/2 &&
+			acfPersists(acf, res.ACFPeriod, cfg.ACFHeight) {
+			res.Final = res.ACFPeriod
+			res.Periodic = true
+		}
 	}
-	lo, hi := acceptRange(half, n, kHat)
-	if float64(res.ACFPeriod) >= lo && float64(res.ACFPeriod) <= hi &&
-		res.ACFPeriod >= cfg.MinPeriod && res.ACFPeriod <= n/2 &&
-		acfPersists(acf, res.ACFPeriod, cfg.ACFHeight) {
-		res.Final = res.ACFPeriod
-		res.Periodic = true
-	}
+	stv.End()
+	cfg.Trace.CountBool(trace.StageValidation, res.Periodic, "acf_accept", "acf_reject")
 	return res, nil
 }
 

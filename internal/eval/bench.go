@@ -1,0 +1,291 @@
+// The machine-readable benchmark harness behind `rpbench -json` and
+// the CI bench-guard job: a quality suite scoring the RobustPeriod
+// detector on the Tables 1–3 corpora, a perf suite timing whole
+// detections plus the per-stage breakdown from the trace layer, and a
+// comparator that turns a committed baseline report into a regression
+// gate.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"robustperiod/internal/baselines"
+	"robustperiod/internal/core"
+	"robustperiod/internal/synthetic"
+	"robustperiod/internal/trace"
+)
+
+// BenchSchema identifies the report layout; bump on incompatible
+// changes so CompareBench can refuse stale baselines.
+const BenchSchema = "robustperiod-bench/v1"
+
+// QualityRow scores the RobustPeriod detector on one corpus at one
+// tolerance. Score repeats the table's headline metric (precision for
+// Table 1, F1 for Tables 2–3) so the regression gate needs no
+// per-table knowledge.
+type QualityRow struct {
+	Table     int     `json:"table"`
+	Corpus    string  `json:"corpus"`
+	Tol       float64 `json:"tol"`
+	Metric    string  `json:"metric"`
+	Score     float64 `json:"score"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+// Key identifies the row for baseline matching.
+func (q QualityRow) Key() string {
+	return fmt.Sprintf("table%d/%s/tol=%g", q.Table, q.Corpus, q.Tol)
+}
+
+// PerfRow times whole detections at one series length, with the
+// per-stage wall-time breakdown from a traced run.
+type PerfRow struct {
+	Name        string           `json:"name"`
+	N           int              `json:"n"`
+	Iters       int              `json:"iters"`
+	NsPerOp     int64            `json:"nsPerOp"`
+	AllocsPerOp int64            `json:"allocsPerOp"`
+	BytesPerOp  int64            `json:"bytesPerOp"`
+	StageNs     map[string]int64 `json:"stageNs"`
+}
+
+// BenchReport is the full machine-readable result written to
+// BENCH_<timestamp>.json and consumed by CompareBench.
+type BenchReport struct {
+	Schema    string       `json:"schema"`
+	Generated string       `json:"generated"`
+	GoVersion string       `json:"goVersion"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Quick     bool         `json:"quick"`
+	Trials    int          `json:"trials"`
+	Seed      int64        `json:"seed"`
+	Quality   []QualityRow `json:"quality"`
+	Perf      []PerfRow    `json:"perf"`
+}
+
+// benchCorpus names one Tables 1–3 corpus for the quality suite. The
+// seed offsets mirror the table drivers above so a bench run scores
+// the detector on exactly the corpora the rendered tables use.
+type benchCorpus struct {
+	table  int
+	name   string
+	metric string
+	build  func(trials int, seed int64) []synthetic.Labeled
+}
+
+func benchCorpora() []benchCorpus {
+	return []benchCorpus{
+		{1, "sin-mild", "precision", func(tr int, s int64) []synthetic.Labeled {
+			return synthetic.SinCorpus(tr, 1000, synthetic.Sine, []int{100}, 0.1, 0.01, s)
+		}},
+		{1, "sin-severe", "precision", func(tr int, s int64) []synthetic.Labeled {
+			return synthetic.SinCorpus(tr, 1000, synthetic.Sine, []int{100}, 2, 0.2, s+1)
+		}},
+		{1, "cran", "precision", func(_ int, s int64) []synthetic.Labeled {
+			return synthetic.CRANCorpus(s + 2)
+		}},
+		{2, "multi-mild", "f1", func(tr int, s int64) []synthetic.Labeled {
+			return synthetic.SinCorpus(tr, 1000, synthetic.Sine, []int{20, 50, 100}, 0.1, 0.01, s+100)
+		}},
+		{2, "multi-severe", "f1", func(tr int, s int64) []synthetic.Labeled {
+			return synthetic.SinCorpus(tr, 1000, synthetic.Sine, []int{20, 50, 100}, 1, 0.1, s+101)
+		}},
+		{2, "yahoo-a3", "f1", func(tr int, s int64) []synthetic.Labeled {
+			return synthetic.YahooA3Corpus(tr, s+102)
+		}},
+		{2, "yahoo-a4", "f1", func(tr int, s int64) []synthetic.Labeled {
+			return synthetic.YahooA4Corpus(tr, s+103)
+		}},
+		{3, "square", "f1", func(tr int, s int64) []synthetic.Labeled {
+			return synthetic.SinCorpus(tr, 1000, synthetic.Square, []int{20, 50, 100}, 0.1, 0.01, s+200)
+		}},
+		{3, "triangle", "f1", func(tr int, s int64) []synthetic.Labeled {
+			return synthetic.SinCorpus(tr, 1000, synthetic.Triangle, []int{20, 50, 100}, 0.1, 0.01, s+201)
+		}},
+	}
+}
+
+// BenchQuality scores the RobustPeriod detector on every Tables 1–3
+// corpus at tolerances ±0% and ±2%. Fully deterministic in (trials,
+// seed), so a baseline generated with the same arguments reproduces
+// bit-identical scores and the gate can reject any drop.
+func BenchQuality(trials int, seed int64) []QualityRow {
+	d := baselines.RobustPeriod{}
+	var rows []QualityRow
+	for _, bc := range benchCorpora() {
+		corpus := bc.build(trials, seed)
+		for _, tol := range []float64{0, 0.02} {
+			m := Run(d, corpus, tol, true).Metrics
+			row := QualityRow{
+				Table: bc.table, Corpus: bc.name, Tol: tol, Metric: bc.metric,
+				Precision: m.Precision, Recall: m.Recall, F1: m.F1,
+			}
+			if bc.metric == "precision" {
+				row.Score = m.Precision
+			} else {
+				row.Score = m.F1
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// BenchPerf times whole detections on the canonical 3-periodic
+// synthetic series at N=500/1000/2000. NsPerOp/AllocsPerOp come from
+// an untraced loop (the production path); StageNs comes from separate
+// traced runs so the breakdown never contaminates the headline
+// number.
+func BenchPerf(quick bool, seed int64) []PerfRow {
+	iters := 10
+	if quick {
+		iters = 3
+	}
+	var rows []PerfRow
+	for _, n := range []int{500, 1000, 2000} {
+		cfg := synthetic.PaperConfig(n, synthetic.Sine, []int{20, 50, 100}, 0.1, 0.01, seed)
+		x := synthetic.Generate(cfg)
+		rows = append(rows, measureDetect(fmt.Sprintf("detect/N=%d", n), x, iters))
+	}
+	return rows
+}
+
+// measureDetect runs one warm-up detection, then an untraced timing
+// loop for wall time and allocation rates, then traced runs for the
+// per-stage breakdown.
+func measureDetect(name string, x []float64, iters int) PerfRow {
+	opts := core.Options{}
+	if _, err := core.Detect(x, opts); err != nil { // warm-up
+		return PerfRow{Name: name, N: len(x), Iters: 0}
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		core.Detect(x, opts) //nolint:errcheck // warm-up proved it succeeds
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	row := PerfRow{
+		Name:        name,
+		N:           len(x),
+		Iters:       iters,
+		NsPerOp:     wall.Nanoseconds() / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		StageNs:     map[string]int64{},
+	}
+
+	// Per-stage breakdown: fewer repetitions are enough since each
+	// trace already averages the stage over every call inside one run.
+	traceReps := max(1, iters/3)
+	for i := 0; i < traceReps; i++ {
+		tr := trace.New()
+		topts := opts
+		topts.Trace = tr
+		res, err := core.Detect(x, topts)
+		if err != nil || res == nil || res.Trace == nil {
+			continue
+		}
+		for _, st := range res.Trace.Stages {
+			row.StageNs[st.Name] += st.Duration.Nanoseconds()
+		}
+	}
+	for k := range row.StageNs {
+		row.StageNs[k] /= int64(traceReps)
+	}
+	return row
+}
+
+// RunBench produces the full report. Generated is stamped by the
+// caller (cmd/rpbench) so this package stays clock-free and testable.
+func RunBench(quick bool, trials int, seed int64) BenchReport {
+	return BenchReport{
+		Schema:    BenchSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     quick,
+		Trials:    trials,
+		Seed:      seed,
+		Quality:   BenchQuality(trials, seed),
+		Perf:      BenchPerf(quick, seed),
+	}
+}
+
+// qualityEps absorbs float formatting noise; corpora are seeded and
+// the detector is deterministic, so any real drop exceeds this.
+const qualityEps = 1e-9
+
+// CompareBench gates current against baseline: any quality-score drop
+// on the Tables 1–3 corpora is a violation, and any whole-detection
+// wall-time regression beyond maxRegress (e.g. 0.20 for +20%) is a
+// violation. A negative maxRegress disables the perf gate (useful
+// when baseline and current ran on different hardware). Returns a
+// human-readable violation list, empty when the gate passes.
+func CompareBench(baseline, current BenchReport, maxRegress float64) []string {
+	var violations []string
+	if baseline.Schema != BenchSchema {
+		return []string{fmt.Sprintf("baseline schema %q is not %q — regenerate the baseline", baseline.Schema, BenchSchema)}
+	}
+	if baseline.Trials != current.Trials || baseline.Seed != current.Seed {
+		violations = append(violations, fmt.Sprintf(
+			"baseline ran with trials=%d seed=%d but current ran with trials=%d seed=%d — quality scores are not comparable",
+			baseline.Trials, baseline.Seed, current.Trials, current.Seed))
+	}
+
+	base := make(map[string]QualityRow, len(baseline.Quality))
+	for _, q := range baseline.Quality {
+		base[q.Key()] = q
+	}
+	cur := make(map[string]QualityRow, len(current.Quality))
+	for _, q := range current.Quality {
+		cur[q.Key()] = q
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("quality row %s missing from current run", k))
+			continue
+		}
+		if c.Score < b.Score-qualityEps {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %s dropped %.4f -> %.4f", k, b.Metric, b.Score, c.Score))
+		}
+	}
+
+	if maxRegress >= 0 {
+		basePerf := make(map[string]PerfRow, len(baseline.Perf))
+		for _, p := range baseline.Perf {
+			basePerf[p.Name] = p
+		}
+		for _, c := range current.Perf {
+			b, ok := basePerf[c.Name]
+			if !ok || b.NsPerOp <= 0 {
+				continue
+			}
+			limit := float64(b.NsPerOp) * (1 + maxRegress)
+			if float64(c.NsPerOp) > limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s: wall time regressed %.2fms -> %.2fms (>%.0f%% over baseline)",
+					c.Name, float64(b.NsPerOp)/1e6, float64(c.NsPerOp)/1e6, maxRegress*100))
+			}
+		}
+	}
+	return violations
+}

@@ -139,17 +139,28 @@ func solvePentadiagonal(x []float64, lambda float64) {
 // iteration (1.345·MADN). Series shorter than 3 points or lambda <= 0
 // return a copy of y, matching Filter.
 func RobustFilter(y []float64, lambda, zeta float64, maxIter int) []float64 {
+	trend, _ := RobustFilterN(y, lambda, zeta, maxIter)
+	return trend
+}
+
+// RobustFilterN is RobustFilter additionally reporting how many IRLS
+// iterations were executed before convergence (0 when the input is too
+// short or lambda <= 0, i.e. no reweighting happened) — the pipeline's
+// tracing layer surfaces this as an HP-stage diagnostic.
+func RobustFilterN(y []float64, lambda, zeta float64, maxIter int) ([]float64, int) {
 	n := len(y)
 	trend := Filter(y, lambda)
 	if n < 3 || lambda <= 0 {
-		return trend
+		return trend, 0
 	}
 	if maxIter <= 0 {
 		maxIter = 10
 	}
+	iters := 0
 	w := make([]float64, n)
 	resid := make([]float64, n)
 	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
 		for i := range resid {
 			resid[i] = y[i] - trend[i]
 		}
@@ -157,7 +168,7 @@ func RobustFilter(y []float64, lambda, zeta float64, maxIter int) []float64 {
 		if z <= 0 {
 			z = 1.345 * madn(resid)
 			if z == 0 {
-				return trend
+				return trend, iters
 			}
 		}
 		for i, r := range resid {
@@ -180,7 +191,7 @@ func RobustFilter(y []float64, lambda, zeta float64, maxIter int) []float64 {
 			break
 		}
 	}
-	return trend
+	return trend, iters
 }
 
 // madn is a local normal-consistent MAD (kept here to avoid an import

@@ -1,0 +1,45 @@
+// The debug listener: net/http/pprof profiling and the expvar JSON
+// dump, served on a separate address so profiling endpoints are never
+// exposed on the public API port.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the handler served on Config.DebugAddr:
+//
+//	GET /debug/pprof/          pprof index (profile, heap, goroutine,
+//	                           block, mutex, trace, cmdline, symbol)
+//	GET /debug/vars            this server's expvar metrics, same JSON
+//	                           object as /metrics on the API listener
+//
+// The pprof handlers are mounted explicitly on a private mux — the
+// net/http/pprof side-effect registration on http.DefaultServeMux is
+// not relied upon, so importing this package never leaks profiling
+// endpoints into an embedding application's default mux routes.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, s.metrics.vars.String())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "robustperiod debug listener")
+		fmt.Fprintln(w, "  /debug/pprof/   profiling")
+		fmt.Fprintln(w, "  /debug/vars     expvar metrics")
+	})
+	return mux
+}

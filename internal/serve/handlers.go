@@ -122,6 +122,66 @@ type DetectResponse struct {
 	Cached    bool          `json:"cached"`
 	ElapsedMS float64       `json:"elapsedMs"`
 	Levels    []LevelDetail `json:"levels,omitempty"`
+	// Trace carries per-stage timings when the request asked for them
+	// with ?debug=1.
+	Trace *TraceSummary `json:"trace,omitempty"`
+}
+
+// TraceStage is the wire form of one pipeline stage's accumulated
+// timing in a ?debug=1 response.
+type TraceStage struct {
+	Stage    string           `json:"stage"`
+	Calls    int64            `json:"calls"`
+	Ms       float64          `json:"ms"`
+	Allocs   uint64           `json:"allocs"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// TraceLevel is the wire form of one wavelet level's verdict trail.
+type TraceLevel struct {
+	Level    int     `json:"level"`
+	Variance float64 `json:"variance"`
+	Boundary int     `json:"boundary"`
+	Selected bool    `json:"selected"`
+	Fisher   bool    `json:"fisher"`
+	Periodic bool    `json:"periodic"`
+	Period   int     `json:"period,omitempty"`
+}
+
+// TraceSummary is the wire form of a detection's stage trace.
+type TraceSummary struct {
+	TotalMs float64      `json:"totalMs"`
+	Stages  []TraceStage `json:"stages"`
+	Levels  []TraceLevel `json:"levels,omitempty"`
+}
+
+// toTraceSummary converts the library trace summary to wire form.
+func toTraceSummary(s *robustperiod.TraceSummary) *TraceSummary {
+	if s == nil {
+		return nil
+	}
+	out := &TraceSummary{TotalMs: float64(s.Total) / float64(time.Millisecond)}
+	for _, st := range s.Stages {
+		out.Stages = append(out.Stages, TraceStage{
+			Stage:    st.Name,
+			Calls:    st.Calls,
+			Ms:       float64(st.Duration) / float64(time.Millisecond),
+			Allocs:   st.Allocs,
+			Counters: st.Counters,
+		})
+	}
+	for _, lv := range s.Levels {
+		out.Levels = append(out.Levels, TraceLevel{
+			Level:    lv.Level,
+			Variance: lv.Variance,
+			Boundary: lv.Boundary,
+			Selected: lv.Selected,
+			Fisher:   lv.Fisher,
+			Periodic: lv.Periodic,
+			Period:   lv.Period,
+		})
+	}
+	return out
 }
 
 // BatchItem is one entry of a batch response, in request order.
@@ -215,18 +275,30 @@ type detOut struct {
 
 // runDetection serves one series: cache lookup, then a pool-bounded
 // DetectDetailsContext, then cache fill. It reports whether the
-// answer came from the cache.
-func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *APIOptions) (*robustperiod.Result, bool, error) {
+// answer came from the cache. Every computed (non-cached) detection
+// runs with a stage trace attached — the per-stage wall times feed
+// the stage_latency_ms histograms, and ?debug=1 responses inline the
+// summary. bypassCache skips both cache read and fill, so a debug
+// request always reports timings of an actual run, never a memoized
+// result.
+func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *APIOptions, bypassCache bool) (*robustperiod.Result, bool, error) {
 	opts, err := apiOpts.toOptions()
 	if err != nil {
 		return nil, false, &APIError{Code: "bad_options", Message: err.Error()}
 	}
-	key := requestKey(series, apiOpts.canonicalTag())
-	if res, ok := s.cache.get(key); ok {
-		s.metrics.cacheHits.Add(1)
-		return res, true, nil
+	var key cacheKey
+	if !bypassCache {
+		key = requestKey(series, apiOpts.canonicalTag())
+		if res, ok := s.cache.get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			return res, true, nil
+		}
+		s.metrics.cacheMisses.Add(1)
 	}
-	s.metrics.cacheMisses.Add(1)
+	if opts == nil {
+		opts = &robustperiod.Options{}
+	}
+	opts.Trace = robustperiod.NewTrace()
 
 	out := make(chan detOut, 1)
 	job := func() {
@@ -240,7 +312,10 @@ func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *AP
 	if o.err != nil {
 		return nil, false, o.err
 	}
-	s.cache.add(key, o.res)
+	s.metrics.observeStages(o.res.Trace)
+	if !bypassCache {
+		s.cache.add(key, o.res)
+	}
 	return o.res, false, nil
 }
 
@@ -306,7 +381,11 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	res, cached, err := s.runDetection(ctx, req.Series, req.Options)
+	// ?debug=1 inlines the per-stage trace into the response; such a
+	// request bypasses the result cache so the timings describe a real
+	// run of this exact request.
+	debug := r.URL.Query().Get("debug") == "1"
+	res, cached, err := s.runDetection(ctx, req.Series, req.Options, debug)
 	if err != nil {
 		status, apiErr := toAPIError(err)
 		writeJSON(w, status, map[string]*APIError{"error": apiErr})
@@ -319,6 +398,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Details {
 		resp.Levels = resultLevels(res)
+	}
+	if debug {
+		resp.Trace = toTraceSummary(res.Trace)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -357,7 +439,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		i, series := i, series
 		go func() {
 			defer wg.Done()
-			res, cached, err := s.runDetection(ctx, series, req.Options)
+			res, cached, err := s.runDetection(ctx, series, req.Options, false)
 			if err != nil {
 				_, items[i].Error = toAPIError(err)
 				return

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"robustperiod/internal/trace"
 )
 
 // latencyBucketsMS are the histogram bucket upper bounds, in
@@ -71,6 +73,7 @@ type metrics struct {
 	cacheHits   *expvar.Int
 	cacheMisses *expvar.Int
 	latency     map[string]*histogram // per-endpoint
+	stageLat    map[string]*histogram // per pipeline stage
 }
 
 func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
@@ -91,6 +94,18 @@ func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
 		m.latency[ep] = h
 		lat.Set(ep, h)
 	}
+	// Per-stage histograms are keyed by the fixed canonical stage set
+	// and registered exactly once, here, into this server's private
+	// expvar map — restarting or running several servers (tests) never
+	// re-publishes a name.
+	m.stageLat = make(map[string]*histogram)
+	stageLat := new(expvar.Map).Init()
+	for _, st := range trace.PipelineStages() {
+		h := newHistogram()
+		m.stageLat[st] = h
+		stageLat.Set(st, h)
+	}
+	m.vars.Set("stage_latency_ms", stageLat)
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("errors", m.errors)
 	m.vars.Set("in_flight", m.inFlight)
@@ -100,6 +115,20 @@ func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
 	m.vars.Set("worker_queue_depth", expvar.Func(func() any { return queueDepth() }))
 	m.vars.Set("cache_entries", expvar.Func(func() any { return cacheLen() }))
 	return m
+}
+
+// observeStages folds one detection's per-stage wall times into the
+// stage latency histograms. Stages outside the canonical pipeline set
+// are ignored (the histogram keys are fixed at construction).
+func (m *metrics) observeStages(s *trace.Summary) {
+	if s == nil {
+		return
+	}
+	for _, st := range s.Stages {
+		if h, ok := m.stageLat[st.Name]; ok {
+			h.Observe(st.Duration)
+		}
+	}
 }
 
 // observe records one finished request on endpoint ep.

@@ -20,6 +20,12 @@ import (
 type Config struct {
 	// Addr is the listen address; "" means ":8080".
 	Addr string
+	// DebugAddr, when non-empty, serves the debug listener
+	// (net/http/pprof under /debug/pprof/, expvar under /debug/vars)
+	// on a separate address — keep it on loopback or an internal
+	// interface; profiling endpoints do not belong on the API port.
+	// Empty disables the debug listener.
+	DebugAddr string
 	// RequestTimeout bounds the compute time of one request (detect
 	// or batch); 0 means 30s. The deadline propagates into the robust
 	// periodogram solvers via context, so a timed-out request stops
@@ -150,6 +156,19 @@ func (s *Server) Run(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
+	}
+	if s.cfg.DebugAddr != "" {
+		dln, err := net.Listen("tcp", s.cfg.DebugAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		// The debug server lives and dies with the run context; it has
+		// no in-flight work worth draining, so Close (not Shutdown) is
+		// enough.
+		dbg := &http.Server{Handler: s.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = dbg.Serve(dln) }()
+		defer dbg.Close()
 	}
 	return s.Serve(ctx, ln)
 }

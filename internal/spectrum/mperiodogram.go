@@ -14,6 +14,7 @@ import (
 
 	"robustperiod/internal/dsp/fft"
 	"robustperiod/internal/stat/robust"
+	"robustperiod/internal/trace"
 )
 
 // Loss selects the M-estimation loss of the robust periodogram.
@@ -72,6 +73,13 @@ type Options struct {
 	// when the requested band is wide enough to amortize the goroutine
 	// overhead. Results are identical to the sequential path.
 	Parallel bool
+
+	// Trace, when non-nil, accumulates the total IRLS/ADMM iteration
+	// count of the per-frequency robust regressions under the
+	// "periodogram" stage ("solver_iters" counter). Iterations are
+	// tallied locally per worker chunk and merged once per chunk, so
+	// the hot solver loops never touch a shared lock.
+	Trace *trace.Trace
 
 	// Ctx, when non-nil, is polled between per-frequency regressions
 	// and between solver iterations; once it is cancelled the
@@ -163,6 +171,10 @@ func MPeriodogram(x []float64, kLo, kHi int, opts Options) ([]float64, error) {
 	solveRange := func(lo, hi int) {
 		cosBuf := make([]float64, m)
 		sinBuf := make([]float64, m)
+		// Iterations accumulate locally and merge into the trace once
+		// per chunk, keeping the solver loop lock-free.
+		iters := int64(0)
+		defer func() { opts.Trace.Count(trace.StagePeriodogram, "solver_iters", iters) }()
 		for k := lo; k <= hi; k++ {
 			if cancelled(done) {
 				return
@@ -174,12 +186,14 @@ func MPeriodogram(x []float64, kLo, kHi int, opts Options) ([]float64, error) {
 				sinBuf[t] = s
 			}
 			var a, b float64
+			var it int
 			switch opts.Solver {
 			case SolverADMM:
-				a, b = solveADMM(fit, cosBuf, sinBuf, opts)
+				a, b, it = solveADMM(fit, cosBuf, sinBuf, opts)
 			default:
-				a, b = solveIRLS(fit, cosBuf, sinBuf, opts)
+				a, b, it = solveIRLS(fit, cosBuf, sinBuf, opts)
 			}
+			iters += int64(it)
 			out[k-kLo] = scale * (a*a + b*b)
 		}
 	}
@@ -271,18 +285,20 @@ func olsInit(x, cosB, sinB []float64) (a, b float64) {
 }
 
 // solveIRLS minimizes Σ γ(a·cos + b·sin − x) by iteratively
-// reweighted least squares on the 2×2 normal equations.
-func solveIRLS(x, cosB, sinB []float64, opts Options) (a, b float64) {
+// reweighted least squares on the 2×2 normal equations. iters reports
+// the reweighting iterations executed (for the tracing layer).
+func solveIRLS(x, cosB, sinB []float64, opts Options) (a, b float64, iters int) {
 	a, b = olsInit(x, cosB, sinB)
 	if opts.Loss == LossL2 {
-		return a, b
+		return a, b, 0
 	}
 	const ladEps = 1e-8
 	done := ctxDone(opts.Ctx)
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if cancelled(done) {
-			return a, b
+			return a, b, iters
 		}
+		iters++
 		var scc, sss, scs, sxc, sxs float64
 		for t := range x {
 			r := a*cosB[t] + b*sinB[t] - x[t]
@@ -301,7 +317,7 @@ func solveIRLS(x, cosB, sinB []float64, opts Options) (a, b float64) {
 		}
 		det := scc*sss - scs*scs
 		if det == 0 || math.IsNaN(det) {
-			return a, b
+			return a, b, iters
 		}
 		na := (sxc*sss - sxs*scs) / det
 		nb := (sxs*scc - sxc*scs) / det
@@ -311,16 +327,16 @@ func solveIRLS(x, cosB, sinB []float64, opts Options) (a, b float64) {
 			break
 		}
 	}
-	return a, b
+	return a, b, iters
 }
 
 // solveADMM minimizes Σ γ(z) subject to z = Φβ − x via ADMM with
 // penalty ρ; the β-update solves the exact 2×2 normal equations of
-// Φβ = x + z − u.
-func solveADMM(x, cosB, sinB []float64, opts Options) (a, b float64) {
+// Φβ = x + z − u. iters reports the ADMM iterations executed.
+func solveADMM(x, cosB, sinB []float64, opts Options) (a, b float64, iters int) {
 	a, b = olsInit(x, cosB, sinB)
 	if opts.Loss == LossL2 {
-		return a, b
+		return a, b, 0
 	}
 	n := len(x)
 	var scc, sss, scs float64
@@ -332,7 +348,7 @@ func solveADMM(x, cosB, sinB []float64, opts Options) (a, b float64) {
 	}
 	det := scc*sss - scs*scs
 	if det == 0 || math.IsNaN(det) {
-		return a, b
+		return a, b, 0
 	}
 	z := make([]float64, n)
 	u := make([]float64, n)
@@ -343,8 +359,9 @@ func solveADMM(x, cosB, sinB []float64, opts Options) (a, b float64) {
 	done := ctxDone(opts.Ctx)
 	for iter := 0; iter < 4*opts.MaxIter; iter++ {
 		if cancelled(done) {
-			return a, b
+			return a, b, iters
 		}
+		iters++
 		// β-update: least squares of Φβ = x + z − u.
 		var sc, ss float64
 		for t := range x {
@@ -386,7 +403,7 @@ func solveADMM(x, cosB, sinB []float64, opts Options) (a, b float64) {
 			break
 		}
 	}
-	return a, b
+	return a, b, iters
 }
 
 // huberProx returns argmin_z huber_ζ(z) + (ρ/2)(z − v)².
@@ -426,10 +443,13 @@ func RobustNyquist(x []float64, opts Options) float64 {
 	}
 	const ladEps = 1e-8
 	done := ctxDone(opts.Ctx)
+	iters := int64(0)
+	defer func() { opts.Trace.Count(trace.StagePeriodogram, "solver_iters", iters) }()
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if cancelled(done) {
 			break
 		}
+		iters++
 		var sw, swx float64
 		sign = 1.0
 		for _, v := range fit {

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTraceAllocatesNothing pins the zero-cost contract of the
+// disabled path: threading a nil *Trace through the pipeline must not
+// allocate (and in particular must not read the clock or the runtime
+// metrics), so production code can call it unconditionally.
+func TestNilTraceAllocatesNothing(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(200, func() {
+		st := tr.StartStage(StagePeriodogram)
+		tr.Count(StagePeriodogram, "solver_iters", 17)
+		tr.CountBool(StageValidation, true, "accepted", "rejected")
+		tr.RecordLevel(LevelOutcome{Level: 3})
+		st.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace path allocated %.1f objects per run, want 0", allocs)
+	}
+	if tr.Enabled() {
+		t.Fatal("nil trace reports Enabled")
+	}
+	if s := tr.Summary(); len(s.Stages) != 0 || len(s.Levels) != 0 || s.Total != 0 {
+		t.Fatalf("nil trace summary not zero: %+v", s)
+	}
+}
+
+// TestStageMerging checks that repeated sections of the same stage
+// merge into one Stage entry, preserving first-start order across
+// stages.
+func TestStageMerging(t *testing.T) {
+	tr := New()
+	for i := 0; i < 3; i++ {
+		st := tr.StartStage(StagePeriodogram)
+		time.Sleep(time.Millisecond)
+		st.End()
+	}
+	st := tr.StartStage(StageValidation)
+	st.End()
+	tr.Count(StagePeriodogram, "solver_iters", 5)
+	tr.Count(StagePeriodogram, "solver_iters", 7)
+
+	s := tr.Summary()
+	if len(s.Stages) != 2 {
+		t.Fatalf("want 2 merged stages, got %d: %+v", len(s.Stages), s.Stages)
+	}
+	if s.Stages[0].Name != StagePeriodogram || s.Stages[1].Name != StageValidation {
+		t.Fatalf("stage order not preserved: %+v", s.Stages)
+	}
+	p := s.Stage(StagePeriodogram)
+	if p.Calls != 3 {
+		t.Fatalf("want 3 merged calls, got %d", p.Calls)
+	}
+	if p.Duration < 3*time.Millisecond {
+		t.Fatalf("merged duration %v shorter than slept time", p.Duration)
+	}
+	if p.Counters["solver_iters"] != 12 {
+		t.Fatalf("counter not accumulated: %v", p.Counters)
+	}
+	if s.Stage("nonexistent") != nil {
+		t.Fatal("lookup of unknown stage should be nil")
+	}
+	if s.Total <= 0 {
+		t.Fatalf("total %v not positive", s.Total)
+	}
+}
+
+// TestAllocationCounting checks the per-stage allocation delta sees
+// work done inside the section.
+func TestAllocationCounting(t *testing.T) {
+	tr := New()
+	st := tr.StartStage(StageMODWT)
+	sink = make([]float64, 4096)
+	for i := 0; i < 64; i++ {
+		sink = append([]float64(nil), sink...)
+	}
+	st.End()
+	s := tr.Summary()
+	if got := s.Stage(StageMODWT).Allocs; got < 32 {
+		t.Fatalf("alloc counter saw only %d objects for ~65 slice allocations", got)
+	}
+}
+
+var sink []float64
+
+// TestConcurrentRecording exercises the mutex paths under the race
+// detector: per-level detections record stages and levels from many
+// goroutines at once.
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	const workers = 16
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := tr.StartStage(StagePeriodogram)
+			tr.Count(StagePeriodogram, "solver_iters", 10)
+			tr.RecordLevel(LevelOutcome{Level: w + 1})
+			st.End()
+		}()
+	}
+	wg.Wait()
+	s := tr.Summary()
+	p := s.Stage(StagePeriodogram)
+	if p == nil || p.Calls != workers {
+		t.Fatalf("want %d merged calls, got %+v", workers, p)
+	}
+	if p.Counters["solver_iters"] != 10*workers {
+		t.Fatalf("counter %d, want %d", p.Counters["solver_iters"], 10*workers)
+	}
+	if len(s.Levels) != workers {
+		t.Fatalf("want %d level outcomes, got %d", workers, len(s.Levels))
+	}
+}
+
+// TestSummaryIsSnapshot checks mutating the trace after Summary does
+// not alias into the snapshot.
+func TestSummaryIsSnapshot(t *testing.T) {
+	tr := New()
+	tr.Count(StageHPFilter, "irls_iters", 1)
+	s := tr.Summary()
+	tr.Count(StageHPFilter, "irls_iters", 100)
+	tr.RecordLevel(LevelOutcome{Level: 1})
+	if s.Stage(StageHPFilter).Counters["irls_iters"] != 1 {
+		t.Fatal("summary counters alias the live trace")
+	}
+	if len(s.Levels) != 0 {
+		t.Fatal("summary levels alias the live trace")
+	}
+}
+
+// TestPipelineStages pins the canonical stage list the serve layer
+// keys its histograms on.
+func TestPipelineStages(t *testing.T) {
+	want := []string{StageHPFilter, StageMODWT, StageRanking, StagePeriodogram, StageValidation}
+	got := PipelineStages()
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stage %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"robustperiod/internal/stat/robust"
+	"robustperiod/internal/trace"
 )
 
 // MODWT holds a maximal overlap discrete wavelet transform of a series:
@@ -87,6 +88,32 @@ func Transform(x []float64, f *Filter, levels int) (*MODWT, error) {
 	out.V = v
 	out.nonZero = true
 	return out, nil
+}
+
+// TransformTraced is Transform instrumented with the pipeline trace:
+// the pyramid computation is timed under trace.StageMODWT, and the
+// stage records the levels computed and the total boundary
+// coefficients that the unbiased wavelet variance will exclude
+// (each level loses L_j − 1 coefficients, capped at the series
+// length). A nil tr makes this exactly Transform.
+func TransformTraced(x []float64, f *Filter, levels int, tr *trace.Trace) (*MODWT, error) {
+	st := tr.StartStage(trace.StageMODWT)
+	m, err := Transform(x, f, levels)
+	st.End()
+	if err != nil || !tr.Enabled() {
+		return m, err
+	}
+	tr.Count(trace.StageMODWT, "levels", int64(levels))
+	boundary := int64(0)
+	for j := 1; j <= levels; j++ {
+		b := f.EquivalentWidth(j) - 1
+		if b > len(x) {
+			b = len(x)
+		}
+		boundary += int64(b)
+	}
+	tr.Count(trace.StageMODWT, "boundary_dropped", boundary)
+	return m, nil
 }
 
 // TransformReflected computes a MODWT of x with reflection boundary

@@ -27,6 +27,7 @@ import (
 	"robustperiod/internal/core"
 	"robustperiod/internal/detect"
 	"robustperiod/internal/spectrum"
+	"robustperiod/internal/trace"
 	"robustperiod/internal/wavelet"
 )
 
@@ -111,6 +112,42 @@ func DetectDetailsContext(ctx context.Context, y []float64, opts *Options) (*Res
 	}
 	return core.DetectContext(ctx, y, o)
 }
+
+// Trace collects per-stage observability data from one or more
+// detections: wall time, heap-allocation counts and stage-specific
+// diagnostics (HP-filter IRLS iterations, MODWT boundary
+// coefficients, per-frequency solver iteration totals, Fisher/ACF
+// accept–reject tallies). Create one with NewTrace, set it on
+// Options.Trace, run a detection, and read Result.Trace (or call
+// Summary on the trace directly). A nil Trace costs nothing.
+type Trace = trace.Trace
+
+// NewTrace returns an empty Trace whose total-time clock starts now.
+func NewTrace() *Trace { return trace.New() }
+
+// TraceSummary is the finished per-stage view of a Trace; returned in
+// Result.Trace after a traced detection.
+type TraceSummary = trace.Summary
+
+// TraceStage is one merged stage record of a TraceSummary.
+type TraceStage = trace.Stage
+
+// TraceLevel records one wavelet level's verdict trail in a
+// TraceSummary.
+type TraceLevel = trace.LevelOutcome
+
+// Canonical pipeline stage names appearing in a TraceSummary, in
+// execution order (the paper's Fig. 1).
+const (
+	StageHPFilter    = trace.StageHPFilter
+	StageMODWT       = trace.StageMODWT
+	StageRanking     = trace.StageRanking
+	StagePeriodogram = trace.StagePeriodogram
+	StageValidation  = trace.StageValidation
+)
+
+// PipelineStages lists the canonical stage names in pipeline order.
+func PipelineStages() []string { return trace.PipelineStages() }
 
 // SingleResult reports a standalone single-periodicity detection.
 type SingleResult = detect.Result
