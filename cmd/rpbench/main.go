@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"robustperiod/internal/eval"
+	"robustperiod/internal/eval/servicebench"
 )
 
 func main() {
@@ -156,6 +157,10 @@ func runBench(quick bool, trials int, seed int64, jsonOut, baselinePath string, 
 	log.Printf("bench: trials=%d seed=%d quick=%v", trials, seed, quick)
 	rep := eval.RunBench(quick, trials, seed)
 	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	service := servicebench.Run(quick, seed)
+	rep.Service = &service
+	log.Printf("bench: service %d requests, %d errors, %d shed, %d degraded",
+		service.Requests, service.Errors, service.Shed, service.Degraded)
 
 	for _, q := range rep.Quality {
 		log.Printf("bench: %-28s %s=%.4f (p=%.4f r=%.4f f1=%.4f)",

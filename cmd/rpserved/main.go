@@ -30,9 +30,11 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 
+	"robustperiod/internal/faults"
 	"robustperiod/internal/serve"
 )
 
@@ -50,7 +52,21 @@ func main() {
 	flag.IntVar(&cfg.MaxBatch, "max-batch", 0, "series per batch request limit (0 = 256)")
 	flag.IntVar(&cfg.Workers, "workers", 0, "detection worker count (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.CacheSize, "cache", 0, "LRU result-cache entries (0 = 1024, negative disables)")
+	flag.IntVar(&cfg.BreakerThreshold, "breaker-threshold", 0, "consecutive 500s that open an endpoint's circuit breaker (0 = 5, negative disables)")
+	flag.DurationVar(&cfg.BreakerCooldown, "breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 5s)")
 	flag.Parse()
+
+	// RP_FAULTS arms the deterministic fault-injection plan, e.g.
+	//   RP_FAULTS='spectrum/solver:error:p=0.05:seed=1,serve/cache:error:p=0.01'
+	// Chaos drills only — never set in production.
+	if spec := os.Getenv("RP_FAULTS"); spec != "" {
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			log.Fatalf("RP_FAULTS: %v", err)
+		}
+		faults.Enable(plan)
+		log.Printf("FAULT INJECTION ARMED: %s", faults.Describe())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

@@ -62,6 +62,104 @@ func FuzzDetect(f *testing.F) {
 	})
 }
 
+// bytesToRaggedSeries decodes a fuzz payload keeping NaN (the missing
+// marker) but clamping Inf and extreme magnitudes, for the
+// missing-data targets below. bytesToSeries zeroes NaN and would hide
+// the gap-handling paths entirely.
+func bytesToRaggedSeries(data []byte) []float64 {
+	n := len(data) / 8
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		switch {
+		case math.IsNaN(v):
+			// keep: this is the hole the fill path must survive
+		case math.IsInf(v, 0) || v > 1e12:
+			v = 1e12
+		case v < -1e12:
+			v = -1e12
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// FuzzInterpolate asserts the public gap-filling helper never panics
+// and always returns a fully finite series with a consistent mask, no
+// matter how the NaN runs land (edges, everything-NaN, no-NaN).
+func FuzzInterpolate(f *testing.F) {
+	seed := make([]byte, 32*8)
+	for i := 0; i < 32; i++ {
+		v := math.Sin(float64(i) / 2)
+		if i%5 == 0 {
+			v = math.NaN()
+		}
+		binary.LittleEndian.PutUint64(seed[i*8:], math.Float64bits(v))
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	allNaN := make([]byte, 8*8)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(allNaN[i*8:], math.Float64bits(math.NaN()))
+	}
+	f.Add(allNaN)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x := bytesToRaggedSeries(data)
+		if len(x) > 4096 {
+			x = x[:4096]
+		}
+		filled, mask := Interpolate(x)
+		if len(filled) != len(x) || len(mask) != len(x) {
+			t.Fatalf("length mismatch: in=%d out=%d mask=%d", len(x), len(filled), len(mask))
+		}
+		for i, v := range filled {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite output at %d: %v", i, v)
+			}
+			if mask[i] != math.IsNaN(x[i]) {
+				t.Fatalf("mask[%d] = %v but input NaN = %v", i, mask[i], math.IsNaN(x[i]))
+			}
+			if !mask[i] && v != x[i] {
+				t.Fatalf("surviving sample %d rewritten: %v -> %v", i, x[i], v)
+			}
+		}
+	})
+}
+
+// FuzzDetectFilled asserts the whole pipeline with FillMissing never
+// panics on gap-bearing input: every outcome is either a valid period
+// set or a structured sentinel error.
+func FuzzDetectFilled(f *testing.F) {
+	seed := make([]byte, 96*8)
+	for i := 0; i < 96; i++ {
+		v := math.Sin(float64(i) / 3)
+		if i%11 == 0 {
+			v = math.NaN()
+		}
+		binary.LittleEndian.PutUint64(seed[i*8:], math.Float64bits(v))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x := bytesToRaggedSeries(data)
+		if len(x) > 4096 {
+			x = x[:4096]
+		}
+		ps, err := Detect(x, &Options{FillMissing: true})
+		if err != nil {
+			return // short, too-sparse or Inf-bearing inputs error; they must not panic
+		}
+		n := len(x)
+		for i, p := range ps {
+			if p < 2 || p > n/2 {
+				t.Fatalf("period %d out of range for n=%d", p, n)
+			}
+			if i > 0 && ps[i] <= ps[i-1] {
+				t.Fatalf("periods not strictly ascending: %v", ps)
+			}
+		}
+	})
+}
+
 // FuzzDecompose asserts the decomposition identity holds for any
 // finite input and any admissible period.
 func FuzzDecompose(f *testing.F) {

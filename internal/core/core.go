@@ -7,19 +7,77 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"sort"
 	"sync"
+	"time"
 
 	"robustperiod/internal/detect"
 	"robustperiod/internal/dsp/fft"
+	"robustperiod/internal/faults"
 	"robustperiod/internal/filter/hp"
 	"robustperiod/internal/spectrum"
 	"robustperiod/internal/stat/robust"
+	"robustperiod/internal/synthetic"
 	"robustperiod/internal/trace"
 	"robustperiod/internal/wavelet"
+)
+
+// Sentinel errors for structurally invalid input, exposed so callers
+// (the HTTP service in particular) can map them to distinct client
+// error codes with errors.Is rather than string matching.
+var (
+	// ErrNonFinite marks input containing Inf, or NaN when
+	// Options.FillMissing is off.
+	ErrNonFinite = errors.New("core: non-finite input")
+	// ErrTooManyMissing marks input where more than half the samples
+	// are NaN — too sparse for interpolation to preserve periodic
+	// structure.
+	ErrTooManyMissing = errors.New("core: too many missing values")
+)
+
+// Degradation records one graceful-degradation event: the pipeline
+// kept going but substituted a cheaper or more conservative step, so
+// the result may be lower quality than a clean run. Stage names match
+// the trace package's stage constants; Level is the 1-based wavelet
+// level for level-scoped events and 0 otherwise.
+type Degradation struct {
+	Stage  string `json:"stage"`
+	Level  int    `json:"level,omitempty"`
+	Reason string `json:"reason"`
+}
+
+// Degradation reasons. The per-level detector additionally reports
+// detect.ReasonBudgetExceeded and detect.ReasonSolverFailed through
+// the same channel.
+const (
+	// ReasonConstantSeries: the input was (numerically) constant, so
+	// the empty period set was returned without running the pipeline.
+	ReasonConstantSeries = "constant_series"
+	// ReasonTrendResidue: the HP trend fit left essentially no
+	// residual; the series was declared aperiodic instead of
+	// normalizing filter residue into a fake oscillation.
+	ReasonTrendResidue = "trend_residue"
+	// ReasonScalingBandResidue: the wavelet levels jointly carried a
+	// negligible share of the variance; everything lives in the
+	// slow-trend scaling band and the levels were not searched.
+	ReasonScalingBandResidue = "scaling_band_residue"
+	// ReasonHPRobustFallback: the robust (Huber-loss) trend solve
+	// failed and the classical quadratic-loss HP trend was used.
+	ReasonHPRobustFallback = "hp_robust_fallback"
+	// ReasonMODWTFailed: the wavelet decomposition failed; the
+	// pipeline fell back to direct single-period detection on the
+	// preprocessed series.
+	ReasonMODWTFailed = "modwt_failed"
+	// ReasonLevelFailed: one wavelet level's detection failed; the
+	// level was skipped and the remaining levels proceeded.
+	ReasonLevelFailed = "level_failed"
+	// ReasonLevelPanic: one wavelet level's detection panicked; the
+	// panic was contained to that level.
+	ReasonLevelPanic = "level_panic"
 )
 
 // Options configures the pipeline. The zero value gives the paper's
@@ -52,6 +110,21 @@ type Options struct {
 	MinResidualRatio float64
 	// Detect configures the per-level single-period detector.
 	Detect detect.Config
+	// StageBudget bounds each per-level robust periodogram solve. A
+	// level that exhausts its budget degrades to the classical
+	// periodogram (robust ACF validation still runs) and the result is
+	// annotated in Result.Degraded. 0 (the default) derives a budget
+	// from the context deadline when one is present: 80% of the
+	// remaining time, split across the selected levels when they run
+	// sequentially. Negative disables budgeting even under a deadline;
+	// positive is an explicit per-level budget.
+	StageBudget time.Duration
+	// FillMissing linearly interpolates NaN runs in the input before
+	// detection (flat extension at the edges) instead of rejecting
+	// them; the filled share is reported in Result.FilledFraction.
+	// Series that are more than half NaN are rejected with
+	// ErrTooManyMissing, and Inf is always rejected.
+	FillMissing bool
 
 	// SkipPreprocess feeds the raw series to the MODWT (for data that
 	// is already detrended and normalized).
@@ -145,6 +218,12 @@ type Result struct {
 	// Trace is the per-stage timing/diagnostic summary; populated only
 	// when Options.Trace was set.
 	Trace *trace.Summary
+	// Degraded lists every graceful-degradation event of the run, in
+	// the order encountered; empty on a clean full-quality detection.
+	Degraded []Degradation
+	// FilledFraction is the share of input samples that were NaN and
+	// interpolated before detection (Options.FillMissing only).
+	FilledFraction float64
 }
 
 // Detect runs RobustPeriod on y and returns every detected periodicity.
@@ -180,24 +259,102 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 	if n < 16 {
 		return nil, fmt.Errorf("core: series too short (%d < 16)", n)
 	}
+	missing := 0
 	for i, v := range y {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("core: non-finite value at index %d; fill gaps first (e.g. robustperiod.Interpolate)", i)
+		if math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: Inf at index %d", ErrNonFinite, i)
 		}
+		if math.IsNaN(v) {
+			if !opts.FillMissing {
+				return nil, fmt.Errorf("%w: NaN at index %d; fill gaps first (e.g. robustperiod.Interpolate) or set Options.FillMissing", ErrNonFinite, i)
+			}
+			missing++
+		}
+	}
+	if missing*2 > n {
+		return nil, fmt.Errorf("%w: %d of %d samples are NaN", ErrTooManyMissing, missing, n)
+	}
+	if missing > 0 {
+		mask := make([]bool, n)
+		filled := make([]float64, n)
+		for i, v := range y {
+			filled[i] = v
+			mask[i] = math.IsNaN(v)
+		}
+		synthetic.InterpolateMasked(filled, mask)
+		y = filled
 	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	res = &Result{}
+	// Validate structural options before any fast path can return, so
+	// a bad configuration always errors rather than silently "working"
+	// on degenerate input.
+	f, err := wavelet.NewFilter(opts.Wavelet)
+	if err != nil {
+		return nil, err
+	}
+
+	res = &Result{FilledFraction: float64(missing) / float64(n)}
+
+	// Degenerate input: a (numerically) constant series carries no
+	// oscillation, and pushing it through detrending + normalization
+	// would only amplify rounding noise. Report the empty period set
+	// immediately. The peak-to-peak test is deliberate — a robust
+	// scale like the MAD is zero for sparse spike trains too, and
+	// those are genuinely periodic.
+	lo, hi := y[0], y[0]
+	for _, v := range y {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if span := math.Max(math.Abs(lo), math.Abs(hi)); hi-lo <= 1e-12*span {
+		res.Degraded = append(res.Degraded, Degradation{Stage: trace.StageHPFilter, Reason: ReasonConstantSeries})
+		res.Preprocessed = make([]float64, n)
+		return res, nil
+	}
+
+	// Resolve the per-level periodogram budget: explicit > derived
+	// from the deadline > none. The derived budget spends at most 80%
+	// of the remaining time on periodogram solves, split across the
+	// selected levels when they run one after another, so even a
+	// pathological solve leaves room for validation before the
+	// deadline; the split factor is applied once the selection is
+	// known, below.
+	budget := opts.StageBudget
+	if budget == 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			if remain := time.Until(dl); remain > 0 {
+				budget = remain * 4 / 5
+			}
+		}
+	}
+	if budget > 0 {
+		opts.Detect.Budget = budget
+	}
+
 	x := y
 	if !opts.SkipPreprocess {
 		st := tr.StartStage(trace.StageHPFilter)
 		var detrended, trend []float64
 		if opts.RobustTrend {
 			var irlsIters int
-			trend, irlsIters = hp.RobustFilterN(y, opts.Lambda, 0, 0)
+			var herr error
+			trend, irlsIters, herr = hp.RobustTrendFilter(y, opts.Lambda, 0, 0)
+			if herr != nil {
+				// The IRLS solve failed; RobustTrendFilter already
+				// handed back the classical quadratic-loss trend, so
+				// detection proceeds at slightly reduced outlier
+				// resistance rather than aborting.
+				res.Degraded = append(res.Degraded, Degradation{Stage: trace.StageHPFilter, Reason: ReasonHPRobustFallback})
+				tr.Count(trace.StageHPFilter, "robust_trend_fallbacks", 1)
+			}
 			tr.Count(trace.StageHPFilter, "irls_iters", int64(irlsIters))
 			detrended = make([]float64, n)
 			for i := range y {
@@ -213,6 +370,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 		// ringing period.
 		rawScale := robust.MADN(y)
 		if rawScale > 0 && robust.MADN(detrended) < opts.MinResidualRatio*rawScale {
+			res.Degraded = append(res.Degraded, Degradation{Stage: trace.StageHPFilter, Reason: ReasonTrendResidue})
 			res.Preprocessed = detrended
 			st.End()
 			return res, nil
@@ -224,10 +382,6 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 	}
 	res.Preprocessed = x
 
-	f, err := wavelet.NewFilter(opts.Wavelet)
-	if err != nil {
-		return nil, err
-	}
 	levels := wavelet.MaxLevel(n, f)
 	if opts.MaxLevels > 0 && opts.MaxLevels < levels {
 		levels = opts.MaxLevels
@@ -239,6 +393,9 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 		if derr != nil {
 			return nil, derr
 		}
+		if det.Degraded != "" {
+			res.Degraded = append(res.Degraded, Degradation{Stage: trace.StagePeriodogram, Reason: det.Degraded})
+		}
 		if det.Periodic {
 			res.Periods = []int{det.Final}
 		}
@@ -248,7 +405,26 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 
 	m, err := wavelet.TransformTraced(x, f, levels, tr)
 	if err != nil {
-		return nil, err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// The decomposition failed. Multi-periodicity separation is
+		// lost, but direct single-period detection on the preprocessed
+		// series still recovers the dominant component.
+		det, derr := detect.Single(x, 1, n-1, opts.Detect)
+		if derr != nil {
+			return nil, err
+		}
+		res.Degraded = append(res.Degraded, Degradation{Stage: trace.StageMODWT, Reason: ReasonMODWTFailed})
+		if det.Degraded != "" {
+			res.Degraded = append(res.Degraded, Degradation{Stage: trace.StagePeriodogram, Reason: det.Degraded})
+		}
+		tr.Count(trace.StageMODWT, "modwt_fallbacks", 1)
+		if det.Periodic {
+			res.Periods = []int{det.Final}
+		}
+		res.Levels = []LevelDetail{{Level: 0, Selected: true, Detection: det}}
+		return res, nil
 	}
 	// Reflection-extended transform, built lazily for the boundary
 	// fallback below.
@@ -284,6 +460,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 	// only a coherent echo of that residue and any "period" found in
 	// them is an artifact.
 	if xVar := robust.BiweightMidvariance(x); total < 0.01*xVar {
+		res.Degraded = append(res.Degraded, Degradation{Stage: trace.StageRanking, Reason: ReasonScalingBandResidue})
 		st.End()
 		return res, nil
 	}
@@ -311,31 +488,58 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 	tr.Count(trace.StageRanking, "levels_ranked", int64(levels))
 	tr.Count(trace.StageRanking, "levels_selected", int64(len(selected)))
 
-	detectLevel := func(idx int) (detect.Result, error) {
-		if err := ctx.Err(); err != nil {
-			return detect.Result{}, err
+	// A derived (deadline-based) budget is for the whole periodogram
+	// stage; sequential levels share it, parallel levels each get it.
+	if opts.StageBudget == 0 && opts.Detect.Budget > 0 && !opts.Parallel && len(selected) > 1 {
+		opts.Detect.Budget /= time.Duration(len(selected))
+	}
+
+	detectLevel := func(idx int) (det detect.Result, deg []Degradation, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				// Contain the blast radius to this level: record the
+				// panic as a degradation and let the other levels'
+				// verdicts stand.
+				det, err = detect.Result{}, nil
+				deg = []Degradation{{Stage: trace.StagePeriodogram, Level: idx + 1, Reason: ReasonLevelPanic}}
+				tr.Count(trace.StagePeriodogram, "level_panics", 1)
+			}
+		}()
+		if cerr := ctx.Err(); cerr != nil {
+			return detect.Result{}, nil, cerr
+		}
+		if ferr := faults.Check(faults.PointCoreLevel); ferr != nil {
+			tr.Count(trace.StagePeriodogram, "level_failures", 1)
+			return detect.Result{}, []Degradation{{Stage: trace.StagePeriodogram, Level: idx + 1, Reason: ReasonLevelFailed}}, nil
 		}
 		kLo, kHi := Passband(n, idx+1)
 		if opts.FullRobustBand {
 			kLo, kHi = 1, n-1
 		}
+		annotate := func(d detect.Result) []Degradation {
+			if d.Degraded == "" {
+				return nil
+			}
+			return []Degradation{{Stage: trace.StagePeriodogram, Level: idx + 1, Reason: d.Degraded}}
+		}
 		det, derr := detect.Single(m.W[idx], kLo, kHi, opts.Detect)
 		if derr != nil || det.Periodic || opts.CircularBoundary {
-			return det, derr
+			return det, annotate(det), derr
 		}
 		// Boundary fallback: retry the level on reflection-extended
 		// coefficients; keep whichever verdict is periodic.
 		rm := reflected()
 		if rm == nil {
-			return det, nil
+			return det, annotate(det), nil
 		}
 		det2, derr2 := detect.Single(rm.W[idx], kLo, kHi, opts.Detect)
 		if derr2 == nil && det2.Periodic {
-			return det2, nil
+			return det2, annotate(det2), nil
 		}
-		return det, nil
+		return det, annotate(det), nil
 	}
 	results := make([]detect.Result, levels)
+	degs := make([][]Degradation, levels)
 	errs := make([]error, levels)
 	if opts.Parallel && len(selected) > 1 {
 		var wg sync.WaitGroup
@@ -343,13 +547,13 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 			wg.Add(1)
 			go func(idx int) {
 				defer wg.Done()
-				results[idx], errs[idx] = detectLevel(idx)
+				results[idx], degs[idx], errs[idx] = detectLevel(idx)
 			}(idx)
 		}
 		wg.Wait()
 	} else {
 		for _, idx := range selected {
-			results[idx], errs[idx] = detectLevel(idx)
+			results[idx], degs[idx], errs[idx] = detectLevel(idx)
 		}
 	}
 	var hits []found
@@ -359,6 +563,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 		}
 		res.Levels[idx].Selected = true
 		res.Levels[idx].Detection = results[idx]
+		res.Degraded = append(res.Degraded, degs[idx]...)
 		if results[idx].Periodic {
 			hits = append(hits, found{results[idx].Final, vars[idx].Variance})
 		}

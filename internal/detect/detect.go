@@ -7,8 +7,11 @@
 package detect
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"robustperiod/internal/peaks"
 	"robustperiod/internal/spectrum"
@@ -32,6 +35,15 @@ type Config struct {
 	// and tallies Fisher/ACF verdicts. Same-named stages from
 	// concurrent per-level detections merge into one accumulator.
 	Trace *trace.Trace
+	// Budget bounds the wall time of this detection's robust
+	// periodogram solve. When the budget expires (and the caller's own
+	// context, MPOpts.Ctx, is still live) the detector falls back to
+	// the classical periodogram instead of erroring; the robust ACF
+	// validation still runs on the result. <= 0 means unbounded.
+	Budget time.Duration
+	// NoFallback disables the degraded classical-periodogram fallback:
+	// budget exhaustion and solver failures surface as errors.
+	NoFallback bool
 	// MPOpts configures the robust periodogram.
 	MPOpts spectrum.Options
 }
@@ -61,9 +73,23 @@ type Result struct {
 	Final     int     // fin_T: validated period (0 = rejected)
 	Periodic  bool    // the level's overall verdict
 
+	// Degraded names the reason this detection fell back to the
+	// classical periodogram ("" = full-quality robust path): one of
+	// ReasonBudgetExceeded or ReasonSolverFailed.
+	Degraded string
+
 	Periodogram []float64 // half-range hybrid (robust-in-band) periodogram
 	ACF         []float64 // Huber-ACF, lags 0..N−1
 }
+
+// Degradation reasons reported in Result.Degraded.
+const (
+	// ReasonBudgetExceeded: the robust solve blew its stage budget.
+	ReasonBudgetExceeded = "periodogram_budget_exceeded"
+	// ReasonSolverFailed: the robust regression failed (divergence or
+	// an injected solver fault).
+	ReasonSolverFailed = "robust_solver_failed"
+)
 
 // FisherTest runs Fisher's g-test on half-range periodogram ordinates
 // p[1:] (p[0], the DC term, is ignored). It returns the statistic, the
@@ -138,12 +164,12 @@ func Single(x []float64, kLo, kHi int, cfg Config) (Result, error) {
 	}
 
 	stp := cfg.Trace.StartStage(trace.StagePeriodogram)
-	half, err := spectrum.HybridPeriodogram(padded, kLo, kHi, cfg.MPOpts)
+	half, degraded, err := hybridWithBudget(padded, kLo, kHi, cfg)
 	if err != nil {
 		stp.End()
 		return Result{}, err
 	}
-	res := Result{Periodogram: half}
+	res := Result{Periodogram: half, Degraded: degraded}
 
 	g, pv, kHat := FisherTest(half)
 	res.GStat, res.PValue, res.KHat = g, pv, kHat
@@ -184,6 +210,51 @@ func Single(x []float64, kLo, kHi int, cfg Config) (Result, error) {
 	stv.End()
 	cfg.Trace.CountBool(trace.StageValidation, res.Periodic, "acf_accept", "acf_reject")
 	return res, nil
+}
+
+// hybridWithBudget runs the hybrid robust periodogram under
+// cfg.Budget and, unless cfg.NoFallback, degrades to the classical
+// periodogram when the robust solve fails or exhausts its budget
+// while the caller's own context is still live. The returned string
+// is the degradation reason ("" on the full-quality path).
+func hybridWithBudget(padded []float64, kLo, kHi int, cfg Config) ([]float64, string, error) {
+	mp := cfg.MPOpts
+	parent := mp.Ctx
+	var cancel context.CancelFunc
+	if cfg.Budget > 0 && mp.Loss != spectrum.LossL2 {
+		base := parent
+		if base == nil {
+			base = context.Background()
+		}
+		mp.Ctx, cancel = context.WithTimeout(base, cfg.Budget)
+	}
+	half, err := spectrum.HybridPeriodogram(padded, kLo, kHi, mp)
+	if cancel != nil {
+		cancel()
+	}
+	if err == nil {
+		return half, "", nil
+	}
+	// The caller's own context expiring is a genuine cancellation —
+	// the request is dead, so a degraded answer helps no one.
+	if parent != nil && parent.Err() != nil {
+		return nil, "", parent.Err()
+	}
+	if cfg.NoFallback || cfg.MPOpts.Loss == spectrum.LossL2 {
+		return nil, "", err
+	}
+	reason := ReasonSolverFailed
+	if errors.Is(err, context.DeadlineExceeded) {
+		reason = ReasonBudgetExceeded
+	}
+	l2 := cfg.MPOpts
+	l2.Loss = spectrum.LossL2
+	half, err2 := spectrum.HybridPeriodogram(padded, kLo, kHi, l2)
+	if err2 != nil {
+		return nil, "", err
+	}
+	cfg.Trace.Count(trace.StagePeriodogram, "degraded_fallbacks", 1)
+	return half, reason, nil
 }
 
 // acfPersists checks that the autocorrelation stays elevated at the

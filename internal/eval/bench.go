@@ -67,6 +67,9 @@ type BenchReport struct {
 	Seed      int64        `json:"seed"`
 	Quality   []QualityRow `json:"quality"`
 	Perf      []PerfRow    `json:"perf"`
+	// Service is the in-process service leg (additive since the
+	// schema's introduction; absent in older baselines).
+	Service *ServiceRow `json:"service,omitempty"`
 }
 
 // benchCorpus names one Tables 1–3 corpus for the quality suite. The
@@ -206,8 +209,9 @@ func measureDetect(name string, x []float64, iters int) PerfRow {
 	return row
 }
 
-// RunBench produces the full report. Generated is stamped by the
-// caller (cmd/rpbench) so this package stays clock-free and testable.
+// RunBench produces the full report. Generated is stamped and the
+// Service leg attached by the caller (cmd/rpbench) so this package
+// stays clock-free, serve-free and testable.
 func RunBench(quick bool, trials int, seed int64) BenchReport {
 	return BenchReport{
 		Schema:    BenchSchema,
@@ -268,6 +272,8 @@ func CompareBench(baseline, current BenchReport, maxRegress float64) []string {
 				"%s: %s dropped %.4f -> %.4f", k, b.Metric, b.Score, c.Score))
 		}
 	}
+
+	violations = append(violations, compareService(current.Service)...)
 
 	if maxRegress >= 0 {
 		basePerf := make(map[string]PerfRow, len(baseline.Perf))

@@ -55,6 +55,31 @@ func TestCompareBenchFlagsQualityDrop(t *testing.T) {
 	}
 }
 
+func TestCompareBenchFlagsServiceTrouble(t *testing.T) {
+	base := benchFixture()
+	cur := benchFixture()
+	// Absent service leg (older runs, library-only runs): no gate.
+	if v := CompareBench(base, cur, 0.20); len(v) != 0 {
+		t.Fatalf("nil service row flagged: %v", v)
+	}
+	cur.Service = &ServiceRow{Requests: 9}
+	if v := CompareBench(base, cur, 0.20); len(v) != 0 {
+		t.Fatalf("clean service row flagged: %v", v)
+	}
+	// Any shed, error or degradation on the idle bench service is a
+	// violation — overload protection must stay inert on clean input.
+	cur.Service = &ServiceRow{Requests: 9, Shed: 1, Errors: 2, Degraded: 3}
+	v := CompareBench(base, cur, 0.20)
+	if len(v) != 3 {
+		t.Fatalf("want 3 service violations, got %v", v)
+	}
+	for _, s := range v {
+		if !strings.Contains(s, "service:") {
+			t.Errorf("violation missing service prefix: %s", s)
+		}
+	}
+}
+
 func TestCompareBenchFlagsPerfRegression(t *testing.T) {
 	base := benchFixture()
 	cur := benchFixture()

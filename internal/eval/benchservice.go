@@ -1,0 +1,39 @@
+// The data and gate halves of the benchmark's service leg. The run
+// half lives in internal/eval/servicebench: it imports internal/serve
+// (and through it the root robustperiod package), an edge eval itself
+// must not take because the root package's tests import eval.
+package eval
+
+import "fmt"
+
+// ServiceRow summarizes the in-process service run of the benchmark
+// (see servicebench.Run): the perf-suite series served through a real
+// rpserved handler stack.
+type ServiceRow struct {
+	Requests int   `json:"requests"`
+	Errors   int   `json:"errors"`   // non-200 responses
+	Shed     int64 `json:"shed"`     // requests_shed_total across endpoints
+	Degraded int64 `json:"degraded"` // detections with degradation annotations
+}
+
+// compareService gates the service leg: a healthy single-tenant run
+// over the perf corpora must admit and fully serve every request.
+func compareService(current *ServiceRow) []string {
+	if current == nil {
+		return nil
+	}
+	var violations []string
+	if current.Shed > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"service: %d of %d bench requests were shed — admission control fires on an idle service", current.Shed, current.Requests))
+	}
+	if current.Errors > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"service: %d of %d bench requests failed", current.Errors, current.Requests))
+	}
+	if current.Degraded > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"service: %d of %d bench detections degraded on clean input", current.Degraded, current.Requests))
+	}
+	return violations
+}

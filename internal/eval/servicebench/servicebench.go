@@ -1,0 +1,69 @@
+// The service leg of the benchmark: the perf-suite series pushed
+// through an in-process rpserved handler stack, proving the admission
+// controller, circuit breakers and degradation layer stay inert on a
+// healthy, correctly-sized service. Sheds or degraded detections here
+// mean overload protection fires on normal traffic — a regression the
+// CI gate must catch.
+//
+// This lives outside internal/eval because it imports internal/serve
+// (and through it the root robustperiod package); keeping eval free
+// of that edge lets the root package's own tests keep importing eval
+// without an import cycle.
+package servicebench
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+
+	"robustperiod/internal/eval"
+	"robustperiod/internal/serve"
+	"robustperiod/internal/synthetic"
+)
+
+// Run pushes the perf-suite series through a fresh in-process
+// serve.Server and reports request outcomes plus the service's own
+// shed/degraded counters read back from /metrics. The cache is
+// disabled so every request is a real detection.
+func Run(quick bool, seed int64) eval.ServiceRow {
+	reps := 3
+	if quick {
+		reps = 1
+	}
+	srv := serve.New(serve.Config{CacheSize: -1})
+	defer srv.Close()
+	h := srv.Handler()
+
+	row := eval.ServiceRow{}
+	for _, n := range []int{500, 1000, 2000} {
+		cfg := synthetic.PaperConfig(n, synthetic.Sine, []int{20, 50, 100}, 0.1, 0.01, seed)
+		x := synthetic.Generate(cfg)
+		body, _ := json.Marshal(map[string]any{"series": x})
+		for i := 0; i < reps; i++ {
+			req := httptest.NewRequest("POST", "/v1/detect", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			row.Requests++
+			if rec.Code != 200 {
+				row.Errors++
+			}
+		}
+	}
+
+	// Read the service's own view back through the metrics endpoint,
+	// so the bench also proves the counters are wired.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var vars struct {
+		Shed     map[string]int64 `json:"requests_shed_total"`
+		Degraded int64            `json:"degraded_total"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err == nil {
+		for _, n := range vars.Shed {
+			row.Shed += n
+		}
+		row.Degraded = vars.Degraded
+	}
+	return row
+}

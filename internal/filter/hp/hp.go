@@ -13,6 +13,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"robustperiod/internal/faults"
 )
 
 // ErrShort is returned when the input is too short to detrend.
@@ -148,6 +150,26 @@ func RobustFilter(y []float64, lambda, zeta float64, maxIter int) []float64 {
 // short or lambda <= 0, i.e. no reweighting happened) — the pipeline's
 // tracing layer surfaces this as an HP-stage diagnostic.
 func RobustFilterN(y []float64, lambda, zeta float64, maxIter int) ([]float64, int) {
+	trend, iters, _ := RobustTrendFilter(y, lambda, zeta, maxIter)
+	return trend, iters
+}
+
+// RobustTrendFilter is RobustFilterN with an explicit failure channel:
+// when the IRLS solve cannot be trusted (today only reachable through
+// the "hp/robust_solver" fault point; a genuine solver breakdown would
+// surface the same way), it returns the plain quadratic-loss HP trend
+// together with a non-nil error so the pipeline can degrade to the
+// classical filter and annotate the detection instead of aborting.
+func RobustTrendFilter(y []float64, lambda, zeta float64, maxIter int) ([]float64, int, error) {
+	if err := faults.Check(faults.PointHPRobustSolver); err != nil {
+		return Filter(y, lambda), 0, err
+	}
+	trend, iters := robustFilterN(y, lambda, zeta, maxIter)
+	return trend, iters, nil
+}
+
+// robustFilterN is the IRLS loop behind RobustFilterN/RobustTrendFilter.
+func robustFilterN(y []float64, lambda, zeta float64, maxIter int) ([]float64, int) {
 	n := len(y)
 	trend := Filter(y, lambda)
 	if n < 3 || lambda <= 0 {

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit breaker states. The wire/metrics form is the lowercase name;
+// the numeric order is part of the /metrics contract (0 healthy).
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-endpoint circuit breaker over internal (5xx-class)
+// failures. Closed it counts consecutive failures; at threshold it
+// opens and rejects requests outright — a backend that is panicking or
+// erroring on every request does not deserve the remaining queue
+// capacity. After cooldown it half-opens: exactly one probe request is
+// let through, and its verdict decides between closing (recovered) and
+// re-opening (still broken). Client-caused failures (4xx, timeouts,
+// cancellations) never count — a flood of bad input must not take the
+// endpoint down for well-formed requests.
+type breaker struct {
+	threshold int              // consecutive failures to open
+	cooldown  time.Duration    // open → half-open delay
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    int
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // the single half-open probe is in flight
+	opens    int64     // cumulative open transitions
+}
+
+// newBreaker returns a breaker, or nil (never trips) when threshold
+// is negative.
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 0 {
+		return nil
+	}
+	if threshold == 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed. In the open state it
+// returns false until cooldown has elapsed, then admits exactly one
+// probe (transitioning to half-open); in half-open it rejects
+// everything but that probe. A nil breaker always allows.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// finish records the outcome of a request previously admitted by
+// allow. failed must be true only for internal failures.
+func (b *breaker) finish(failed bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if !failed {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.opens++
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if failed {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.opens++
+			return
+		}
+		b.state = breakerClosed
+		b.failures = 0
+	case breakerOpen:
+		// A request admitted before the trip finished after it; its
+		// outcome carries no information about recovery.
+	}
+}
+
+// retryAfter returns how long until the breaker will next admit a
+// probe, rounded up to whole seconds (minimum 1) for a Retry-After
+// header.
+func (b *breaker) retryAfter() int {
+	if b == nil {
+		return 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	remain := b.cooldown - b.now().Sub(b.openedAt)
+	if remain <= 0 {
+		return 1
+	}
+	secs := int((remain + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// snapshot returns the current state name and the cumulative number
+// of open transitions, for metrics.
+func (b *breaker) snapshot() (state string, opens int64) {
+	if b == nil {
+		return breakerStateName(breakerClosed), 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStateName(b.state), b.opens
+}

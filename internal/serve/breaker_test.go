@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"robustperiod/internal/faults"
+)
+
+// fakeClock drives a breaker through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(3, 5*time.Second)
+	b.now = clk.now
+
+	// Closed: failures below threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.finish(true)
+	}
+	// A success resets the consecutive count.
+	if !b.allow() {
+		t.Fatal("closed breaker rejected")
+	}
+	b.finish(false)
+	for i := 0; i < 2; i++ {
+		b.allow()
+		b.finish(true)
+	}
+	if s, _ := b.snapshot(); s != "closed" {
+		t.Fatalf("state = %s after reset + 2 failures, want closed", s)
+	}
+
+	// Third consecutive failure opens.
+	b.allow()
+	b.finish(true)
+	if s, opens := b.snapshot(); s != "open" || opens != 1 {
+		t.Fatalf("state = %s opens = %d, want open/1", s, opens)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	if ra := b.retryAfter(); ra < 1 || ra > 5 {
+		t.Errorf("retryAfter = %d, want within cooldown", ra)
+	}
+
+	// After cooldown: exactly one half-open probe.
+	clk.advance(5 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker rejected the probe")
+	}
+	if s, _ := b.snapshot(); s != "half-open" {
+		t.Fatalf("state = %s, want half-open", s)
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second request during the probe")
+	}
+
+	// Failed probe re-opens and restarts the cooldown.
+	b.finish(true)
+	if s, opens := b.snapshot(); s != "open" || opens != 2 {
+		t.Fatalf("state = %s opens = %d after failed probe, want open/2", s, opens)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request")
+	}
+
+	// Successful probe closes.
+	clk.advance(5 * time.Second)
+	if !b.allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.finish(false)
+	if s, _ := b.snapshot(); s != "closed" {
+		t.Fatalf("state = %s after successful probe, want closed", s)
+	}
+	if !b.allow() {
+		t.Fatal("recovered breaker rejected a request")
+	}
+	b.finish(false)
+}
+
+func TestBreakerDisabledAndDefaults(t *testing.T) {
+	if b := newBreaker(-1, 0); b != nil {
+		t.Error("negative threshold should disable (nil breaker)")
+	}
+	var b *breaker
+	if !b.allow() {
+		t.Error("nil breaker must always allow")
+	}
+	b.finish(true) // must not panic
+	if s, opens := b.snapshot(); s != "closed" || opens != 0 {
+		t.Errorf("nil snapshot = %s/%d", s, opens)
+	}
+	if d := newBreaker(0, 0); d.threshold != 5 || d.cooldown != 5*time.Second {
+		t.Errorf("defaults = %d/%v, want 5/5s", d.threshold, d.cooldown)
+	}
+}
+
+// TestBreakerOpensAndRecoversOverHTTP drives the detect endpoint's
+// breaker through a full failure/recovery cycle with injected worker
+// faults: consecutive 500s open it, requests are then rejected with a
+// structured 503 + Retry-After, and after cooldown one probe closes
+// it again at full quality.
+func TestBreakerOpensAndRecoversOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+		CacheSize:        -1,
+	})
+	series := sineSeries(256, 32, 77)
+	body := detectBody(t, series, nil, false)
+
+	faults.Enable(faults.MustParse("serve/worker:error"))
+	t.Cleanup(faults.Disable)
+	for i := 0; i < 3; i++ {
+		resp, b := postJSON(t, ts.URL+"/v1/detect", body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("faulted request %d: status = %d (%s), want 500", i, resp.StatusCode, b)
+		}
+		if code := errCode(t, b); code != "internal_error" {
+			t.Fatalf("faulted request %d: code = %q", i, code)
+		}
+	}
+
+	// Breaker is now open: rejected before any work, with Retry-After.
+	resp, b := postJSON(t, ts.URL+"/v1/detect", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status = %d (%s), want 503", resp.StatusCode, b)
+	}
+	if code := errCode(t, b); code != "breaker_open" {
+		t.Fatalf("open breaker: code = %q", code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("open breaker response missing Retry-After")
+	}
+	// The batch endpoint's breaker is independent and still closed.
+	resp, _ = postJSON(t, ts.URL+"/v1/detect/batch", `{"series":[[1,2],[3]]}`)
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		t.Error("batch endpoint tripped by detect endpoint failures")
+	}
+
+	// Heal the backend, wait out the cooldown, and recover.
+	faults.Disable()
+	time.Sleep(60 * time.Millisecond)
+	resp, b = postJSON(t, ts.URL+"/v1/detect", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe after cooldown: status = %d (%s), want 200", resp.StatusCode, b)
+	}
+	var out DetectResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Degraded) != 0 {
+		t.Errorf("recovered service returned degraded result: %v", out.Degraded)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/detect", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-recovery request: status = %d, want 200", resp.StatusCode)
+	}
+}

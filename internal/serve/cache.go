@@ -6,8 +6,10 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"robustperiod"
+	"robustperiod/internal/faults"
 )
 
 // cacheKey identifies one (series, options) detection request. Two
@@ -43,10 +45,11 @@ func requestKey(series []float64, optsTag []byte) cacheKey {
 // resultCache is a strict-LRU memo of detection results, safe for
 // concurrent use. A nil *resultCache is a valid always-miss cache.
 type resultCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[cacheKey]*list.Element
+	mu          sync.Mutex
+	cap         int
+	ll          *list.List // front = most recently used
+	items       map[cacheKey]*list.Element
+	corruptions atomic.Int64 // entries dropped by the read-side integrity check
 }
 
 type cacheEntry struct {
@@ -78,6 +81,16 @@ func (c *resultCache) get(k cacheKey) (*robustperiod.Result, bool) {
 	if !ok {
 		return nil, false
 	}
+	// Fault point "serve/cache": a corrupted entry detected on read.
+	// The self-healing response is to discard it and recompute — a
+	// cache must never be able to serve garbage or take the service
+	// down, only to miss.
+	if err := faults.Check(faults.PointServeCache); err != nil {
+		c.ll.Remove(el)
+		delete(c.items, k)
+		c.corruptions.Add(1)
+		return nil, false
+	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true
 }
@@ -102,6 +115,15 @@ func (c *resultCache) add(k cacheKey, res *robustperiod.Result) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// corrupted reports the number of entries dropped by the read-side
+// integrity check. Works on a nil (disabled) cache.
+func (c *resultCache) corrupted() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.corruptions.Load()
 }
 
 // len reports the number of cached entries.

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"robustperiod/internal/faults"
+)
+
+// chaosSweep is the contract every fault point must satisfy: with the
+// point firing probabilistically under concurrent load, the service
+// never crashes, never returns a malformed response, and only ever
+// fails with the structured error envelope. After disarming, it
+// returns to full quality.
+func TestChaosEveryFaultPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow")
+	}
+	series := sineSeries(512, 64, 99)
+	for _, point := range faults.Points() {
+		for _, action := range []string{"error", "panic"} {
+			point, action := point, action
+			t.Run(fmt.Sprintf("%s_%s", point, action), func(t *testing.T) {
+				// Breakers stay enabled at default threshold so the sweep
+				// also proves they cannot wedge the service permanently:
+				// the recovery phase waits out the cooldown.
+				_, ts := newTestServer(t, Config{
+					CacheSize:       64,
+					BreakerCooldown: 50 * time.Millisecond,
+				})
+				body := detectBody(t, series, nil, false)
+
+				faults.Enable(faults.MustParse(point + ":" + action + ":p=0.5:seed=7"))
+				t.Cleanup(faults.Disable)
+
+				const (
+					goroutines = 4
+					perG       = 6
+				)
+				var wg sync.WaitGroup
+				errs := make(chan string, goroutines*perG)
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for i := 0; i < perG; i++ {
+							resp, b := postJSON(t, ts.URL+"/v1/detect", body)
+							var env struct {
+								Error   *APIError `json:"error"`
+								Periods []int     `json:"periods"`
+							}
+							if err := json.Unmarshal(b, &env); err != nil {
+								errs <- fmt.Sprintf("malformed response (status %d): %s", resp.StatusCode, b)
+								continue
+							}
+							switch {
+							case resp.StatusCode == http.StatusOK:
+								if env.Periods == nil {
+									errs <- "200 without periods"
+								}
+							case env.Error == nil:
+								errs <- fmt.Sprintf("status %d without error envelope: %s", resp.StatusCode, b)
+							case resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable &&
+								resp.StatusCode != http.StatusInternalServerError:
+								errs <- fmt.Sprintf("unexpected status %d (%s)", resp.StatusCode, env.Error.Code)
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				close(errs)
+				for e := range errs {
+					t.Error(e)
+				}
+
+				// Disarm and prove full recovery: within a few breaker
+				// cooldowns the endpoint serves clean 200s again. A fresh
+				// series sidesteps any degraded result cached during the
+				// fault phase.
+				faults.Disable()
+				fresh := detectBody(t, sineSeries(512, 64, 1000), nil, false)
+				deadline := time.Now().Add(5 * time.Second)
+				for {
+					resp, b := postJSON(t, ts.URL+"/v1/detect", fresh)
+					if resp.StatusCode == http.StatusOK {
+						var out DetectResponse
+						if err := json.Unmarshal(b, &out); err != nil {
+							t.Fatalf("recovery response malformed: %v", err)
+						}
+						if len(out.Degraded) != 0 {
+							t.Errorf("recovered service still degraded: %v", out.Degraded)
+						}
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("service did not recover after disarming %s (%d: %s)", point, resp.StatusCode, b)
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosCacheCorruptionSelfHeals checks the cache-specific
+// behavior behind the sweep: a corrupted entry is dropped, counted,
+// and recomputed — the client still gets the right answer.
+func TestChaosCacheCorruptionSelfHeals(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	series := sineSeries(512, 64, 101)
+	body := detectBody(t, series, nil, false)
+
+	// Prime the cache, then corrupt every read.
+	resp, b := postJSON(t, ts.URL+"/v1/detect", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime: %d (%s)", resp.StatusCode, b)
+	}
+	var first DetectResponse
+	if err := json.Unmarshal(b, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Enable(faults.MustParse("serve/cache:error"))
+	t.Cleanup(faults.Disable)
+	resp, b = postJSON(t, ts.URL+"/v1/detect", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("corrupted read: %d (%s)", resp.StatusCode, b)
+	}
+	var second DetectResponse
+	if err := json.Unmarshal(b, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached {
+		t.Error("corrupted entry served as a cache hit")
+	}
+	if fmt.Sprint(second.Periods) != fmt.Sprint(first.Periods) {
+		t.Errorf("recomputed periods %v != original %v", second.Periods, first.Periods)
+	}
+	if n := s.cache.corrupted(); n == 0 {
+		t.Error("corruption counter did not advance")
+	}
+}
+
+// TestMetricsExposeRobustnessCounters pins the /metrics additions of
+// the overload-protection layer: shed counters, breaker gauges, panic
+// and degradation counters all present and consistent.
+func TestMetricsExposeRobustnessCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	m := metricsSnapshot(t, ts.URL)
+	shed, ok := m["requests_shed_total"].(map[string]any)
+	if !ok {
+		t.Fatalf("requests_shed_total missing: %v", m)
+	}
+	for _, ep := range []string{"detect", "batch"} {
+		if _, ok := shed[ep]; !ok {
+			t.Errorf("requests_shed_total[%s] missing", ep)
+		}
+	}
+	states, ok := m["breaker_state"].(map[string]any)
+	if !ok {
+		t.Fatalf("breaker_state missing: %v", m)
+	}
+	for _, ep := range []string{"detect", "batch"} {
+		if states[ep] != "closed" {
+			t.Errorf("breaker_state[%s] = %v, want closed", ep, states[ep])
+		}
+	}
+	for _, key := range []string{"breaker_opens_total", "panics_recovered", "degraded_total", "cache_corruptions"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("%s missing from /metrics", key)
+		}
+	}
+}
+
+// TestWorkerPanicRecovery proves a panicking detection does not kill
+// its worker goroutine: the client gets a structured 500 and the pool
+// still serves the next request.
+func TestWorkerPanicRecovery(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, BreakerThreshold: -1, CacheSize: -1})
+	series := sineSeries(256, 32, 103)
+	body := detectBody(t, series, nil, false)
+
+	faults.Enable(faults.MustParse("serve/worker:panic:times=2"))
+	t.Cleanup(faults.Disable)
+	for i := 0; i < 2; i++ {
+		resp, b := postJSON(t, ts.URL+"/v1/detect", body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panicked request %d: %d (%s)", i, resp.StatusCode, b)
+		}
+		if code := errCode(t, b); code != "internal_panic" {
+			t.Errorf("panicked request %d: code = %q, want internal_panic", i, code)
+		}
+	}
+	// With only one worker, a leaked panic would have deadlocked this.
+	resp, b := postJSON(t, ts.URL+"/v1/detect", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after panics: %d (%s)", resp.StatusCode, b)
+	}
+}
+
+// TestDegradedDetectionOverHTTP: with the robust solver broken the
+// API still answers 200 with the right period, annotated as degraded,
+// and degraded_total advances.
+func TestDegradedDetectionOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: -1})
+	series := sineSeries(1024, 64, 107)
+	body := detectBody(t, series, nil, false)
+
+	faults.Enable(faults.MustParse("spectrum/solver:error"))
+	t.Cleanup(faults.Disable)
+	resp, b := postJSON(t, ts.URL+"/v1/detect", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded detection: %d (%s)", resp.StatusCode, b)
+	}
+	var out DetectResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Degraded) == 0 {
+		t.Fatal("no degradation annotation in response")
+	}
+	found := false
+	for _, p := range out.Periods {
+		if p >= 62 && p <= 66 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("degraded detection lost period 64: %v", out.Periods)
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if n, _ := m["degraded_total"].(float64); n < 1 {
+		t.Errorf("degraded_total = %v, want >= 1", m["degraded_total"])
+	}
+}
+
+// TestFillMissingOverHTTP: strict JSON cannot carry NaN, so the
+// gap-bearing paths of fill_missing are covered at the validateSeries
+// and library layers. What the wire can test: the option on a
+// complete series is accepted and reports filledFraction 0.
+func TestFillMissingOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: -1})
+	series := sineSeries(600, 50, 109)
+	b, _ := json.Marshal(DetectRequest{Series: series, Options: &APIOptions{FillMissing: true}})
+	resp, body := postJSON(t, ts.URL+"/v1/detect", string(b))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fill_missing on clean series: %d (%s)", resp.StatusCode, body)
+	}
+	var out DetectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.FilledFraction != 0 {
+		t.Errorf("filledFraction = %g on a complete series", out.FilledFraction)
+	}
+}

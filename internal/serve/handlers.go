@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"robustperiod"
+	"robustperiod/internal/faults"
 )
 
 // APIOptions is the JSON surface of robustperiod.Options. Every field
@@ -41,7 +43,15 @@ type APIOptions struct {
 	NonRobust        bool    `json:"nonRobust,omitempty"`
 	NoHarmonicFilter bool    `json:"noHarmonicFilter,omitempty"`
 	CircularBoundary bool    `json:"circularBoundary,omitempty"`
+	// FillMissing interpolates NaN gaps in the series instead of
+	// rejecting them; the response reports the filled share. Series
+	// more than half missing are still rejected.
+	FillMissing bool `json:"fill_missing,omitempty"`
 }
+
+// fillMissing reports the fill_missing flag, treating a nil options
+// object as the default (off).
+func (o *APIOptions) fillMissing() bool { return o != nil && o.FillMissing }
 
 // toOptions converts the wire options to library options. A nil
 // receiver yields the defaults.
@@ -60,6 +70,7 @@ func (o *APIOptions) toOptions() (*robustperiod.Options, error) {
 		NonRobust:        o.NonRobust,
 		NoHarmonicFilter: o.NoHarmonicFilter,
 		CircularBoundary: o.CircularBoundary,
+		FillMissing:      o.FillMissing,
 	}
 	if o.Wavelet != "" {
 		k, err := robustperiod.ParseWavelet(o.Wavelet)
@@ -122,6 +133,13 @@ type DetectResponse struct {
 	Cached    bool          `json:"cached"`
 	ElapsedMS float64       `json:"elapsedMs"`
 	Levels    []LevelDetail `json:"levels,omitempty"`
+	// Degraded lists the pipeline's graceful-degradation events for
+	// this detection; absent on a clean full-quality run. A populated
+	// list means the periods are a best-effort answer.
+	Degraded []robustperiod.Degradation `json:"degraded,omitempty"`
+	// FilledFraction is the share of input samples that were NaN and
+	// interpolated (fill_missing only).
+	FilledFraction float64 `json:"filledFraction,omitempty"`
 	// Trace carries per-stage timings when the request asked for them
 	// with ?debug=1.
 	Trace *TraceSummary `json:"trace,omitempty"`
@@ -187,11 +205,13 @@ func toTraceSummary(s *robustperiod.TraceSummary) *TraceSummary {
 // BatchItem is one entry of a batch response, in request order.
 // Exactly one of Error or Periods is meaningful.
 type BatchItem struct {
-	Index   int           `json:"index"`
-	Periods []int         `json:"periods"`
-	Cached  bool          `json:"cached"`
-	Levels  []LevelDetail `json:"levels,omitempty"`
-	Error   *APIError     `json:"error,omitempty"`
+	Index          int                        `json:"index"`
+	Periods        []int                      `json:"periods"`
+	Cached         bool                       `json:"cached"`
+	Levels         []LevelDetail              `json:"levels,omitempty"`
+	Degraded       []robustperiod.Degradation `json:"degraded,omitempty"`
+	FilledFraction float64                    `json:"filledFraction,omitempty"`
+	Error          *APIError                  `json:"error,omitempty"`
 }
 
 // BatchResponse is the body of a successful POST /v1/detect/batch.
@@ -245,8 +265,12 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 // validateSeries rejects series the detector cannot accept, before
 // any CPU is spent: empty input, non-finite values (unrepresentable
 // in strict JSON, but reachable through other encodings), and
-// over-long series that would monopolize a worker.
-func validateSeries(series []float64, maxLen int) *APIError {
+// over-long series that would monopolize a worker. With allowNaN
+// (the request set fill_missing) NaN gaps pass through to the
+// library's interpolation, but Inf never does, and a series more than
+// half missing is rejected here with the same taxonomy the library
+// uses.
+func validateSeries(series []float64, maxLen int, allowNaN bool) *APIError {
 	if len(series) == 0 {
 		return &APIError{Code: "empty_series", Message: "series must contain at least one value"}
 	}
@@ -256,12 +280,28 @@ func validateSeries(series []float64, maxLen int) *APIError {
 			Message: fmt.Sprintf("series has %d points, limit is %d", len(series), maxLen),
 		}
 	}
+	missing := 0
 	for i, v := range series {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+		if math.IsInf(v, 0) {
 			return &APIError{
 				Code:    "non_finite_value",
-				Message: fmt.Sprintf("series[%d] is not finite; fill gaps before submitting", i),
+				Message: fmt.Sprintf("series[%d] is infinite", i),
 			}
+		}
+		if math.IsNaN(v) {
+			if !allowNaN {
+				return &APIError{
+					Code:    "non_finite_value",
+					Message: fmt.Sprintf("series[%d] is not finite; fill gaps before submitting or set options.fill_missing", i),
+				}
+			}
+			missing++
+		}
+	}
+	if missing*2 > len(series) {
+		return &APIError{
+			Code:    "too_many_missing",
+			Message: fmt.Sprintf("%d of %d samples are missing; refusing to interpolate more than half a series", missing, len(series)),
 		}
 	}
 	return nil
@@ -302,7 +342,26 @@ func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *AP
 
 	out := make(chan detOut, 1)
 	job := func() {
+		// A panic inside the detection must not kill the worker
+		// goroutine — that would permanently shrink the pool. It is
+		// converted to an error the handler maps to a structured 500.
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.panicsRecovered.Add(1)
+				out <- detOut{err: &workerPanicError{val: v}}
+			}
+		}()
+		// Fault point "serve/worker": a failure between dequeue and
+		// the library call (a poisoned job, a dead dependency).
+		if err := faults.Check(faults.PointServeWorker); err != nil {
+			out <- detOut{err: err}
+			return
+		}
+		jobStart := time.Now()
 		res, err := robustperiod.DetectDetailsContext(ctx, series, opts)
+		if err == nil {
+			s.observeJobTime(time.Since(jobStart))
+		}
 		out <- detOut{res: res, err: err}
 	}
 	if err := s.pool.submit(ctx, job); err != nil {
@@ -312,6 +371,9 @@ func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *AP
 	if o.err != nil {
 		return nil, false, o.err
 	}
+	if len(o.res.Degraded) > 0 {
+		s.metrics.degradedTotal.Add(1)
+	}
 	s.metrics.observeStages(o.res.Trace)
 	if !bypassCache {
 		s.cache.add(key, o.res)
@@ -319,14 +381,32 @@ func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *AP
 	return o.res, false, nil
 }
 
+// workerPanicError wraps a panic recovered inside a detection worker.
+type workerPanicError struct{ val any }
+
+func (e *workerPanicError) Error() string {
+	return fmt.Sprintf("detection worker panicked: %v", e.val)
+}
+
 // toAPIError maps a detection failure onto a status and a structured
 // error. An *APIError passes through unwrapped so its message is not
 // double-prefixed with the code.
 func toAPIError(err error) (int, *APIError) {
 	var apiErr *APIError
+	var panicErr *workerPanicError
 	switch {
 	case errors.As(err, &apiErr):
 		return http.StatusBadRequest, apiErr
+	case errors.As(err, &panicErr):
+		return http.StatusInternalServerError, &APIError{Code: "internal_panic", Message: err.Error()}
+	case faults.IsInjected(err):
+		// An injected fault that nothing downstream could absorb is an
+		// internal failure, never the client's.
+		return http.StatusInternalServerError, &APIError{Code: "internal_error", Message: err.Error()}
+	case errors.Is(err, robustperiod.ErrTooManyMissing):
+		return http.StatusBadRequest, &APIError{Code: "too_many_missing", Message: err.Error()}
+	case errors.Is(err, robustperiod.ErrNonFinite):
+		return http.StatusBadRequest, &APIError{Code: "non_finite_value", Message: err.Error()}
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, &APIError{Code: "deadline_exceeded", Message: err.Error()}
 	case errors.Is(err, context.Canceled):
@@ -374,8 +454,15 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if apiErr := validateSeries(req.Series, s.cfg.MaxSeriesLen); apiErr != nil {
+	if apiErr := validateSeries(req.Series, s.cfg.MaxSeriesLen, req.Options.fillMissing()); apiErr != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]*APIError{"error": apiErr})
+		return
+	}
+	if retry, ok := s.admit(); !ok {
+		s.metrics.shed.Add(epDetect, 1)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, "overloaded",
+			"worker queue is full; retry after %d s", retry)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -392,9 +479,11 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := DetectResponse{
-		Periods:   nonNil(res.Periods),
-		Cached:    cached,
-		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Periods:        nonNil(res.Periods),
+		Cached:         cached,
+		ElapsedMS:      float64(time.Since(start)) / float64(time.Millisecond),
+		Degraded:       res.Degraded,
+		FilledFraction: res.FilledFraction,
 	}
 	if req.Details {
 		resp.Levels = resultLevels(res)
@@ -423,6 +512,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			"batch has %d series, limit is %d", len(req.Series), s.cfg.MaxBatch)
 		return
 	}
+	// One admission decision covers the whole batch: a half-accepted
+	// batch is worse than a shed one (the client must retry anyway).
+	if retry, ok := s.admit(); !ok {
+		s.metrics.shed.Add(epBatch, 1)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, "overloaded",
+			"worker queue is full; retry after %d s", retry)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
@@ -431,7 +529,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, series := range req.Series {
 		items[i].Index = i
 		items[i].Periods = []int{}
-		if apiErr := validateSeries(series, s.cfg.MaxSeriesLen); apiErr != nil {
+		if apiErr := validateSeries(series, s.cfg.MaxSeriesLen, req.Options.fillMissing()); apiErr != nil {
 			items[i].Error = apiErr
 			continue
 		}
@@ -446,6 +544,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			items[i].Periods = nonNil(res.Periods)
 			items[i].Cached = cached
+			items[i].Degraded = res.Degraded
+			items[i].FilledFraction = res.FilledFraction
 			if req.Details {
 				items[i].Levels = resultLevels(res)
 			}

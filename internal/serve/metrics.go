@@ -67,29 +67,36 @@ func (h *histogram) String() string {
 type metrics struct {
 	vars *expvar.Map
 
-	requests    *expvar.Map // per-endpoint request counters
-	errors      *expvar.Map // per-endpoint error (non-2xx) counters
-	inFlight    *expvar.Int
-	cacheHits   *expvar.Int
-	cacheMisses *expvar.Int
-	latency     map[string]*histogram // per-endpoint
-	stageLat    map[string]*histogram // per pipeline stage
+	requests        *expvar.Map // per-endpoint request counters
+	errors          *expvar.Map // per-endpoint error (non-2xx) counters
+	shed            *expvar.Map // per-endpoint load-shed counters (429/503 before compute)
+	inFlight        *expvar.Int
+	cacheHits       *expvar.Int
+	cacheMisses     *expvar.Int
+	panicsRecovered *expvar.Int
+	degradedTotal   *expvar.Int           // detections that returned degradation annotations
+	latency         map[string]*histogram // per-endpoint
+	stageLat        map[string]*histogram // per pipeline stage
 }
 
 func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
 	m := &metrics{
-		vars:        new(expvar.Map).Init(),
-		requests:    new(expvar.Map).Init(),
-		errors:      new(expvar.Map).Init(),
-		inFlight:    new(expvar.Int),
-		cacheHits:   new(expvar.Int),
-		cacheMisses: new(expvar.Int),
-		latency:     make(map[string]*histogram, len(endpoints)),
+		vars:            new(expvar.Map).Init(),
+		requests:        new(expvar.Map).Init(),
+		errors:          new(expvar.Map).Init(),
+		shed:            new(expvar.Map).Init(),
+		inFlight:        new(expvar.Int),
+		cacheHits:       new(expvar.Int),
+		cacheMisses:     new(expvar.Int),
+		panicsRecovered: new(expvar.Int),
+		degradedTotal:   new(expvar.Int),
+		latency:         make(map[string]*histogram, len(endpoints)),
 	}
 	lat := new(expvar.Map).Init()
 	for _, ep := range endpoints {
 		m.requests.Add(ep, 0)
 		m.errors.Add(ep, 0)
+		m.shed.Add(ep, 0)
 		h := newHistogram()
 		m.latency[ep] = h
 		lat.Set(ep, h)
@@ -108,13 +115,36 @@ func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
 	m.vars.Set("stage_latency_ms", stageLat)
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("errors", m.errors)
+	m.vars.Set("requests_shed_total", m.shed)
 	m.vars.Set("in_flight", m.inFlight)
 	m.vars.Set("cache_hits", m.cacheHits)
 	m.vars.Set("cache_misses", m.cacheMisses)
+	m.vars.Set("panics_recovered", m.panicsRecovered)
+	m.vars.Set("degraded_total", m.degradedTotal)
 	m.vars.Set("latency_ms", lat)
 	m.vars.Set("worker_queue_depth", expvar.Func(func() any { return queueDepth() }))
 	m.vars.Set("cache_entries", expvar.Func(func() any { return cacheLen() }))
 	return m
+}
+
+// registerBreakers exposes each compute endpoint's breaker state
+// ("closed"/"open"/"half-open") and cumulative open count on /metrics.
+func (m *metrics) registerBreakers(breakers map[string]*breaker) {
+	states := new(expvar.Map).Init()
+	opens := new(expvar.Map).Init()
+	for ep, br := range breakers {
+		br := br
+		states.Set(ep, expvar.Func(func() any { s, _ := br.snapshot(); return s }))
+		opens.Set(ep, expvar.Func(func() any { _, n := br.snapshot(); return n }))
+	}
+	m.vars.Set("breaker_state", states)
+	m.vars.Set("breaker_opens_total", opens)
+}
+
+// registerCacheCorruptions exposes the count of cache entries dropped
+// by the integrity check on read.
+func (m *metrics) registerCacheCorruptions(f func() int64) {
+	m.vars.Set("cache_corruptions", expvar.Func(func() any { return f() }))
 }
 
 // observeStages folds one detection's per-stage wall times into the

@@ -18,8 +18,9 @@ var errPoolClosed = errors.New("serve: worker pool closed")
 // blocking until the caller's context expires (backpressure, not
 // collapse).
 type workerPool struct {
-	jobs chan func()
-	wg   sync.WaitGroup
+	jobs    chan func()
+	workers int
+	wg      sync.WaitGroup
 
 	// mu serializes channel-close against in-flight sends: submitters
 	// hold the read side for the whole send, close takes the write
@@ -40,7 +41,7 @@ func newWorkerPool(workers, queueLen int) *workerPool {
 	if queueLen <= 0 {
 		queueLen = 4 * workers
 	}
-	p := &workerPool{jobs: make(chan func(), queueLen)}
+	p := &workerPool{jobs: make(chan func(), queueLen), workers: workers}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -72,6 +73,10 @@ func (p *workerPool) submit(ctx context.Context, job func()) error {
 
 // depth reports the number of queued (not yet started) jobs.
 func (p *workerPool) depth() int { return len(p.jobs) }
+
+// saturated reports whether the pending-job queue is full — the
+// admission controller's cheapest overload signal.
+func (p *workerPool) saturated() bool { return len(p.jobs) == cap(p.jobs) }
 
 // close stops accepting jobs, runs everything already queued, and
 // waits for the workers to drain. Safe to call more than once; call

@@ -111,14 +111,24 @@ func TestDetectHandlerBadRequests(t *testing.T) {
 func TestValidateSeriesNonFinite(t *testing.T) {
 	// Strict JSON cannot carry NaN/Inf, but other entry points can;
 	// the validator must catch them before the detector.
-	if err := validateSeries([]float64{1, math.NaN(), 3}, 0); err == nil || err.Code != "non_finite_value" {
+	if err := validateSeries([]float64{1, math.NaN(), 3}, 0, false); err == nil || err.Code != "non_finite_value" {
 		t.Errorf("NaN: got %v", err)
 	}
-	if err := validateSeries([]float64{math.Inf(1)}, 0); err == nil || err.Code != "non_finite_value" {
+	if err := validateSeries([]float64{math.Inf(1)}, 0, false); err == nil || err.Code != "non_finite_value" {
 		t.Errorf("Inf: got %v", err)
 	}
-	if err := validateSeries([]float64{1, 2, 3}, 0); err != nil {
+	if err := validateSeries([]float64{1, 2, 3}, 0, false); err != nil {
 		t.Errorf("finite: got %v", err)
+	}
+	// fill_missing admits NaN (bounded) but never Inf.
+	if err := validateSeries([]float64{1, math.NaN(), 3}, 0, true); err != nil {
+		t.Errorf("NaN with fill: got %v", err)
+	}
+	if err := validateSeries([]float64{math.Inf(-1), 1}, 0, true); err == nil || err.Code != "non_finite_value" {
+		t.Errorf("Inf with fill: got %v", err)
+	}
+	if err := validateSeries([]float64{math.NaN(), math.NaN(), 3}, 0, true); err == nil || err.Code != "too_many_missing" {
+		t.Errorf("mostly missing: got %v", err)
 	}
 }
 

@@ -11,9 +11,14 @@ package serve
 
 import (
 	"context"
+	"math"
 	"net"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
+
+	"robustperiod/internal/faults"
 )
 
 // Config tunes the service. The zero value is production-safe.
@@ -46,6 +51,13 @@ type Config struct {
 	// CacheSize is the LRU result-cache capacity in entries; 0 means
 	// 1024, negative disables caching.
 	CacheSize int
+	// BreakerThreshold is the number of consecutive internal (500)
+	// failures on a compute endpoint that opens its circuit breaker;
+	// 0 means 5, negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before
+	// half-opening to admit a probe request; 0 means 5s.
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +102,16 @@ type Server struct {
 	pool    *workerPool
 	cache   *resultCache
 	metrics *metrics
+
+	// breakers guard the compute endpoints (nil entries never trip).
+	breakers map[string]*breaker
+	// draining flips once shutdown begins: compute requests arriving
+	// after that are shed with 503 instead of racing the pool close.
+	draining atomic.Bool
+	// jobEWMA is an exponentially-weighted moving average of one
+	// detection's service time (float64 bits), feeding the admission
+	// controller's queue-wait estimate.
+	jobEWMA atomic.Uint64
 }
 
 // New assembles a Server from cfg.
@@ -100,10 +122,16 @@ func New(cfg Config) *Server {
 		pool:  newWorkerPool(cfg.Workers, cfg.QueueLen),
 		cache: newResultCache(cfg.CacheSize),
 	}
+	s.breakers = map[string]*breaker{
+		epDetect: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		epBatch:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	}
 	s.metrics = newMetrics(
 		[]string{epDetect, epBatch, epHealthz, epMetrics},
 		s.pool.depth, s.cache.len,
 	)
+	s.metrics.registerBreakers(s.breakers)
+	s.metrics.registerCacheCorruptions(s.cache.corrupted)
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/detect", s.instrument(epDetect, s.handleDetect))
 	s.mux.Handle("POST /v1/detect/batch", s.instrument(epBatch, s.handleBatch))
@@ -117,8 +145,11 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close stops the worker pool after draining queued jobs. Call after
-// the HTTP listener has stopped accepting requests.
-func (s *Server) Close() { s.pool.close() }
+// the HTTP listener has stopped accepting requests. Idempotent.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.pool.close()
+}
 
 // statusRecorder captures the response status for metrics.
 type statusRecorder struct {
@@ -131,9 +162,17 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the request-size limit and the
+// computeEndpoint reports whether ep runs detections (and therefore
+// falls under overload protection); health and metrics stay reachable
+// while draining or broken — that is when they matter most.
+func computeEndpoint(ep string) bool { return ep == epDetect || ep == epBatch }
+
+// instrument wraps a handler with the request-size limit, the
 // per-endpoint metrics (request count, error count, in-flight gauge,
-// latency histogram).
+// latency histogram), and — on the compute endpoints — the overload
+// protections: the draining gate, the circuit breaker, and a
+// panic-recovery net that turns a handler panic into a structured 500
+// instead of a torn connection.
 func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -143,9 +182,95 @@ func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() { s.metrics.observe(ep, time.Since(start), rec.status) }()
+
+		if computeEndpoint(ep) {
+			if s.draining.Load() {
+				s.metrics.shed.Add(ep, 1)
+				writeError(rec, http.StatusServiceUnavailable, "shutting_down",
+					"server is draining; retry against another instance")
+				return
+			}
+			br := s.breakers[ep]
+			if !br.allow() {
+				s.metrics.shed.Add(ep, 1)
+				rec.Header().Set("Retry-After", strconv.Itoa(br.retryAfter()))
+				writeError(rec, http.StatusServiceUnavailable, "breaker_open",
+					"endpoint suspended after repeated internal failures")
+				return
+			}
+			defer func() {
+				if v := recover(); v != nil {
+					s.metrics.panicsRecovered.Add(1)
+					// Headers may already be gone; WriteHeader is then a
+					// no-op and the client sees a truncated body, but the
+					// breaker and metrics still record an internal failure.
+					rec.status = http.StatusInternalServerError
+					writeError(rec, http.StatusInternalServerError, "internal_panic",
+						"request handler panicked: %v", v)
+				}
+				br.finish(rec.status == http.StatusInternalServerError)
+			}()
+			// Fault point "serve/handler": an unexpected failure inside
+			// the HTTP layer itself (before any detection work).
+			if err := faults.Check(faults.PointServeHandler); err != nil {
+				writeError(rec, http.StatusInternalServerError, "internal_error",
+					"%v", err)
+				return
+			}
+		}
 		h(rec, r)
-		s.metrics.observe(ep, time.Since(start), rec.status)
 	})
+}
+
+// ewmaAlpha is the smoothing factor of the detection service-time
+// average feeding the admission controller.
+const ewmaAlpha = 0.2
+
+// observeJobTime folds one detection's service time into the EWMA.
+func (s *Server) observeJobTime(d time.Duration) {
+	for {
+		old := s.jobEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := float64(d)
+		if old != 0 {
+			next = ewmaAlpha*float64(d) + (1-ewmaAlpha)*prev
+		}
+		if s.jobEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// admit decides whether a compute request may enter the worker queue.
+// It sheds (returning a Retry-After value in seconds) when the queue
+// is already full, or when the estimated wait for a new job — queued
+// jobs times the average service time, spread over the workers —
+// already exceeds the request timeout, meaning the request would only
+// occupy queue space until its own deadline kills it. Shedding at the
+// door with 429 keeps the queue short enough that accepted requests
+// still finish in time; it is the difference between a slow service
+// and a collapsed one.
+func (s *Server) admit() (retryAfter int, ok bool) {
+	if s.pool.saturated() {
+		return 1, false
+	}
+	avg := math.Float64frombits(s.jobEWMA.Load())
+	if avg <= 0 {
+		return 0, true
+	}
+	wait := time.Duration(float64(s.pool.depth()) * avg / float64(s.pool.workers))
+	if wait <= s.cfg.RequestTimeout {
+		return 0, true
+	}
+	secs := int((wait - s.cfg.RequestTimeout + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs, false
 }
 
 // Run listens on cfg.Addr and serves until ctx is cancelled (e.g. by
@@ -193,6 +318,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Flip the draining gate before Shutdown: requests already inside
+	// a handler finish normally within the drain window, but compute
+	// requests that have not started yet are shed with a structured
+	// 503 instead of racing the worker-pool close.
+	s.draining.Store(true)
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err := srv.Shutdown(drainCtx)

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"robustperiod/internal/dsp/fft"
+	"robustperiod/internal/faults"
 	"robustperiod/internal/stat/robust"
 	"robustperiod/internal/trace"
 )
@@ -150,6 +151,16 @@ func MPeriodogram(x []float64, kLo, kHi int, opts Options) ([]float64, error) {
 		return nil, fmt.Errorf("spectrum: frequency range [%d,%d] invalid for N=%d", kLo, kHi, n)
 	}
 	opts = opts.withDefaults(x)
+	// Fault points: "spectrum/solver" simulates a robust-regression
+	// failure (IRLS/ADMM divergence surrogate), "spectrum/stall" a
+	// stage stall (its delay action sleeps inside the solve, so a
+	// caller-imposed stage budget sees it exactly like a slow solve).
+	if err := faults.Check(faults.PointSpectrumSolver); err != nil {
+		return nil, err
+	}
+	if err := faults.Check(faults.PointSpectrumStall); err != nil {
+		return nil, err
+	}
 	if opts.Loss == LossL2 {
 		// The sum-of-squares M-periodogram is exactly the classical
 		// periodogram (the paper notes the equivalence below Eq. 6);
@@ -205,7 +216,7 @@ func MPeriodogram(x []float64, kLo, kHi int, opts Options) ([]float64, error) {
 		if err := ctxErr(opts.Ctx); err != nil {
 			return nil, err
 		}
-		return out, nil
+		return out, checkOrdinates(out, kLo)
 	}
 	if workers > nFreq {
 		workers = nFreq
@@ -231,7 +242,20 @@ func MPeriodogram(x []float64, kLo, kHi int, opts Options) ([]float64, error) {
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return out, checkOrdinates(out, kLo)
+}
+
+// checkOrdinates rejects a solve that produced a non-finite ordinate
+// (a diverged robust regression): surfacing it as an error lets the
+// detector fall back to the classical periodogram instead of feeding
+// NaN into Fisher's test, where it would silently void the verdict.
+func checkOrdinates(out []float64, kLo int) error {
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("spectrum: robust solver diverged (non-finite ordinate at k=%d)", kLo+i)
+		}
+	}
+	return nil
 }
 
 // ctxDone returns the context's done channel, or nil for a nil context
@@ -474,7 +498,12 @@ func RobustNyquist(x []float64, opts Options) float64 {
 			break
 		}
 	}
-	return scale * beta * beta
+	if p := scale * beta * beta; !math.IsNaN(p) && !math.IsInf(p, 0) {
+		return p
+	}
+	// Diverged robust location fit: the classical ordinate is the
+	// graceful answer for a single bin.
+	return NyquistOrdinate(x)
 }
 
 // HybridPeriodogram returns the half-range periodogram of x with

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"robustperiod/internal/faults"
 	"robustperiod/internal/stat/robust"
 	"robustperiod/internal/trace"
 )
@@ -97,6 +98,12 @@ func Transform(x []float64, f *Filter, levels int) (*MODWT, error) {
 // (each level loses L_j − 1 coefficients, capped at the series
 // length). A nil tr makes this exactly Transform.
 func TransformTraced(x []float64, f *Filter, levels int, tr *trace.Trace) (*MODWT, error) {
+	// Fault point "wavelet/transform": an allocation-failure surrogate
+	// for the pyramid buffers (J levels × N coefficients each) — the
+	// pipeline degrades to direct single-period detection on it.
+	if err := faults.Check(faults.PointWaveletTransfrm); err != nil {
+		return nil, err
+	}
 	st := tr.StartStage(trace.StageMODWT)
 	m, err := Transform(x, f, levels)
 	st.End()
@@ -126,6 +133,12 @@ func TransformTraced(x []float64, f *Filter, levels int, tr *trace.Trace) (*MODW
 // not energy-preserving or invertible; use Transform when you need
 // reconstruction.
 func TransformReflected(x []float64, f *Filter, levels int) (*MODWT, error) {
+	// Fault point "wavelet/reflect": the reflection-extended transform
+	// doubles the working set, so it is the likeliest allocation to
+	// fail first; the pipeline just skips the boundary fallback.
+	if err := faults.Check(faults.PointWaveletReflect); err != nil {
+		return nil, err
+	}
 	n := len(x)
 	ext := make([]float64, 2*n)
 	copy(ext, x)

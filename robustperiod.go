@@ -149,6 +149,34 @@ const (
 // PipelineStages lists the canonical stage names in pipeline order.
 func PipelineStages() []string { return trace.PipelineStages() }
 
+// Degradation records one graceful-degradation event of a detection:
+// the pipeline substituted a cheaper or more conservative step instead
+// of failing. Result.Degraded lists them; an empty list means a clean
+// full-quality run.
+type Degradation = core.Degradation
+
+// Degradation reasons appearing in Result.Degraded.
+const (
+	ReasonConstantSeries     = core.ReasonConstantSeries
+	ReasonTrendResidue       = core.ReasonTrendResidue
+	ReasonScalingBandResidue = core.ReasonScalingBandResidue
+	ReasonHPRobustFallback   = core.ReasonHPRobustFallback
+	ReasonMODWTFailed        = core.ReasonMODWTFailed
+	ReasonLevelFailed        = core.ReasonLevelFailed
+	ReasonLevelPanic         = core.ReasonLevelPanic
+	ReasonBudgetExceeded     = detect.ReasonBudgetExceeded
+	ReasonSolverFailed       = detect.ReasonSolverFailed
+)
+
+// Sentinel errors for structurally invalid input; match with
+// errors.Is. ErrNonFinite covers Inf always and NaN unless
+// Options.FillMissing is set; ErrTooManyMissing covers series more
+// than half NaN, which interpolation cannot honestly repair.
+var (
+	ErrNonFinite      = core.ErrNonFinite
+	ErrTooManyMissing = core.ErrTooManyMissing
+)
+
 // SingleResult reports a standalone single-periodicity detection.
 type SingleResult = detect.Result
 
@@ -175,6 +203,9 @@ func DetectSingle(y []float64, opts *Options) (SingleResult, error) {
 	cfg := o.Detect
 	if o.NonRobust {
 		cfg.MPOpts.Loss = spectrum.LossL2
+	}
+	if o.StageBudget > 0 {
+		cfg.Budget = o.StageBudget
 	}
 	return detect.Single(y, 1, len(y)-1, cfg)
 }
