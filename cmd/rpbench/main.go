@@ -39,6 +39,7 @@ import (
 
 	"robustperiod/internal/eval"
 	"robustperiod/internal/eval/servicebench"
+	"robustperiod/internal/obs"
 )
 
 func main() {
@@ -57,8 +58,14 @@ func main() {
 		jsonOut    = flag.String("json", "", "bench mode: write the JSON report to this path (a directory gets BENCH_<timestamp>.json)")
 		baseline   = flag.String("baseline", "", "bench mode: gate the run against this baseline JSON report, exit 1 on regression")
 		maxRegress = flag.Float64("max-regress", 0.20, "bench gate: allowed whole-detection wall-time regression (0.20 = +20%; negative disables the perf gate)")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.GetBuildInfo())
+		return
+	}
 
 	benchMode := *quick || *jsonOut != "" || *baseline != ""
 	if *table == "" && *figure == "" && !*ablations && *report == "" && !benchMode {

@@ -1,7 +1,8 @@
 // Command rpserved runs the RobustPeriod detection service: a JSON
 // HTTP API over the library, with a bounded worker pool, an LRU
-// result cache, per-request timeouts, expvar metrics, and graceful
-// drain on SIGTERM/SIGINT.
+// result cache, per-request timeouts, structured request-correlated
+// logging, Prometheus metrics, a post-mortem flight recorder, and
+// graceful drain on SIGTERM/SIGINT.
 //
 // Endpoints:
 //
@@ -10,17 +11,22 @@
 //	                       per-stage pipeline timings in the response)
 //	POST /v1/detect/batch  {"series":[[...],[...]], "options":{...}}
 //	GET  /healthz
-//	GET  /metrics
+//	GET  /metrics          Prometheus text exposition
+//
+// Every compute response carries an X-Request-ID header; the same ID
+// correlates the structured logs and retrieves the request's
+// post-mortem record from the flight recorder.
 //
 // With -debug-addr a second listener serves net/http/pprof under
-// /debug/pprof/ and the expvar dump under /debug/vars; keep it on
-// loopback or an internal interface.
+// /debug/pprof/, the expvar dump under /debug/vars, and the flight
+// recorder under /debug/requests[/{id}]; keep it on loopback or an
+// internal interface.
 //
 // Example:
 //
-//	rpserved -addr :8080 -debug-addr 127.0.0.1:6060 &
-//	curl -s localhost:8080/v1/detect -d '{"series":[...]}'
-//	curl -s 'localhost:8080/v1/detect?debug=1' -d '{"series":[...]}'
+//	rpserved -addr :8080 -debug-addr 127.0.0.1:6060 -log-format json &
+//	curl -si localhost:8080/v1/detect -d '{"series":[...]}' | grep X-Request-ID
+//	curl -s 127.0.0.1:6060/debug/requests/<id>
 //	go tool pprof localhost:6060/debug/pprof/profile
 package main
 
@@ -28,23 +34,23 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"robustperiod/internal/faults"
+	"robustperiod/internal/obs"
 	"robustperiod/internal/serve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rpserved: ")
-
 	var cfg serve.Config
 	flag.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
-	flag.StringVar(&cfg.DebugAddr, "debug-addr", "", "debug listener address for pprof + expvar, e.g. 127.0.0.1:6060 (empty disables)")
+	flag.StringVar(&cfg.DebugAddr, "debug-addr", "", "debug listener address for pprof + expvar + flight recorder, e.g. 127.0.0.1:6060 (empty disables)")
 	flag.DurationVar(&cfg.RequestTimeout, "timeout", 0, "per-request compute deadline (0 = 30s)")
 	flag.DurationVar(&cfg.DrainTimeout, "drain", 0, "graceful-shutdown drain deadline (0 = 30s)")
 	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", 0, "request body limit in bytes (0 = 8 MiB)")
@@ -54,7 +60,35 @@ func main() {
 	flag.IntVar(&cfg.CacheSize, "cache", 0, "LRU result-cache entries (0 = 1024, negative disables)")
 	flag.IntVar(&cfg.BreakerThreshold, "breaker-threshold", 0, "consecutive 500s that open an endpoint's circuit breaker (0 = 5, negative disables)")
 	flag.DurationVar(&cfg.BreakerCooldown, "breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 5s)")
+	flag.IntVar(&cfg.AccessLogEvery, "access-log-every", 0, "log every Nth healthy compute request (0 = 64, 1 = all, negative disables; errors always log)")
+	flag.IntVar(&cfg.RecorderSize, "recorder-size", 0, "flight-recorder retained request records (0 = 256)")
+	logFormat := flag.String("log-format", "text", "log encoding: "+strings.Join(obs.LogFormats(), "|"))
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.GetBuildInfo())
+		return
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "rpserved: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(*logFormat, level, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpserved: -log-format: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Logger = logger
+
+	bi := obs.GetBuildInfo()
+	logger.Info("rpserved starting",
+		slog.String("go_version", bi.GoVersion),
+		slog.String("revision", bi.Revision),
+		slog.Bool("dirty", bi.Dirty))
 
 	// RP_FAULTS arms the deterministic fault-injection plan, e.g.
 	//   RP_FAULTS='spectrum/solver:error:p=0.05:seed=1,serve/cache:error:p=0.01'
@@ -62,22 +96,20 @@ func main() {
 	if spec := os.Getenv("RP_FAULTS"); spec != "" {
 		plan, err := faults.Parse(spec)
 		if err != nil {
-			log.Fatalf("RP_FAULTS: %v", err)
+			logger.Error("RP_FAULTS invalid", slog.Any("error", err))
+			os.Exit(1)
 		}
 		faults.Enable(plan)
-		log.Printf("FAULT INJECTION ARMED: %s", faults.Describe())
+		logger.Warn("FAULT INJECTION ARMED", slog.String("plan", faults.Describe()))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
 	srv := serve.New(cfg)
-	log.Printf("listening on %s", cfg.Addr)
-	if cfg.DebugAddr != "" {
-		log.Printf("debug listener (pprof, expvar) on %s", cfg.DebugAddr)
-	}
 	if err := srv.Run(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("server failed", slog.Any("error", err))
+		os.Exit(1)
 	}
-	log.Printf("drained, bye")
+	logger.Info("drained, bye")
 }

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"robustperiod/internal/dsp/fft"
 	"robustperiod/internal/faults"
 	"robustperiod/internal/filter/hp"
+	"robustperiod/internal/obs"
 	"robustperiod/internal/spectrum"
 	"robustperiod/internal/stat/robust"
 	"robustperiod/internal/synthetic"
@@ -48,6 +50,19 @@ type Degradation struct {
 	Stage  string `json:"stage"`
 	Level  int    `json:"level,omitempty"`
 	Reason string `json:"reason"`
+}
+
+// degrade appends one graceful-degradation annotation and logs it
+// against the request scope carried in ctx (if any) — every fallback
+// decision inside the pipeline is correlated with the request ID the
+// client received. Outside a serving context (library use, tests) the
+// log side is a no-op.
+func (res *Result) degrade(ctx context.Context, d Degradation) {
+	res.Degraded = append(res.Degraded, d)
+	obs.Warn(ctx, "pipeline degraded",
+		slog.String("stage", d.Stage),
+		slog.Int("level", d.Level),
+		slog.String("reason", d.Reason))
 }
 
 // Degradation reasons. The per-level detector additionally reports
@@ -315,7 +330,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 		}
 	}
 	if span := math.Max(math.Abs(lo), math.Abs(hi)); hi-lo <= 1e-12*span {
-		res.Degraded = append(res.Degraded, Degradation{Stage: trace.StageHPFilter, Reason: ReasonConstantSeries})
+		res.degrade(ctx, Degradation{Stage: trace.StageHPFilter, Reason: ReasonConstantSeries})
 		res.Preprocessed = make([]float64, n)
 		return res, nil
 	}
@@ -352,7 +367,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 				// handed back the classical quadratic-loss trend, so
 				// detection proceeds at slightly reduced outlier
 				// resistance rather than aborting.
-				res.Degraded = append(res.Degraded, Degradation{Stage: trace.StageHPFilter, Reason: ReasonHPRobustFallback})
+				res.degrade(ctx, Degradation{Stage: trace.StageHPFilter, Reason: ReasonHPRobustFallback})
 				tr.Count(trace.StageHPFilter, "robust_trend_fallbacks", 1)
 			}
 			tr.Count(trace.StageHPFilter, "irls_iters", int64(irlsIters))
@@ -370,7 +385,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 		// ringing period.
 		rawScale := robust.MADN(y)
 		if rawScale > 0 && robust.MADN(detrended) < opts.MinResidualRatio*rawScale {
-			res.Degraded = append(res.Degraded, Degradation{Stage: trace.StageHPFilter, Reason: ReasonTrendResidue})
+			res.degrade(ctx, Degradation{Stage: trace.StageHPFilter, Reason: ReasonTrendResidue})
 			res.Preprocessed = detrended
 			st.End()
 			return res, nil
@@ -394,7 +409,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 			return nil, derr
 		}
 		if det.Degraded != "" {
-			res.Degraded = append(res.Degraded, Degradation{Stage: trace.StagePeriodogram, Reason: det.Degraded})
+			res.degrade(ctx, Degradation{Stage: trace.StagePeriodogram, Reason: det.Degraded})
 		}
 		if det.Periodic {
 			res.Periods = []int{det.Final}
@@ -415,9 +430,9 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 		if derr != nil {
 			return nil, err
 		}
-		res.Degraded = append(res.Degraded, Degradation{Stage: trace.StageMODWT, Reason: ReasonMODWTFailed})
+		res.degrade(ctx, Degradation{Stage: trace.StageMODWT, Reason: ReasonMODWTFailed})
 		if det.Degraded != "" {
-			res.Degraded = append(res.Degraded, Degradation{Stage: trace.StagePeriodogram, Reason: det.Degraded})
+			res.degrade(ctx, Degradation{Stage: trace.StagePeriodogram, Reason: det.Degraded})
 		}
 		tr.Count(trace.StageMODWT, "modwt_fallbacks", 1)
 		if det.Periodic {
@@ -460,7 +475,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 	// only a coherent echo of that residue and any "period" found in
 	// them is an artifact.
 	if xVar := robust.BiweightMidvariance(x); total < 0.01*xVar {
-		res.Degraded = append(res.Degraded, Degradation{Stage: trace.StageRanking, Reason: ReasonScalingBandResidue})
+		res.degrade(ctx, Degradation{Stage: trace.StageRanking, Reason: ReasonScalingBandResidue})
 		st.End()
 		return res, nil
 	}
@@ -509,6 +524,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 			return detect.Result{}, nil, cerr
 		}
 		if ferr := faults.Check(faults.PointCoreLevel); ferr != nil {
+			obs.FromContext(ctx).AddFault(faults.PointCoreLevel)
 			tr.Count(trace.StagePeriodogram, "level_failures", 1)
 			return detect.Result{}, []Degradation{{Stage: trace.StagePeriodogram, Level: idx + 1, Reason: ReasonLevelFailed}}, nil
 		}
@@ -563,7 +579,9 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 		}
 		res.Levels[idx].Selected = true
 		res.Levels[idx].Detection = results[idx]
-		res.Degraded = append(res.Degraded, degs[idx]...)
+		for _, d := range degs[idx] {
+			res.degrade(ctx, d)
+		}
 		if results[idx].Periodic {
 			hits = append(hits, found{results[idx].Final, vars[idx].Variance})
 		}

@@ -17,6 +17,7 @@ import (
 	"net/http/httptest"
 
 	"robustperiod/internal/eval"
+	"robustperiod/internal/obs"
 	"robustperiod/internal/serve"
 	"robustperiod/internal/synthetic"
 )
@@ -50,20 +51,21 @@ func Run(quick bool, seed int64) eval.ServiceRow {
 		}
 	}
 
-	// Read the service's own view back through the metrics endpoint,
-	// so the bench also proves the counters are wired.
+	// Read the service's own view back through the Prometheus metrics
+	// endpoint, so the bench also proves the exposition is wired and
+	// parseable.
 	req := httptest.NewRequest("GET", "/metrics", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	var vars struct {
-		Shed     map[string]int64 `json:"requests_shed_total"`
-		Degraded int64            `json:"degraded_total"`
-	}
-	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err == nil {
-		for _, n := range vars.Shed {
-			row.Shed += n
+	if fams, err := obs.ParseExposition(rec.Body.Bytes()); err == nil {
+		if f := obs.FindFamily(fams, "rp_requests_shed_total"); f != nil {
+			for _, s := range f.Samples {
+				row.Shed += int64(s.Value)
+			}
 		}
-		row.Degraded = vars.Degraded
+		if f := obs.FindFamily(fams, "rp_degraded_total"); f != nil && len(f.Samples) == 1 {
+			row.Degraded = int64(f.Samples[0].Value)
+		}
 	}
 	return row
 }

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo summarizes how the running binary was built, sourced from
+// the module metadata the Go linker embeds. It backs both the
+// -version flag of the binaries and the rp_build_info metric.
+type BuildInfo struct {
+	GoVersion string // toolchain, e.g. go1.22.4
+	Module    string // main module path
+	Version   string // main module version ((devel) for local builds)
+	Revision  string // vcs.revision, "" when built outside a checkout
+	Dirty     bool   // vcs.modified
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// GetBuildInfo reads the embedded build metadata once and caches it.
+func GetBuildInfo() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.GoVersion != "" {
+			buildInfo.GoVersion = bi.GoVersion
+		}
+		buildInfo.Module = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				buildInfo.Revision = kv.Value
+			case "vcs.modified":
+				buildInfo.Dirty = kv.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the one-line form printed by -version.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	dirty := ""
+	if b.Dirty {
+		dirty = " (dirty)"
+	}
+	version := b.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	return fmt.Sprintf("%s %s revision %s%s built with %s",
+		b.Module, version, rev, dirty, b.GoVersion)
+}
+
+// WriteProm emits the conventional build-info gauge: constant value 1
+// with the build facts as labels.
+func (b BuildInfo) WriteProm(p *PromWriter) {
+	dirty := "false"
+	if b.Dirty {
+		dirty = "true"
+	}
+	p.Family("rp_build_info", "Build metadata of the running binary (value is always 1).", "gauge")
+	p.Sample("rp_build_info", []Label{
+		{"go_version", b.GoVersion},
+		{"module", b.Module},
+		{"version", b.Version},
+		{"revision", b.Revision},
+		{"dirty", dirty},
+	}, 1)
+}

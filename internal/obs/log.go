@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFormats lists the accepted NewLogger formats.
+func LogFormats() []string { return []string{"text", "json"} }
+
+// NewLogger builds a *slog.Logger writing to w in the given format
+// ("text" or "json", case-insensitive). Unknown formats error so a
+// typo in -log-format fails loudly at startup instead of silently
+// switching encodings.
+func NewLogger(format string, level slog.Level, w io.Writer) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %s)",
+			format, strings.Join(LogFormats(), "|"))
+	}
+}

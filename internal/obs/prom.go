@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text
+// exposition format, version 0.0.4.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair of a sample.
+type Label struct {
+	Name, Value string
+}
+
+// PromWriter renders metric families in the Prometheus text
+// exposition format (version 0.0.4): `# HELP`/`# TYPE` headers
+// followed by that family's samples. Errors are sticky; check Err
+// once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// escapeHelp escapes a HELP docstring (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value (backslash, quote, newline).
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest float representation, with the special values spelled
+// +Inf/-Inf/NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// Family emits the `# HELP` and `# TYPE` header of a new family.
+// promType is one of counter, gauge, histogram, summary, untyped.
+func (p *PromWriter) Family(name, help, promType string) {
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, promType)
+}
+
+// Sample emits one sample line. labels may be nil.
+func (p *PromWriter) Sample(name string, labels []Label, v float64) {
+	if p.err != nil {
+		return
+	}
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, formatValue(v))
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	p.printf("%s %s\n", b.String(), formatValue(v))
+}
+
+// Histogram emits a full conformant histogram family: cumulative
+// `_bucket` series with `le` labels ending at +Inf, plus `_sum` and
+// `_count`. bounds are the finite upper bounds and counts the
+// per-bucket (non-cumulative) counts, len(counts) == len(bounds)+1
+// with the final element the overflow bucket.
+func (p *PromWriter) Histogram(name string, labels []Label, bounds []float64, counts []uint64, sum float64) {
+	cum := uint64(0)
+	ls := make([]Label, len(labels)+1)
+	copy(ls, labels)
+	for i, b := range bounds {
+		cum += counts[i]
+		ls[len(labels)] = Label{"le", formatValue(b)}
+		p.Sample(name+"_bucket", ls, float64(cum))
+	}
+	total := cum
+	if len(counts) > len(bounds) {
+		total += counts[len(bounds)]
+	}
+	ls[len(labels)] = Label{"le", "+Inf"}
+	p.Sample(name+"_bucket", ls, float64(total))
+	p.Sample(name+"_sum", labels, sum)
+	p.Sample(name+"_count", labels, float64(total))
+}
+
+// QuantileGauges emits one gauge sample per tracked quantile with the
+// conventional q label, e.g. name{...,q="0.99"}.
+func (p *PromWriter) QuantileGauges(name string, labels []Label, q *Quantiles) {
+	vals := q.Values()
+	ls := make([]Label, len(labels)+1)
+	copy(ls, labels)
+	for i, lbl := range QuantileLabels {
+		ls[len(labels)] = Label{"q", lbl}
+		p.Sample(name, ls, vals[i])
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference: the empirical quantile of the full
+// sample (nearest-rank on the sorted data).
+func exactQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// relErr compares est against the exact sample quantile, normalized by
+// the sample spread so uniform and heavy-tailed inputs use one scale.
+func relErr(est, exact, spread float64) float64 {
+	if spread == 0 {
+		return math.Abs(est - exact)
+	}
+	return math.Abs(est-exact) / spread
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	const n = 50000
+	dists := []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+		tol  float64 // tolerated error relative to the IQR-ish spread
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 100 }, 0.02},
+		{"normal", func(r *rand.Rand) float64 { return 50 + 10*r.NormFloat64() }, 0.02},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 5 }, 0.05},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()) }, 0.08},
+	}
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			q := NewQuantiles()
+			sample := make([]float64, n)
+			for i := range sample {
+				v := d.gen(r)
+				sample[i] = v
+				q.Observe(v)
+			}
+			if q.Count() != n {
+				t.Fatalf("Count = %d, want %d", q.Count(), n)
+			}
+			sort.Float64s(sample)
+			spread := exactQuantile(sample, 0.99) - exactQuantile(sample, 0.5)
+			got := q.Values()
+			for i, p := range QuantileTargets {
+				exact := exactQuantile(sample, p)
+				if e := relErr(got[i], exact, spread); e > d.tol {
+					t.Errorf("p%v: est %v exact %v (rel err %.4f > %.4f)",
+						p, got[i], exact, e, d.tol)
+				}
+			}
+			// Monotone across the tracked quantiles.
+			if !(got[0] <= got[1] && got[1] <= got[2]) {
+				t.Errorf("quantile estimates not monotone: %v", got)
+			}
+		})
+	}
+}
+
+func TestQuantileSmallSamples(t *testing.T) {
+	q := NewQuantiles()
+	if v := q.Values(); v != [3]float64{} {
+		t.Fatalf("empty Values = %v", v)
+	}
+	q.Observe(7)
+	v := q.Values()
+	for i := range v {
+		if v[i] != 7 {
+			t.Fatalf("single observation: Values = %v, want all 7", v)
+		}
+	}
+	q.Observe(1)
+	q.Observe(3)
+	got := q.Values()
+	if got[0] < 1 || got[2] > 7 {
+		t.Fatalf("3-sample Values out of range: %v", got)
+	}
+}
+
+func TestQuantileNilSafe(t *testing.T) {
+	var q *Quantiles
+	q.Observe(1)
+	if q.Values() != [3]float64{} || q.Count() != 0 {
+		t.Fatal("nil Quantiles not inert")
+	}
+}
+
+func TestQuantileObserveAllocFree(t *testing.T) {
+	q := NewQuantiles()
+	for i := 0; i < 100; i++ {
+		q.Observe(float64(i))
+	}
+	allocs := testing.AllocsPerRun(1000, func() { q.Observe(3.5) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+func BenchmarkQuantilesObserve(b *testing.B) {
+	q := NewQuantiles()
+	for i := 0; i < b.N; i++ {
+		q.Observe(float64(i % 1000))
+	}
+}

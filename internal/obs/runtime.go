@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Runtime gauges sourced from the runtime/metrics package. One
+// RuntimeSampler owns the sample buffer and the descriptors so a
+// scrape does a single metrics.Read and renders straight into the
+// exposition, no intermediate maps.
+
+// runtimeSamples are the runtime/metrics keys scraped per exposition.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/heap/allocs:bytes",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// RuntimeSampler reads a fixed set of runtime/metrics samples and
+// writes them as rp_go_* Prometheus gauges.
+type RuntimeSampler struct {
+	samples []metrics.Sample
+}
+
+// NewRuntimeSampler prepares the sample buffer.
+func NewRuntimeSampler() *RuntimeSampler {
+	s := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		s[i].Name = name
+	}
+	return &RuntimeSampler{samples: s}
+}
+
+// histQuantile extracts quantile p from a runtime Float64Histogram by
+// walking the cumulative bucket counts and returning the upper bound
+// of the bucket where the target rank falls. Infinite bounds fall back
+// to the nearest finite neighbour.
+func histQuantile(h *metrics.Float64Histogram, p float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				return h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// WriteProm samples the runtime and emits the rp_go_* gauge families.
+func (rs *RuntimeSampler) WriteProm(p *PromWriter) {
+	metrics.Read(rs.samples)
+	get := func(name string) metrics.Sample {
+		for _, s := range rs.samples {
+			if s.Name == name {
+				return s
+			}
+		}
+		return metrics.Sample{}
+	}
+	gauge := func(promName, help, key string) {
+		s := get(key)
+		var v float64
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(s.Value.Uint64())
+		case metrics.KindFloat64:
+			v = s.Value.Float64()
+		default:
+			return // bad/unavailable on this runtime: omit the family
+		}
+		p.Family(promName, help, "gauge")
+		p.Sample(promName, nil, v)
+	}
+	gauge("rp_go_goroutines", "Current number of live goroutines.",
+		"/sched/goroutines:goroutines")
+	gauge("rp_go_heap_objects_bytes", "Bytes of memory occupied by live heap objects.",
+		"/memory/classes/heap/objects:bytes")
+	gauge("rp_go_memory_total_bytes", "All memory mapped by the Go runtime.",
+		"/memory/classes/total:bytes")
+	gauge("rp_go_gc_cycles_total", "Completed GC cycles since process start.",
+		"/gc/cycles/total:gc-cycles")
+	gauge("rp_go_heap_allocs_bytes_total", "Cumulative bytes allocated on the heap.",
+		"/gc/heap/allocs:bytes")
+
+	histGauges := func(promName, help, key string) {
+		s := get(key)
+		if s.Value.Kind() != metrics.KindFloat64Histogram {
+			return
+		}
+		h := s.Value.Float64Histogram()
+		p.Family(promName, help, "gauge")
+		for i, lbl := range QuantileLabels {
+			p.Sample(promName, []Label{{"q", lbl}}, histQuantile(h, QuantileTargets[i]))
+		}
+	}
+	histGauges("rp_go_gc_pause_seconds", "Distribution of stop-the-world GC pause latencies (quantiles).",
+		"/gc/pauses:seconds")
+	histGauges("rp_go_sched_latency_seconds", "Distribution of goroutine scheduling latencies (quantiles).",
+		"/sched/latencies:seconds")
+}

@@ -145,34 +145,25 @@ func TestChaosCacheCorruptionSelfHeals(t *testing.T) {
 	}
 }
 
-// TestMetricsExposeRobustnessCounters pins the /metrics additions of
+// TestMetricsExposeRobustnessCounters pins the /metrics families of
 // the overload-protection layer: shed counters, breaker gauges, panic
-// and degradation counters all present and consistent.
+// and degradation counters all present and consistent in the
+// Prometheus exposition.
 func TestMetricsExposeRobustnessCounters(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	m := metricsSnapshot(t, ts.URL)
-	shed, ok := m["requests_shed_total"].(map[string]any)
-	if !ok {
-		t.Fatalf("requests_shed_total missing: %v", m)
-	}
 	for _, ep := range []string{"detect", "batch"} {
-		if _, ok := shed[ep]; !ok {
-			t.Errorf("requests_shed_total[%s] missing", ep)
+		if n := promValue(t, m, "rp_requests_shed_total", "endpoint", ep); n != 0 {
+			t.Errorf("rp_requests_shed_total{endpoint=%s} = %v on a fresh server", ep, n)
 		}
-	}
-	states, ok := m["breaker_state"].(map[string]any)
-	if !ok {
-		t.Fatalf("breaker_state missing: %v", m)
-	}
-	for _, ep := range []string{"detect", "batch"} {
-		if states[ep] != "closed" {
-			t.Errorf("breaker_state[%s] = %v, want closed", ep, states[ep])
+		// 0 = closed, 1 = open, 2 = half-open.
+		if state := promValue(t, m, "rp_breaker_state", "endpoint", ep); state != 0 {
+			t.Errorf("rp_breaker_state{endpoint=%s} = %v, want 0 (closed)", ep, state)
 		}
+		promValue(t, m, "rp_breaker_opens_total", "endpoint", ep)
 	}
-	for _, key := range []string{"breaker_opens_total", "panics_recovered", "degraded_total", "cache_corruptions"} {
-		if _, ok := m[key]; !ok {
-			t.Errorf("%s missing from /metrics", key)
-		}
+	for _, name := range []string{"rp_panics_recovered_total", "rp_degraded_total", "rp_cache_corruptions_total"} {
+		promValue(t, m, name)
 	}
 }
 
@@ -233,8 +224,8 @@ func TestDegradedDetectionOverHTTP(t *testing.T) {
 		t.Errorf("degraded detection lost period 64: %v", out.Periods)
 	}
 	m := metricsSnapshot(t, ts.URL)
-	if n, _ := m["degraded_total"].(float64); n < 1 {
-		t.Errorf("degraded_total = %v, want >= 1", m["degraded_total"])
+	if n := promValue(t, m, "rp_degraded_total"); n < 1 {
+		t.Errorf("rp_degraded_total = %v, want >= 1", n)
 	}
 }
 

@@ -1,20 +1,118 @@
-// The debug listener: net/http/pprof profiling and the expvar JSON
-// dump, served on a separate address so profiling endpoints are never
-// exposed on the public API port.
+// The debug listener: net/http/pprof profiling, the expvar JSON dump,
+// and the flight-recorder surfaces, served on a separate address so
+// introspection endpoints are never exposed on the public API port.
 package serve
 
 import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"time"
+
+	"robustperiod"
+	"robustperiod/internal/obs"
 )
+
+// RequestRecord is the JSON form of one flight-recorder entry, as
+// served by /debug/requests and /debug/requests/{id}.
+type RequestRecord struct {
+	ID            string                     `json:"id"`
+	Time          time.Time                  `json:"time"`
+	Endpoint      string                     `json:"endpoint"`
+	Status        int                        `json:"status"`
+	Outcome       string                     `json:"outcome"` // ok | degraded | error
+	DurationMs    float64                    `json:"durationMs"`
+	SeriesLen     int                        `json:"seriesLen,omitempty"`
+	BatchSize     int                        `json:"batchSize,omitempty"`
+	OptionsDigest string                     `json:"optionsDigest"`
+	Cached        bool                       `json:"cached"`
+	ErrorCode     string                     `json:"errorCode,omitempty"`
+	DegradedCount int                        `json:"degradedCount,omitempty"`
+	ItemErrors    int                        `json:"itemErrors,omitempty"`
+	FaultPoints   []string                   `json:"faultPoints,omitempty"`
+	Degraded      []robustperiod.Degradation `json:"degraded,omitempty"`
+	Trace         *TraceSummary              `json:"trace,omitempty"`
+}
+
+// toRequestRecord converts a recorder entry to wire form, unboxing
+// the serving layer's degradation and trace annotations.
+func toRequestRecord(rec obs.Record, full bool) RequestRecord {
+	out := RequestRecord{
+		ID:            rec.ID.String(),
+		Time:          rec.Time,
+		Endpoint:      rec.Endpoint,
+		Status:        rec.Status,
+		Outcome:       rec.Outcome(),
+		DurationMs:    float64(rec.Duration) / float64(time.Millisecond),
+		SeriesLen:     rec.SeriesLen,
+		BatchSize:     rec.BatchSize,
+		OptionsDigest: fmt.Sprintf("%016x", rec.OptionsDigest),
+		Cached:        rec.Cached,
+		ErrorCode:     rec.ErrorCode,
+		DegradedCount: rec.DegradedCount,
+		ItemErrors:    rec.ItemErrors,
+		FaultPoints:   rec.FaultPoints,
+	}
+	if !full {
+		return out
+	}
+	if degs, ok := rec.Degraded.([]robustperiod.Degradation); ok {
+		out.Degraded = degs
+	}
+	if ts, ok := rec.Trace.(*robustperiod.TraceSummary); ok {
+		out.Trace = toTraceSummary(ts)
+	}
+	return out
+}
+
+// handleRequestList serves GET /debug/requests: the flight recorder's
+// retained records, newest first, without the bulky per-record trace
+// (fetch one record by ID for that).
+func (s *Server) handleRequestList(w http.ResponseWriter, r *http.Request) {
+	max := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		fmt.Sscanf(v, "%d", &max)
+	}
+	recs := s.recorder.Snapshot(max)
+	out := make([]RequestRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = toRequestRecord(rec, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"requests": out})
+}
+
+// handleRequestByID serves GET /debug/requests/{id}: the full
+// post-mortem record — per-stage trace, degradation annotations,
+// fault hits — for the request that returned this X-Request-ID.
+func (s *Server) handleRequestByID(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimPrefix(r.URL.Path, "/debug/requests/")
+	id, ok := obs.ParseID(raw)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad_request_id",
+			"%q is not a request ID (32 hex characters)", raw)
+		return
+	}
+	rec, ok := s.recorder.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_request_id",
+			"request %s is not in the flight recorder (evicted or never seen)", raw)
+		return
+	}
+	writeJSON(w, http.StatusOK, toRequestRecord(rec, true))
+}
 
 // DebugHandler returns the handler served on Config.DebugAddr:
 //
 //	GET /debug/pprof/          pprof index (profile, heap, goroutine,
 //	                           block, mutex, trace, cmdline, symbol)
-//	GET /debug/vars            this server's expvar metrics, same JSON
-//	                           object as /metrics on the API listener
+//	GET /debug/vars            this server's expvar metrics as one
+//	                           JSON object (the pre-Prometheus
+//	                           /metrics view)
+//	GET /debug/requests        flight recorder: recent + pinned
+//	                           request records, newest first
+//	GET /debug/requests/{id}   one record by X-Request-ID, with the
+//	                           per-stage trace and degradations
 //
 // The pprof handlers are mounted explicitly on a private mux — the
 // net/http/pprof side-effect registration on http.DefaultServeMux is
@@ -31,6 +129,8 @@ func (s *Server) DebugHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, s.metrics.vars.String())
 	})
+	mux.HandleFunc("GET /debug/requests", s.handleRequestList)
+	mux.HandleFunc("GET /debug/requests/{id}", s.handleRequestByID)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -38,8 +138,10 @@ func (s *Server) DebugHandler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "robustperiod debug listener")
-		fmt.Fprintln(w, "  /debug/pprof/   profiling")
-		fmt.Fprintln(w, "  /debug/vars     expvar metrics")
+		fmt.Fprintln(w, "  /debug/pprof/         profiling")
+		fmt.Fprintln(w, "  /debug/vars           expvar metrics (JSON)")
+		fmt.Fprintln(w, "  /debug/requests       flight recorder (recent requests)")
+		fmt.Fprintln(w, "  /debug/requests/{id}  one request by X-Request-ID")
 	})
 	return mux
 }

@@ -2,12 +2,14 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"robustperiod/internal/obs"
 	"robustperiod/internal/trace"
 )
 
@@ -114,8 +116,9 @@ func TestDebugAndPlainAgree(t *testing.T) {
 }
 
 // TestStageHistogramsOnMetrics checks every served detection feeds the
-// per-stage expvar histograms, and that the full canonical stage set
-// is present on /metrics from the moment the server starts.
+// per-stage histograms and quantile estimators, and that the full
+// canonical stage set is present on /metrics from the moment the
+// server starts.
 func TestStageHistogramsOnMetrics(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	postJSON(t, ts.URL+"/v1/detect", detectBody(t, debugSeries(), nil, false))
@@ -125,28 +128,36 @@ func TestStageHistogramsOnMetrics(t *testing.T) {
 		t.Fatal("malformed body accepted")
 	}
 
-	res, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer res.Body.Close()
-	var m struct {
-		StageLatency map[string]struct {
-			Count uint64  `json:"count"`
-			SumMs float64 `json:"sumMs"`
-		} `json:"stage_latency_ms"`
-	}
-	if err := json.NewDecoder(res.Body).Decode(&m); err != nil {
-		t.Fatal(err)
-	}
+	m := metricsSnapshot(t, ts.URL)
 	for _, name := range trace.PipelineStages() {
-		h, ok := m.StageLatency[name]
-		if !ok {
-			t.Fatalf("stage %q missing from /metrics stage_latency_ms: %v", name, m.StageLatency)
-		}
-		if h.Count < 1 {
+		if cnt := promValue(t, m, "rp_stage_duration_seconds_count", "stage", name); cnt < 1 {
 			t.Errorf("stage %q histogram empty after a served detection", name)
 		}
+		for _, q := range []string{"0.5", "0.9", "0.99"} {
+			promValue(t, m, "rp_stage_latency_seconds_quantile", "stage", name, "q", q)
+		}
+	}
+	// Satellite check: stage histograms carry sub-millisecond buckets,
+	// so fast stages are not all collapsed into the first bucket the
+	// endpoint histograms use (1ms).
+	f := obs.FindFamily(m, "rp_stage_duration_seconds")
+	if f == nil {
+		t.Fatal("rp_stage_duration_seconds family missing")
+	}
+	subMS := 0
+	for _, s := range f.Samples {
+		le := s.Label("le")
+		if le == "" || le == "+Inf" {
+			continue
+		}
+		var bound float64
+		fmt.Sscanf(le, "%g", &bound)
+		if bound > 0 && bound < 0.001 {
+			subMS++
+		}
+	}
+	if subMS == 0 {
+		t.Error("stage histograms have no sub-millisecond buckets")
 	}
 }
 
@@ -159,17 +170,9 @@ func TestStageHistogramsRegisteredOncePerServer(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		s := New(Config{})
 		ts := httptest.NewServer(s.Handler())
-		res, err := http.Get(ts.URL + "/metrics")
-		if err != nil {
-			t.Fatal(err)
-		}
-		var m map[string]json.RawMessage
-		if err := json.NewDecoder(res.Body).Decode(&m); err != nil {
-			t.Fatalf("restart %d: metrics not valid JSON: %v", i, err)
-		}
-		res.Body.Close()
-		if _, ok := m["stage_latency_ms"]; !ok {
-			t.Fatalf("restart %d: stage_latency_ms missing", i)
+		m := metricsSnapshot(t, ts.URL)
+		if obs.FindFamily(m, "rp_stage_duration_seconds") == nil {
+			t.Fatalf("restart %d: rp_stage_duration_seconds missing", i)
 		}
 		ts.Close()
 		s.Close()

@@ -5,7 +5,7 @@
 //	POST /v1/detect        one series  -> periods (+ per-level details)
 //	POST /v1/detect/batch  many series -> one result per series
 //	GET  /healthz          liveness
-//	GET  /metrics          expvar counters as one JSON object
+//	GET  /metrics          Prometheus text exposition (version 0.0.4)
 package serve
 
 import (
@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"net/http"
 	"strconv"
@@ -21,6 +22,7 @@ import (
 
 	"robustperiod"
 	"robustperiod/internal/faults"
+	"robustperiod/internal/obs"
 )
 
 // APIOptions is the JSON surface of robustperiod.Options. Every field
@@ -97,6 +99,15 @@ func (o *APIOptions) canonicalTag() []byte {
 	return b
 }
 
+// digest hashes the canonical options encoding (FNV-1a) for the
+// flight-recorder record: two requests with the same digest ran with
+// identical options.
+func (o *APIOptions) digest() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(o.canonicalTag())
+	return h.Sum64()
+}
+
 // DetectRequest is the body of POST /v1/detect.
 type DetectRequest struct {
 	Series  []float64   `json:"series"`
@@ -146,13 +157,19 @@ type DetectResponse struct {
 }
 
 // TraceStage is the wire form of one pipeline stage's accumulated
-// timing in a ?debug=1 response.
+// timing in a ?debug=1 response. The P50/P90/P99 fields carry the
+// server's streaming estimates of this stage's latency across all
+// requests (not just this one), so a debug response situates its own
+// timings against the fleet-wide distribution.
 type TraceStage struct {
 	Stage    string           `json:"stage"`
 	Calls    int64            `json:"calls"`
 	Ms       float64          `json:"ms"`
 	Allocs   uint64           `json:"allocs"`
 	Counters map[string]int64 `json:"counters,omitempty"`
+	P50Ms    float64          `json:"p50Ms,omitempty"`
+	P90Ms    float64          `json:"p90Ms,omitempty"`
+	P99Ms    float64          `json:"p99Ms,omitempty"`
 }
 
 // TraceLevel is the wire form of one wavelet level's verdict trail.
@@ -354,6 +371,7 @@ func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *AP
 		// Fault point "serve/worker": a failure between dequeue and
 		// the library call (a poisoned job, a dead dependency).
 		if err := faults.Check(faults.PointServeWorker); err != nil {
+			obs.FromContext(ctx).AddFault(faults.PointServeWorker)
 			out <- detOut{err: err}
 			return
 		}
@@ -450,16 +468,30 @@ func nonNil(p []int) []int {
 // handleDetect serves POST /v1/detect.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	scope := obs.FromContext(r.Context())
 	var req DetectRequest
 	if !decodeBody(w, r, &req) {
+		if scope != nil {
+			scope.ErrorCode = "bad_request"
+		}
 		return
 	}
+	if scope != nil {
+		scope.SeriesLen = len(req.Series)
+		scope.OptionsDigest = req.Options.digest()
+	}
 	if apiErr := validateSeries(req.Series, s.cfg.MaxSeriesLen, req.Options.fillMissing()); apiErr != nil {
+		if scope != nil {
+			scope.ErrorCode = apiErr.Code
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]*APIError{"error": apiErr})
 		return
 	}
 	if retry, ok := s.admit(); !ok {
 		s.metrics.shed.Add(epDetect, 1)
+		if scope != nil {
+			scope.ErrorCode = "overloaded"
+		}
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests, "overloaded",
 			"worker queue is full; retry after %d s", retry)
@@ -475,8 +507,21 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	res, cached, err := s.runDetection(ctx, req.Series, req.Options, debug)
 	if err != nil {
 		status, apiErr := toAPIError(err)
+		if scope != nil {
+			scope.ErrorCode = apiErr.Code
+		}
 		writeJSON(w, status, map[string]*APIError{"error": apiErr})
 		return
+	}
+	if scope != nil {
+		scope.Cached = cached
+		scope.DegradedCount = len(res.Degraded)
+		if len(res.Degraded) > 0 {
+			scope.Degraded = res.Degraded
+		}
+		if res.Trace != nil {
+			scope.Trace = res.Trace
+		}
 	}
 	resp := DetectResponse{
 		Periods:        nonNil(res.Periods),
@@ -490,6 +535,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	if debug {
 		resp.Trace = toTraceSummary(res.Trace)
+		s.metrics.annotateStageQuantiles(resp.Trace)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -499,15 +545,29 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 // series fails only its own slot.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	scope := obs.FromContext(r.Context())
 	var req BatchRequest
 	if !decodeBody(w, r, &req) {
+		if scope != nil {
+			scope.ErrorCode = "bad_request"
+		}
 		return
 	}
+	if scope != nil {
+		scope.BatchSize = len(req.Series)
+		scope.OptionsDigest = req.Options.digest()
+	}
 	if len(req.Series) == 0 {
+		if scope != nil {
+			scope.ErrorCode = "empty_batch"
+		}
 		writeError(w, http.StatusBadRequest, "empty_batch", "batch must contain at least one series")
 		return
 	}
 	if s.cfg.MaxBatch > 0 && len(req.Series) > s.cfg.MaxBatch {
+		if scope != nil {
+			scope.ErrorCode = "batch_too_large"
+		}
 		writeError(w, http.StatusBadRequest, "batch_too_large",
 			"batch has %d series, limit is %d", len(req.Series), s.cfg.MaxBatch)
 		return
@@ -516,6 +576,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// batch is worse than a shed one (the client must retry anyway).
 	if retry, ok := s.admit(); !ok {
 		s.metrics.shed.Add(epBatch, 1)
+		if scope != nil {
+			scope.ErrorCode = "overloaded"
+		}
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests, "overloaded",
 			"worker queue is full; retry after %d s", retry)
@@ -552,6 +615,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
+	if scope != nil {
+		var degraded []robustperiod.Degradation
+		for i := range items {
+			if items[i].Error != nil {
+				scope.ItemErrors++
+			}
+			scope.DegradedCount += len(items[i].Degraded)
+			degraded = append(degraded, items[i].Degraded...)
+		}
+		if len(degraded) > 0 {
+			scope.Degraded = degraded
+		}
+	}
 	writeJSON(w, http.StatusOK, BatchResponse{
 		Results:   items,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
@@ -563,9 +639,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleMetrics serves GET /metrics: the server's expvar map as one
-// JSON object.
+// handleMetrics serves GET /metrics: the Prometheus text exposition
+// (format 0.0.4). The expvar JSON view of the same counters stays
+// available on the debug listener at /debug/vars.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, s.metrics.vars.String())
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_ = s.metrics.writeProm(w)
 }

@@ -3,42 +3,64 @@ package serve
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"robustperiod/internal/obs"
 	"robustperiod/internal/trace"
 )
 
-// latencyBucketsMS are the histogram bucket upper bounds, in
+// latencyBucketsMS are the endpoint-histogram bucket upper bounds, in
 // milliseconds. The spread covers everything from a cache hit (<1ms)
 // to a robust periodogram over a very long series (tens of seconds).
 var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
 
+// stageBucketsMS are the pipeline-stage bucket upper bounds, in
+// milliseconds. Stages are one to two orders of magnitude faster than
+// whole requests — the HP filter or variance ranking over a modest
+// series finishes in tens of microseconds — so the stage histograms
+// start at 10µs instead of 1ms; sharing the endpoint buckets would
+// collapse most stages into the first bucket and hide every
+// regression below a millisecond.
+var stageBucketsMS = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 5000}
+
 // histogram is a fixed-bucket latency histogram implementing
 // expvar.Var, so it can live inside an expvar.Map and render itself
-// as JSON on /metrics.
+// as JSON on /debug/vars. The same counts back the Prometheus
+// exposition on /metrics.
 type histogram struct {
+	bounds []float64 // upper bounds in milliseconds
 	mu     sync.Mutex
 	counts []uint64 // one per bucket, plus a final +Inf bucket
 	total  uint64
 	sumMS  float64
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(latencyBucketsMS)+1)}
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 }
 
 // Observe records one request duration.
 func (h *histogram) Observe(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
-	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	i := sort.SearchFloat64s(h.bounds, ms)
 	h.mu.Lock()
 	h.counts[i]++
 	h.total++
 	h.sumMS += ms
 	h.mu.Unlock()
+}
+
+// snapshot copies the counts for rendering outside the lock.
+func (h *histogram) snapshot() (counts []uint64, total uint64, sumMS float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts = make([]uint64, len(h.counts))
+	copy(counts, h.counts)
+	return counts, h.total, h.sumMS
 }
 
 // String renders the histogram as a JSON object with cumulative
@@ -49,7 +71,7 @@ func (h *histogram) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, `{"count":%d,"sumMs":%.3f,"buckets":{`, h.total, h.sumMS)
 	cum := uint64(0)
-	for i, bound := range latencyBucketsMS {
+	for i, bound := range h.bounds {
 		cum += h.counts[i]
 		if i > 0 {
 			b.WriteByte(',')
@@ -63,7 +85,8 @@ func (h *histogram) String() string {
 // metrics aggregates every counter the service exports. The vars live
 // in a per-Server expvar.Map rather than the process-global expvar
 // registry, so multiple servers (e.g. in tests) never collide on
-// Publish and /metrics reports exactly one server's view.
+// Publish and /debug/vars reports exactly one server's view. The same
+// state renders as Prometheus text exposition on GET /metrics.
 type metrics struct {
 	vars *expvar.Map
 
@@ -77,6 +100,25 @@ type metrics struct {
 	degradedTotal   *expvar.Int           // detections that returned degradation annotations
 	latency         map[string]*histogram // per-endpoint
 	stageLat        map[string]*histogram // per pipeline stage
+
+	// Streaming P50/P90/P99 estimates (P² algorithm), observed in
+	// seconds, alongside the fixed-bucket histograms: the histograms
+	// give Prometheus aggregatable data, the quantiles give an instant
+	// answer without a query engine.
+	latQ   map[string]*obs.Quantiles // per-endpoint
+	stageQ map[string]*obs.Quantiles // per pipeline stage
+
+	endpoints []string // sorted, for deterministic exposition order
+	stages    []string
+
+	// Snapshot hooks into the rest of the server, for the gauge
+	// families of the exposition.
+	queueDepth  func() int
+	cacheLen    func() int
+	corruptions func() int64
+	breakers    map[string]*breaker
+
+	runtime *obs.RuntimeSampler
 }
 
 func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
@@ -91,15 +133,23 @@ func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
 		panicsRecovered: new(expvar.Int),
 		degradedTotal:   new(expvar.Int),
 		latency:         make(map[string]*histogram, len(endpoints)),
+		latQ:            make(map[string]*obs.Quantiles, len(endpoints)),
+		stageQ:          make(map[string]*obs.Quantiles),
+		queueDepth:      queueDepth,
+		cacheLen:        cacheLen,
+		runtime:         obs.NewRuntimeSampler(),
 	}
+	m.endpoints = append(m.endpoints, endpoints...)
+	sort.Strings(m.endpoints)
 	lat := new(expvar.Map).Init()
 	for _, ep := range endpoints {
 		m.requests.Add(ep, 0)
 		m.errors.Add(ep, 0)
 		m.shed.Add(ep, 0)
-		h := newHistogram()
+		h := newHistogram(latencyBucketsMS)
 		m.latency[ep] = h
 		lat.Set(ep, h)
+		m.latQ[ep] = obs.NewQuantiles()
 	}
 	// Per-stage histograms are keyed by the fixed canonical stage set
 	// and registered exactly once, here, into this server's private
@@ -108,10 +158,13 @@ func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
 	m.stageLat = make(map[string]*histogram)
 	stageLat := new(expvar.Map).Init()
 	for _, st := range trace.PipelineStages() {
-		h := newHistogram()
+		h := newHistogram(stageBucketsMS)
 		m.stageLat[st] = h
 		stageLat.Set(st, h)
+		m.stageQ[st] = obs.NewQuantiles()
+		m.stages = append(m.stages, st)
 	}
+	sort.Strings(m.stages)
 	m.vars.Set("stage_latency_ms", stageLat)
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("errors", m.errors)
@@ -128,8 +181,10 @@ func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
 }
 
 // registerBreakers exposes each compute endpoint's breaker state
-// ("closed"/"open"/"half-open") and cumulative open count on /metrics.
+// ("closed"/"open"/"half-open") and cumulative open count on
+// /debug/vars and, numerically, on the Prometheus exposition.
 func (m *metrics) registerBreakers(breakers map[string]*breaker) {
+	m.breakers = breakers
 	states := new(expvar.Map).Init()
 	opens := new(expvar.Map).Init()
 	for ep, br := range breakers {
@@ -144,12 +199,14 @@ func (m *metrics) registerBreakers(breakers map[string]*breaker) {
 // registerCacheCorruptions exposes the count of cache entries dropped
 // by the integrity check on read.
 func (m *metrics) registerCacheCorruptions(f func() int64) {
+	m.corruptions = f
 	m.vars.Set("cache_corruptions", expvar.Func(func() any { return f() }))
 }
 
 // observeStages folds one detection's per-stage wall times into the
-// stage latency histograms. Stages outside the canonical pipeline set
-// are ignored (the histogram keys are fixed at construction).
+// stage latency histograms and quantile estimators. Stages outside
+// the canonical pipeline set are ignored (the histogram keys are
+// fixed at construction).
 func (m *metrics) observeStages(s *trace.Summary) {
 	if s == nil {
 		return
@@ -158,6 +215,26 @@ func (m *metrics) observeStages(s *trace.Summary) {
 		if h, ok := m.stageLat[st.Name]; ok {
 			h.Observe(st.Duration)
 		}
+		m.stageQ[st.Name].Observe(st.Duration.Seconds())
+	}
+}
+
+// annotateStageQuantiles fills a wire trace's per-stage P50/P90/P99
+// fields from the server-wide streaming estimators, converted to the
+// milliseconds the wire trace speaks.
+func (m *metrics) annotateStageQuantiles(ts *TraceSummary) {
+	if ts == nil {
+		return
+	}
+	for i := range ts.Stages {
+		q := m.stageQ[ts.Stages[i].Stage]
+		if q.Count() == 0 {
+			continue
+		}
+		v := q.Values()
+		ts.Stages[i].P50Ms = v[0] * 1000
+		ts.Stages[i].P90Ms = v[1] * 1000
+		ts.Stages[i].P99Ms = v[2] * 1000
 	}
 }
 
@@ -170,4 +247,120 @@ func (m *metrics) observe(ep string, d time.Duration, status int) {
 	if h, ok := m.latency[ep]; ok {
 		h.Observe(d)
 	}
+	m.latQ[ep].Observe(d.Seconds())
+}
+
+// expvarInt reads the counter registered for key in an expvar map of
+// *expvar.Int values.
+func expvarInt(m *expvar.Map, key string) float64 {
+	if v, ok := m.Get(key).(*expvar.Int); ok {
+		return float64(v.Value())
+	}
+	return 0
+}
+
+// breakerStateCode maps a breaker state name to the numeric gauge the
+// exposition reports.
+func breakerStateCode(state string) float64 {
+	switch state {
+	case breakerStateName(breakerOpen):
+		return 1
+	case breakerStateName(breakerHalfOpen):
+		return 2
+	default:
+		return 0
+	}
+}
+
+// promHistogram renders one histogram series, converting the
+// millisecond-denominated buckets to base-unit seconds.
+func promHistogram(p *obs.PromWriter, name string, labels []obs.Label, h *histogram) {
+	counts, _, sumMS := h.snapshot()
+	boundsSec := make([]float64, len(h.bounds))
+	for i, b := range h.bounds {
+		boundsSec[i] = b / 1000
+	}
+	p.Histogram(name, labels, boundsSec, counts, sumMS/1000)
+}
+
+// writeProm renders the full Prometheus text exposition: build info,
+// request/error/shed counters, gauges, breaker states, latency and
+// stage histograms (seconds), streaming quantiles, and the runtime
+// gauges. Families and series are emitted in sorted label order so
+// scrapes are diffable.
+func (m *metrics) writeProm(w io.Writer) error {
+	p := obs.NewPromWriter(w)
+	obs.GetBuildInfo().WriteProm(p)
+
+	p.Family("rp_requests_total", "HTTP requests served, by endpoint.", "counter")
+	for _, ep := range m.endpoints {
+		p.Sample("rp_requests_total", []obs.Label{{Name: "endpoint", Value: ep}}, expvarInt(m.requests, ep))
+	}
+	p.Family("rp_request_errors_total", "Requests answered with status >= 400, by endpoint.", "counter")
+	for _, ep := range m.endpoints {
+		p.Sample("rp_request_errors_total", []obs.Label{{Name: "endpoint", Value: ep}}, expvarInt(m.errors, ep))
+	}
+	p.Family("rp_requests_shed_total", "Requests shed before compute (429 or 503), by endpoint.", "counter")
+	for _, ep := range m.endpoints {
+		p.Sample("rp_requests_shed_total", []obs.Label{{Name: "endpoint", Value: ep}}, expvarInt(m.shed, ep))
+	}
+
+	p.Family("rp_requests_in_flight", "Requests currently inside a handler.", "gauge")
+	p.Sample("rp_requests_in_flight", nil, float64(m.inFlight.Value()))
+	p.Family("rp_worker_queue_depth", "Detection jobs waiting in the worker queue.", "gauge")
+	p.Sample("rp_worker_queue_depth", nil, float64(m.queueDepth()))
+	p.Family("rp_cache_entries", "Entries currently in the result cache.", "gauge")
+	p.Sample("rp_cache_entries", nil, float64(m.cacheLen()))
+
+	p.Family("rp_cache_hits_total", "Result-cache hits.", "counter")
+	p.Sample("rp_cache_hits_total", nil, float64(m.cacheHits.Value()))
+	p.Family("rp_cache_misses_total", "Result-cache misses.", "counter")
+	p.Sample("rp_cache_misses_total", nil, float64(m.cacheMisses.Value()))
+	if m.corruptions != nil {
+		p.Family("rp_cache_corruptions_total", "Cache entries dropped by the integrity check on read.", "counter")
+		p.Sample("rp_cache_corruptions_total", nil, float64(m.corruptions()))
+	}
+	p.Family("rp_panics_recovered_total", "Panics recovered in handlers and detection workers.", "counter")
+	p.Sample("rp_panics_recovered_total", nil, float64(m.panicsRecovered.Value()))
+	p.Family("rp_degraded_total", "Detections that returned graceful-degradation annotations.", "counter")
+	p.Sample("rp_degraded_total", nil, float64(m.degradedTotal.Value()))
+
+	if len(m.breakers) > 0 {
+		eps := make([]string, 0, len(m.breakers))
+		for ep := range m.breakers {
+			eps = append(eps, ep)
+		}
+		sort.Strings(eps)
+		p.Family("rp_breaker_state", "Circuit-breaker state by endpoint: 0 closed, 1 open, 2 half-open.", "gauge")
+		for _, ep := range eps {
+			state, _ := m.breakers[ep].snapshot()
+			p.Sample("rp_breaker_state", []obs.Label{{Name: "endpoint", Value: ep}}, breakerStateCode(state))
+		}
+		p.Family("rp_breaker_opens_total", "Circuit-breaker open transitions by endpoint.", "counter")
+		for _, ep := range eps {
+			_, opens := m.breakers[ep].snapshot()
+			p.Sample("rp_breaker_opens_total", []obs.Label{{Name: "endpoint", Value: ep}}, float64(opens))
+		}
+	}
+
+	p.Family("rp_request_duration_seconds", "Request latency by endpoint.", "histogram")
+	for _, ep := range m.endpoints {
+		promHistogram(p, "rp_request_duration_seconds", []obs.Label{{Name: "endpoint", Value: ep}}, m.latency[ep])
+	}
+	p.Family("rp_stage_duration_seconds", "Pipeline stage latency by stage (microsecond-resolution low buckets).", "histogram")
+	for _, st := range m.stages {
+		promHistogram(p, "rp_stage_duration_seconds", []obs.Label{{Name: "stage", Value: st}}, m.stageLat[st])
+	}
+
+	p.Family("rp_request_latency_seconds_quantile", "Streaming request-latency quantile estimates (P2 algorithm) by endpoint.", "gauge")
+	for _, ep := range m.endpoints {
+		p.QuantileGauges("rp_request_latency_seconds_quantile", []obs.Label{{Name: "endpoint", Value: ep}}, m.latQ[ep])
+	}
+	p.Family("rp_stage_latency_seconds_quantile", "Streaming stage-latency quantile estimates (P2 algorithm) by stage.", "gauge")
+	for _, st := range m.stages {
+		p.QuantileGauges("rp_stage_latency_seconds_quantile", []obs.Label{{Name: "stage", Value: st}}, m.stageQ[st])
+	}
+
+	m.runtime.WriteProm(p)
+	return p.Err()
 }

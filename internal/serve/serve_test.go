@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"robustperiod"
+	"robustperiod/internal/obs"
 )
 
 // sineSeries builds a deterministic noisy sinusoid of the given
@@ -225,19 +227,54 @@ func TestBatchConcurrentCorrectness(t *testing.T) {
 	}
 }
 
-// metricsSnapshot fetches and decodes GET /metrics.
-func metricsSnapshot(t *testing.T, url string) map[string]any {
+// metricsSnapshot fetches GET /metrics, runs the exposition through
+// the Prometheus text-format conformance checker, and returns the
+// parsed families.
+func metricsSnapshot(t *testing.T, url string) []obs.PromFamily {
 	t.Helper()
 	resp, err := http.Get(url + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var m map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
 		t.Fatal(err)
 	}
-	return m
+	if err := obs.CheckExposition(body); err != nil {
+		t.Fatalf("/metrics fails conformance: %v", err)
+	}
+	fams, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+// promValue returns the value of the sample with the given name whose
+// label set includes every name=value pair in kv (alternating). Fails
+// the test when no such sample exists.
+func promValue(t *testing.T, fams []obs.PromFamily, sample string, kv ...string) float64 {
+	t.Helper()
+	for i := range fams {
+		for _, s := range fams[i].Samples {
+			if s.Name != sample {
+				continue
+			}
+			match := true
+			for j := 0; j+1 < len(kv); j += 2 {
+				if s.Label(kv[j]) != kv[j+1] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s.Value
+			}
+		}
+	}
+	t.Fatalf("no sample %s %v in exposition", sample, kv)
+	return 0
 }
 
 func TestCacheHitAndMetrics(t *testing.T) {
@@ -282,23 +319,17 @@ func TestCacheHitAndMetrics(t *testing.T) {
 	}
 
 	m := metricsSnapshot(t, ts.URL)
-	if hits, _ := m["cache_hits"].(float64); hits < 1 {
-		t.Errorf("cache_hits = %v, want >= 1", m["cache_hits"])
+	if hits := promValue(t, m, "rp_cache_hits_total"); hits < 1 {
+		t.Errorf("rp_cache_hits_total = %v, want >= 1", hits)
 	}
-	if misses, _ := m["cache_misses"].(float64); misses < 2 {
-		t.Errorf("cache_misses = %v, want >= 2", m["cache_misses"])
+	if misses := promValue(t, m, "rp_cache_misses_total"); misses < 2 {
+		t.Errorf("rp_cache_misses_total = %v, want >= 2", misses)
 	}
-	reqs, _ := m["requests"].(map[string]any)
-	if reqs == nil || reqs["detect"].(float64) < 3 {
-		t.Errorf("requests.detect = %v, want >= 3", reqs)
+	if reqs := promValue(t, m, "rp_requests_total", "endpoint", "detect"); reqs < 3 {
+		t.Errorf("rp_requests_total{endpoint=detect} = %v, want >= 3", reqs)
 	}
-	lat, _ := m["latency_ms"].(map[string]any)
-	if lat == nil {
-		t.Fatalf("no latency_ms in metrics: %v", m)
-	}
-	det, _ := lat["detect"].(map[string]any)
-	if det == nil || det["count"].(float64) < 3 {
-		t.Errorf("latency_ms.detect = %v, want count >= 3", lat["detect"])
+	if cnt := promValue(t, m, "rp_request_duration_seconds_count", "endpoint", "detect"); cnt < 3 {
+		t.Errorf("rp_request_duration_seconds_count{endpoint=detect} = %v, want >= 3", cnt)
 	}
 }
 

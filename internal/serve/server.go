@@ -11,6 +11,7 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"robustperiod/internal/faults"
+	"robustperiod/internal/obs"
 )
 
 // Config tunes the service. The zero value is production-safe.
@@ -58,6 +60,21 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker waits before
 	// half-opening to admit a probe request; 0 means 5s.
 	BreakerCooldown time.Duration
+	// Logger receives the server's structured logs (request admission,
+	// degradation and fault events, access samples), each correlated by
+	// request_id. Nil disables logging.
+	Logger *slog.Logger
+	// AccessLogEvery samples the per-request access log: every Nth
+	// completed compute request is logged at info level. Requests that
+	// erred, degraded, or hit a fault point are always logged
+	// regardless of sampling. 0 means 64; 1 logs every request;
+	// negative disables access sampling (exceptional requests still
+	// log).
+	AccessLogEvery int
+	// RecorderSize is how many recent request records the post-mortem
+	// flight recorder retains (plus as many pinned error/degraded
+	// records); 0 means 256. The recorder is always on.
+	RecorderSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +99,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
 	}
+	if c.AccessLogEvery == 0 {
+		c.AccessLogEvery = 64
+	}
+	if c.RecorderSize <= 0 {
+		c.RecorderSize = 256
+	}
 	return c
 }
 
@@ -103,6 +126,13 @@ type Server struct {
 	cache   *resultCache
 	metrics *metrics
 
+	// Observability: request-ID generator, structured logger, the
+	// always-on flight recorder, and the access-log sampling counter.
+	idGen     *obs.IDGen
+	logger    *slog.Logger
+	recorder  *obs.Recorder
+	accessCtr atomic.Uint64
+
 	// breakers guard the compute endpoints (nil entries never trip).
 	breakers map[string]*breaker
 	// draining flips once shutdown begins: compute requests arriving
@@ -118,9 +148,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		pool:  newWorkerPool(cfg.Workers, cfg.QueueLen),
-		cache: newResultCache(cfg.CacheSize),
+		cfg:      cfg,
+		pool:     newWorkerPool(cfg.Workers, cfg.QueueLen),
+		cache:    newResultCache(cfg.CacheSize),
+		idGen:    obs.NewIDGen(),
+		logger:   cfg.Logger,
+		recorder: obs.NewRecorder(cfg.RecorderSize),
 	}
 	s.breakers = map[string]*breaker{
 		epDetect: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
@@ -169,7 +202,10 @@ func computeEndpoint(ep string) bool { return ep == epDetect || ep == epBatch }
 
 // instrument wraps a handler with the request-size limit, the
 // per-endpoint metrics (request count, error count, in-flight gauge,
-// latency histogram), and — on the compute endpoints — the overload
+// latency histogram), and — on the compute endpoints — the
+// observability scope (a request ID minted at admission, propagated
+// via context into the pipeline, returned in X-Request-ID, and
+// committed to the flight recorder at completion) plus the overload
 // protections: the draining gate, the circuit breaker, and a
 // panic-recovery net that turns a handler panic into a structured 500
 // instead of a torn connection.
@@ -185,8 +221,22 @@ func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
 		defer func() { s.metrics.observe(ep, time.Since(start), rec.status) }()
 
 		if computeEndpoint(ep) {
+			// Mint the correlation ID at admission — before any gate can
+			// reject the request — so even a shed 503 is retrievable from
+			// the flight recorder by the ID the client received.
+			scope := &obs.Scope{
+				ID:       s.idGen.Next(),
+				Logger:   s.logger,
+				Endpoint: ep,
+				Start:    start,
+			}
+			rec.Header().Set("X-Request-ID", scope.ID.String())
+			r = r.WithContext(obs.NewContext(r.Context(), scope))
+			defer s.finishRequest(scope, rec, start)
+
 			if s.draining.Load() {
 				s.metrics.shed.Add(ep, 1)
+				scope.ErrorCode = "shutting_down"
 				writeError(rec, http.StatusServiceUnavailable, "shutting_down",
 					"server is draining; retry against another instance")
 				return
@@ -194,6 +244,7 @@ func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
 			br := s.breakers[ep]
 			if !br.allow() {
 				s.metrics.shed.Add(ep, 1)
+				scope.ErrorCode = "breaker_open"
 				rec.Header().Set("Retry-After", strconv.Itoa(br.retryAfter()))
 				writeError(rec, http.StatusServiceUnavailable, "breaker_open",
 					"endpoint suspended after repeated internal failures")
@@ -202,6 +253,9 @@ func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
 			defer func() {
 				if v := recover(); v != nil {
 					s.metrics.panicsRecovered.Add(1)
+					scope.ErrorCode = "internal_panic"
+					scope.Log(r.Context(), slog.LevelError, "handler panicked",
+						slog.Any("panic", v))
 					// Headers may already be gone; WriteHeader is then a
 					// no-op and the client sees a truncated body, but the
 					// breaker and metrics still record an internal failure.
@@ -214,6 +268,8 @@ func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
 			// Fault point "serve/handler": an unexpected failure inside
 			// the HTTP layer itself (before any detection work).
 			if err := faults.Check(faults.PointServeHandler); err != nil {
+				scope.AddFault(faults.PointServeHandler)
+				scope.ErrorCode = "internal_error"
 				writeError(rec, http.StatusInternalServerError, "internal_error",
 					"%v", err)
 				return
@@ -221,6 +277,69 @@ func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
 		}
 		h(rec, r)
 	})
+}
+
+// finishRequest commits one completed compute request to the flight
+// recorder and emits the sampled access log. Runs deferred from
+// instrument, after the handler (and the panic-recovery net) finished
+// annotating the scope.
+func (s *Server) finishRequest(scope *obs.Scope, rec *statusRecorder, start time.Time) {
+	record := obs.Record{
+		ID:            scope.ID,
+		Time:          start,
+		Endpoint:      scope.Endpoint,
+		Status:        rec.status,
+		Duration:      time.Since(start),
+		SeriesLen:     scope.SeriesLen,
+		BatchSize:     scope.BatchSize,
+		OptionsDigest: scope.OptionsDigest,
+		Cached:        scope.Cached,
+		ErrorCode:     scope.ErrorCode,
+		DegradedCount: scope.DegradedCount,
+		ItemErrors:    scope.ItemErrors,
+		FaultPoints:   scope.Faults(),
+		Degraded:      scope.Degraded,
+		Trace:         scope.Trace,
+	}
+	s.recorder.Record(&record)
+	if s.logger == nil {
+		return
+	}
+	// Exceptional requests always log; healthy ones are sampled.
+	exceptional := record.Interesting()
+	if !exceptional {
+		if s.cfg.AccessLogEvery < 1 {
+			return
+		}
+		if s.accessCtr.Add(1)%uint64(s.cfg.AccessLogEvery) != 0 {
+			return
+		}
+	}
+	level := slog.LevelInfo
+	if record.Status >= 500 {
+		level = slog.LevelError
+	} else if exceptional {
+		level = slog.LevelWarn
+	}
+	attrs := []slog.Attr{
+		slog.String("endpoint", record.Endpoint),
+		slog.Int("status", record.Status),
+		slog.Duration("duration", record.Duration),
+		slog.Bool("cached", record.Cached),
+	}
+	if record.ErrorCode != "" {
+		attrs = append(attrs, slog.String("error_code", record.ErrorCode))
+	}
+	if record.DegradedCount > 0 {
+		attrs = append(attrs, slog.Int("degraded", record.DegradedCount))
+	}
+	if record.ItemErrors > 0 {
+		attrs = append(attrs, slog.Int("item_errors", record.ItemErrors))
+	}
+	if len(record.FaultPoints) > 0 {
+		attrs = append(attrs, slog.Any("fault_points", record.FaultPoints))
+	}
+	scope.Log(context.Background(), level, "request", attrs...)
 }
 
 // ewmaAlpha is the smoothing factor of the detection service-time
@@ -282,11 +401,20 @@ func (s *Server) Run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	// The bound address is logged (not just configured) so operators —
+	// and the e2e harness — can discover the actual port when the
+	// config asked for :0.
+	if s.logger != nil {
+		s.logger.Info("api listening", slog.String("addr", ln.Addr().String()))
+	}
 	if s.cfg.DebugAddr != "" {
 		dln, err := net.Listen("tcp", s.cfg.DebugAddr)
 		if err != nil {
 			ln.Close()
 			return err
+		}
+		if s.logger != nil {
+			s.logger.Info("debug listening", slog.String("addr", dln.Addr().String()))
 		}
 		// The debug server lives and dies with the run context; it has
 		// no in-flight work worth draining, so Close (not Shutdown) is

@@ -66,9 +66,8 @@ func TestOverloadSheds429(t *testing.T) {
 		t.Fatalf("burst of %d on a 1-worker/1-slot service shed nothing (%d ok)", burst, oks)
 	}
 	m := metricsSnapshot(t, ts.URL)
-	shed, _ := m["requests_shed_total"].(map[string]any)
-	if n, _ := shed["detect"].(float64); n < float64(sheds) {
-		t.Errorf("requests_shed_total[detect] = %v, want >= %d", shed["detect"], sheds)
+	if n := promValue(t, m, "rp_requests_shed_total", "endpoint", "detect"); n < float64(sheds) {
+		t.Errorf("rp_requests_shed_total{endpoint=detect} = %v, want >= %d", n, sheds)
 	}
 
 	// Pressure gone: the same request is admitted and fully served.
