@@ -204,7 +204,7 @@ func readSeriesNaN(path string, col int, skipHeader, allowNaN bool) ([]float64, 
 		}
 		v, err := strconv.ParseFloat(field, 64)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		out = append(out, v)
 	}

@@ -1,0 +1,126 @@
+// Command rplint runs the repository's static-analysis suite: six
+// analyzers (see internal/analysis and the README "Static analysis"
+// section) that enforce the pipeline's correctness invariants over
+// every package matched by the given patterns (default ./...).
+//
+// Usage:
+//
+//	go run ./cmd/rplint [-json] [-list] [-listcache file] [-only names] [patterns...]
+//
+// Exit status: 0 clean, 1 findings reported, 2 load/usage error.
+// Findings print as "file:line: [analyzer] message"; -json emits the
+// same findings as a JSON array for machine consumption. -listcache
+// names a file that caches the `go list -json` answers so repeated CI
+// steps skip the module scan.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"robustperiod/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("rplint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	listOnly := fs.Bool("list", false, "list analyzers and exit")
+	listCache := fs.String("listcache", "", "cache file for go list output (read if present, written otherwise)")
+	writeCache := fs.Bool("writecache", false, "only resolve patterns and write the -listcache file, then exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *listOnly {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.Analyzers()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.AnalyzerByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "rplint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rplint: %v\n", err)
+		return 2
+	}
+	moduleDir, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rplint: %v\n", err)
+		return 2
+	}
+
+	if *writeCache {
+		if *listCache == "" {
+			fmt.Fprintln(os.Stderr, "rplint: -writecache requires -listcache <file>")
+			return 2
+		}
+		if _, err := analysis.List(moduleDir, patterns, *listCache); err != nil {
+			fmt.Fprintf(os.Stderr, "rplint: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	loader, pkgs, err := analysis.Load(moduleDir, patterns, *listCache)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rplint: %v\n", err)
+		return 2
+	}
+	cfg, err := analysis.RepoConfig(loader)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rplint: %v\n", err)
+		return 2
+	}
+
+	findings := analysis.Run(pkgs, cfg, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "rplint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "rplint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"robustperiod/internal/analysis"
+)
+
+// capture runs fn with os.Stdout redirected into a buffer.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				done <- sb.String()
+				return
+			}
+		}
+	}()
+	fn()
+	w.Close()
+	return <-done
+}
+
+func TestListFlag(t *testing.T) {
+	out := capture(t, func() {
+		if code := run([]string{"-list"}); code != 0 {
+			t.Errorf("run(-list) = %d, want 0", code)
+		}
+	})
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out)
+		}
+	}
+}
+
+func TestJSONOutputClean(t *testing.T) {
+	// The registry package is lint-clean by construction; -json must
+	// still emit a well-formed (empty) array for it.
+	out := capture(t, func() {
+		if code := run([]string{"-json", "./internal/registry"}); code != 0 {
+			t.Errorf("run = %d, want 0", code)
+		}
+	})
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out)
+	}
+	if len(findings) != 0 {
+		t.Errorf("expected no findings, got %+v", findings)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-only", "nosuch"}); code != 2 {
+		t.Errorf("run(-only nosuch) = %d, want 2", code)
+	}
+}

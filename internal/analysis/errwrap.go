@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ErrWrap enforces the error-chain discipline the service layers rely
+// on: sentinel errors (package-level Err* variables) are compared with
+// errors.Is, never ==/!=, and fmt.Errorf wraps error values with %w,
+// not %v/%s. Both shapes break silently the moment an intermediate
+// layer wraps an error: the == comparison stops matching and the %v
+// chain loses errors.Is/As visibility.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel errors compared with errors.Is and wrapped with %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{e.X, e.Y} {
+					v := pkgLevelVar(info, side)
+					if v == nil || !strings.HasPrefix(v.Name(), "Err") || !isErrorType(v.Type()) {
+						continue
+					}
+					p.Reportf(e.OpPos, "sentinel comparison %s %s breaks once the error is wrapped; use errors.Is(err, %s)", e.Op, v.Name(), v.Name())
+					break
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, e); isPkgFunc(fn, "fmt", "Errorf") {
+					checkErrorf(p, e)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf walks the constant format string of a fmt.Errorf call
+// and flags %v/%s verbs whose corresponding argument is an error:
+// those must be %w to keep the chain inspectable. Explicit argument
+// indexes (%[n]d) abandon the walk — positional bookkeeping is not
+// worth encoding here.
+func checkErrorf(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, ok := constString(p.Pkg.Info, call.Args[0])
+	if !ok {
+		return
+	}
+	arg := 1 // next operand after the format string
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++ // past '%'
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// flags
+		for i < len(format) && strings.ContainsRune("#+- 0", rune(format[i])) {
+			i++
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(format) {
+			return
+		}
+		verb := format[i]
+		i++
+		if verb == '[' {
+			return // explicit argument index; bail rather than miscount
+		}
+		if (verb == 'v' || verb == 's') && arg < len(call.Args) {
+			if tv, ok := p.Pkg.Info.Types[call.Args[arg]]; ok && isErrorType(tv.Type) {
+				p.Reportf(call.Args[arg].Pos(), "error formatted with %%%c loses the chain; use %%w so callers can errors.Is/As through the wrap", verb)
+			}
+		}
+		arg++
+	}
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in non-test
+// code. The pipeline's guarantees rest on robust numerics (Huber
+// losses, IRLS/ADMM solves, MAD scale estimates); exact equality on
+// computed floats is almost always a latent bug — compare with a
+// tolerance instead. Two shapes stay legal: comparison against an
+// exact constant zero (the division-by-zero guard idiom, well-defined
+// in IEEE 754) and fully constant-folded comparisons.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on computed floating-point values outside *_test.go",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := info.Types[be.X], info.Types[be.Y]
+			if !isFloaty(tx.Type) && !isFloaty(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant-folded at compile time
+			}
+			if isZeroConst(tx) || isZeroConst(ty) {
+				return true // exact divide-by-zero / degenerate-scale guard
+			}
+			p.Reportf(be.OpPos, "floating-point %s on computed values; robust numerics must compare with a tolerance (e.g. math.Abs(a-b) <= eps)", be.Op)
+			return true
+		})
+	}
+}
+
+// isZeroConst reports whether tv is a numeric compile-time constant
+// equal to zero.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

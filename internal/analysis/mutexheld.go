@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// MutexHeld guards against the global-expvar-registration panic class
+// that PR 2 designed around: expvar.NewInt/NewMap/Publish register
+// into a process-global table and panic on the second registration of
+// the same name — which is exactly what happens when a Server is
+// constructed twice (tests, embedding, restarts). Library packages
+// must hold per-instance vars (new(expvar.Map).Init(), plain struct
+// fields) and expose them through their own handlers. Global
+// registration stays legal in package main and in init/package-level
+// var initializers, where construction happens exactly once.
+var MutexHeld = &Analyzer{
+	Name: "mutexheld",
+	Doc:  "no global expvar registration from library code paths that can run twice",
+	Run:  runMutexHeld,
+}
+
+var expvarRegisterFuncs = map[string]bool{
+	"NewInt":    true,
+	"NewFloat":  true,
+	"NewMap":    true,
+	"NewString": true,
+	"Publish":   true,
+}
+
+func runMutexHeld(p *Pass) {
+	if p.Pkg.Types != nil && p.Pkg.Types.Name() == "main" {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "init" && fd.Recv == nil {
+				continue // runs once per process by construction
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "expvar" || !expvarRegisterFuncs[fn.Name()] {
+					return true
+				}
+				p.Reportf(call.Pos(), "expvar.%s registers globally and panics if this code path runs twice (second Server, test re-construction); hold per-instance vars (new(expvar.Map).Init()) instead", fn.Name())
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// StdlibOnly enforces the DESIGN.md purity rule: non-test code may
+// import only the standard library and this module's own packages. A
+// third-party dependency slipping in would silently void the
+// reproduction's "stdlib-only" guarantee (and break the container
+// builds, which never fetch modules).
+var StdlibOnly = &Analyzer{
+	Name: "stdlibonly",
+	Doc:  "non-test code imports only the standard library and module-internal packages",
+	Run:  runStdlibOnly,
+}
+
+func runStdlibOnly(p *Pass) {
+	stdlib := make(map[string]bool)
+	isStd := func(path string) bool {
+		if v, ok := stdlib[path]; ok {
+			return v
+		}
+		info, err := os.Stat(filepath.Join(p.Cfg.GoRoot, "src", filepath.FromSlash(path)))
+		v := err == nil && info.IsDir()
+		stdlib[path] = v
+		return v
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "C" {
+				p.Reportf(imp.Pos(), "cgo import: the reproduction is pure Go (DESIGN.md stdlib-only rule)")
+				continue
+			}
+			if path == p.Cfg.ModulePath || strings.HasPrefix(path, p.Cfg.ModulePath+"/") {
+				continue
+			}
+			if isStd(path) {
+				continue
+			}
+			p.Reportf(imp.Pos(), "import %q is neither standard library nor module-internal (DESIGN.md stdlib-only rule)", path)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+// Package dep is a stand-in third-party dependency for the
+// stdlibonly fixture; it resolves through the test loader's GOPATH so
+// the fixture type-checks, while living outside GOROOT and the module.
+package dep
+
+// Answer is the only export; the fixture just needs something to use.
+const Answer = 42

@@ -1,0 +1,71 @@
+// Fixture: ctxloop flags allocating loops that ignore an in-scope
+// cancellation signal, and accepts direct polls, helper polls, and
+// functions with no signal to poll.
+package ctxloop
+
+import "context"
+
+func bad(ctx context.Context, n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ { // want: append without poll, ctx in scope
+		out = append(out, i)
+	}
+	return out
+}
+
+func badHeavyCall(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want: calls a loop-containing function
+		total += noSignal(i)
+	}
+	_ = ctx
+	return total
+}
+
+func good(ctx context.Context, n int) ([]int, error) {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+func goodHelper(done <-chan struct{}, n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if cancelled(done) {
+			return out
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+func noSignal(n int) int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ { // exempt: nothing in scope to poll
+		out = append(out, i)
+	}
+	return len(out)
+}
+
+func lightLoop(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs { // exempt: no allocation, no heavy call
+		total += x
+	}
+	_ = ctx
+	return total
+}
+
+func cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}

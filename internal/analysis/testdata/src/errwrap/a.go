@@ -1,0 +1,39 @@
+// Fixture: errwrap flags == / != against Err* sentinels and %v/%s
+// formatting of error values, and accepts errors.Is and %w.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBad = errors.New("bad")
+var notSentinel = errors.New("local convention, not an Err* name")
+
+func classify(err error) error {
+	if err == ErrBad { // want: sentinel ==
+		return nil
+	}
+	if ErrBad != err { // want: sentinel on the left
+		return nil
+	}
+	if errors.Is(err, ErrBad) { // clean
+		return nil
+	}
+	if err == notSentinel { // exempt: not an Err* name
+		return nil
+	}
+	return nil
+}
+
+func wrap(err error, lineNo int) error {
+	if err != nil {
+		return fmt.Errorf("line %d: %v", lineNo, err) // want: %v on error
+	}
+	return fmt.Errorf("%s while parsing", err) // want: %s on error
+}
+
+func wrapOK(err error) error {
+	wrapped := fmt.Errorf("context: %w", err)                 // clean
+	return fmt.Errorf("%-8s %v then %w", "pad", 1.5, wrapped) // clean: %v arg is not an error
+}

@@ -1,0 +1,29 @@
+// Fixture: floateq flags ==/!= on computed floats, and exempts
+// constant-zero guards and fully constant-folded comparisons.
+package floateq
+
+const tol = 1e-9
+
+func cmp(a, b float64) bool {
+	if a == b { // want: computed == computed
+		return true
+	}
+	if a != b+1 { // want: computed != computed
+		return false
+	}
+	if a == 0 { // exempt: exact zero guard
+		return false
+	}
+	if b != 0.0 { // exempt: exact zero guard
+		return false
+	}
+	return tol == 1e-9 // exempt: constant-folded
+}
+
+func cmp32(a float32, c complex128) bool {
+	return a == 1.5 || c == 2i // want twice: float32 and complex operands
+}
+
+func ints(a, b int) bool {
+	return a == b // exempt: not floating point
+}

@@ -1,0 +1,30 @@
+// Fixture: mutexheld flags global expvar registration on code paths
+// that can run more than once, and accepts init-time and package-level
+// registration.
+package mutexheld
+
+import "expvar"
+
+var hits = expvar.NewInt("fixture_hits") // exempt: package-level, runs once
+
+func init() {
+	expvar.Publish("fixture_info", hits) // exempt: init runs once
+}
+
+type Server struct {
+	requests *expvar.Int
+}
+
+func NewServer() *Server {
+	return &Server{
+		requests: expvar.NewInt("fixture_requests"), // want: second NewServer panics
+	}
+}
+
+func (s *Server) register() {
+	expvar.Publish("fixture_server", s.requests) // want: second call panics
+}
+
+func perInstance() *expvar.Map {
+	return new(expvar.Map).Init() // clean: no global registration
+}

@@ -1,0 +1,36 @@
+// Fixture: the registry analyzer flags unregistered or computed
+// fault-point, trace-stage, and metric names, and accepts registry
+// constants and forwarded (non-constant) metric names.
+package registrycheck
+
+import (
+	"robustperiod/internal/faults"
+	"robustperiod/internal/obs"
+	"robustperiod/internal/registry"
+	"robustperiod/internal/trace"
+)
+
+func use(tr *trace.Trace, p *obs.PromWriter, name string) {
+	_ = faults.Check("no/such_point")         // want: unregistered
+	_ = faults.Check(name)                    // want: computed
+	_ = faults.Check(registry.FaultCoreLevel) // clean
+
+	sv := tr.StartStage("bogus_stage") // want: unregistered
+	sv.End()
+	sv = tr.StartStage(registry.StageMODWT) // clean
+	sv.End()
+	tr.Count("also_bogus", "key", 1)                  // want: unregistered
+	tr.Count(registry.StageRanking, "key", 1)         // clean
+	tr.CountBool("bogus_too", true, "a", "b")         // want: unregistered
+	tr.CountBool(registry.StageMODWT, true, "a", "b") // clean
+
+	p.Family("rp_nope_total", "Nope.", "counter")                 // want: unregistered family
+	p.Family(registry.MetricCacheEntries, "Wrong help.", "gauge") // want: help drift
+	p.Family(registry.MetricCacheEntries,
+		"Number of entries currently cached.", "counter") // want: type drift
+	p.Sample("rp_also_nope", nil, 1)                     // want: unregistered rp_ reference
+	p.Sample(registry.MetricCacheEntries, nil, 1)        // clean
+	p.Sample(name, nil, 1)                               // clean: forwarded name
+	_ = obs.FindFamily(nil, "rp_missing_family_total")   // want: unregistered rp_ reference
+	_ = obs.FindFamily(nil, registry.MetricCacheEntries) // clean
+}

@@ -1,0 +1,15 @@
+// Fixture: stdlibonly must flag the third-party import and accept the
+// standard-library and module-internal ones.
+package stdlibonly
+
+import (
+	"fmt"
+
+	"github.com/fake/dep"
+
+	"robustperiod/internal/registry"
+)
+
+func use() {
+	fmt.Println(dep.Answer, registry.FaultCoreLevel)
+}

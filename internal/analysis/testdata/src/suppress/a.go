@@ -1,0 +1,23 @@
+// Fixture: suppression handling. A well-formed //lint:ignore silences
+// the finding on its own or the following line; a missing reason or an
+// unknown analyzer name is itself a finding and silences nothing.
+package suppress
+
+func cmp(a, b float64) bool {
+	//lint:ignore rplint/floateq fixture: exactness is the point here
+	return a == b // silenced by the line above
+}
+
+func cmpSameLine(a, b float64) bool {
+	return a != b //lint:ignore rplint/floateq fixture: same-line form
+}
+
+func missingReason(a, b float64) bool {
+	//lint:ignore rplint/floateq
+	return a == b // want: floateq survives, and the bare suppression is flagged
+}
+
+func unknownAnalyzer(a, b float64) bool {
+	//lint:ignore rplint/nosuch this analyzer does not exist
+	return a == b // want: floateq survives, and the suppression is flagged
+}

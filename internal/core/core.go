@@ -620,6 +620,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 	// handful of cycles the full-ACF peak is the better estimate.
 	// Refining before deduplication also converges adjacent levels'
 	// slightly different estimates of the same component onto one peak.
+	//lint:ignore rplint/ctxloop bounded post-processing (one ACF scan per wavelet level) right after the ctx poll above
 	for i := range hits {
 		if hits[i].period > n/10 {
 			hits[i].period = refinePeriod(acfFull, hits[i].period)
@@ -635,6 +636,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 	// value detected at the higher-variance level.
 	sort.Slice(hits, func(a, b int) bool { return hits[a].variance > hits[b].variance })
 	var merged []found
+	//lint:ignore rplint/ctxloop dedup over at most a few dozen per-level hits; negligible next to the transform it follows
 	for _, h := range hits {
 		dup := false
 		for mi := range merged {
@@ -662,6 +664,7 @@ func DetectContext(ctx context.Context, y []float64, opts Options) (res *Result,
 	}
 
 	periods := make([]int, 0, len(merged))
+	//lint:ignore rplint/ctxloop copies out at most a few dozen merged periods
 	for _, m := range merged {
 		periods = append(periods, m.period)
 	}

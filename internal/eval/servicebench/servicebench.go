@@ -18,6 +18,7 @@ import (
 
 	"robustperiod/internal/eval"
 	"robustperiod/internal/obs"
+	"robustperiod/internal/registry"
 	"robustperiod/internal/serve"
 	"robustperiod/internal/synthetic"
 )
@@ -58,12 +59,12 @@ func Run(quick bool, seed int64) eval.ServiceRow {
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	if fams, err := obs.ParseExposition(rec.Body.Bytes()); err == nil {
-		if f := obs.FindFamily(fams, "rp_requests_shed_total"); f != nil {
+		if f := obs.FindFamily(fams, registry.MetricRequestsShedTotal); f != nil {
 			for _, s := range f.Samples {
 				row.Shed += int64(s.Value)
 			}
 		}
-		if f := obs.FindFamily(fams, "rp_degraded_total"); f != nil && len(f.Samples) == 1 {
+		if f := obs.FindFamily(fams, registry.MetricDegradedTotal); f != nil && len(f.Samples) == 1 {
 			row.Degraded = int64(f.Samples[0].Value)
 		}
 	}

@@ -34,32 +34,30 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"robustperiod/internal/registry"
 )
 
 // Canonical fault-point names compiled into the pipeline and the
-// serving layer. Checks on other names are legal (the framework is
-// open-ended) but these are the ones production code hits.
+// serving layer, aliased from internal/registry (the single source of
+// truth rplint checks call sites against). Checks on other names are
+// legal (the framework is open-ended) but these are the ones
+// production code hits.
 const (
-	PointHPRobustSolver  = "hp/robust_solver"  // robust HP trend IRLS solve
-	PointWaveletTransfrm = "wavelet/transform" // circular MODWT pyramid
-	PointWaveletReflect  = "wavelet/reflect"   // reflection-boundary MODWT fallback
-	PointSpectrumSolver  = "spectrum/solver"   // per-frequency IRLS/ADMM regressions
-	PointSpectrumStall   = "spectrum/stall"    // latency surrogate inside the periodogram
-	PointCoreLevel       = "core/level"        // one wavelet level's detection
-	PointServeHandler    = "serve/handler"     // HTTP handler body
-	PointServeWorker     = "serve/worker"      // worker-pool job start
-	PointServeCache      = "serve/cache"       // result-cache read (corruption surrogate)
+	PointHPRobustSolver  = registry.FaultHPRobustSolver  // robust HP trend IRLS solve
+	PointWaveletTransfrm = registry.FaultWaveletTransfrm // circular MODWT pyramid
+	PointWaveletReflect  = registry.FaultWaveletReflect  // reflection-boundary MODWT fallback
+	PointSpectrumSolver  = registry.FaultSpectrumSolver  // per-frequency IRLS/ADMM regressions
+	PointSpectrumStall   = registry.FaultSpectrumStall   // latency surrogate inside the periodogram
+	PointCoreLevel       = registry.FaultCoreLevel       // one wavelet level's detection
+	PointServeHandler    = registry.FaultServeHandler    // HTTP handler body
+	PointServeWorker     = registry.FaultServeWorker     // worker-pool job start
+	PointServeCache      = registry.FaultServeCache      // result-cache read (corruption surrogate)
 )
 
 // Points lists the canonical fault points, for documentation and
 // exhaustive chaos sweeps.
-func Points() []string {
-	return []string{
-		PointHPRobustSolver, PointWaveletTransfrm, PointWaveletReflect,
-		PointSpectrumSolver, PointSpectrumStall, PointCoreLevel,
-		PointServeHandler, PointServeWorker, PointServeCache,
-	}
-}
+func Points() []string { return registry.FaultPoints() }
 
 // Action is what an armed fault point does when it fires.
 type Action int

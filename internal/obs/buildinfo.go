@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+
+	"robustperiod/internal/registry"
 )
 
 // BuildInfo summarizes how the running binary was built, sourced from
@@ -75,8 +77,8 @@ func (b BuildInfo) WriteProm(p *PromWriter) {
 	if b.Dirty {
 		dirty = "true"
 	}
-	p.Family("rp_build_info", "Build metadata of the running binary (value is always 1).", "gauge")
-	p.Sample("rp_build_info", []Label{
+	p.Family(registry.MetricBuildInfo, "Build metadata of the running binary (value is always 1).", "gauge")
+	p.Sample(registry.MetricBuildInfo, []Label{
 		{"go_version", b.GoVersion},
 		{"module", b.Module},
 		{"version", b.Version},

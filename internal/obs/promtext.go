@@ -138,7 +138,7 @@ func parseSampleLine(line string) (PromSample, error) {
 			}
 			val, remainder, err := parseQuoted(rest)
 			if err != nil {
-				return s, fmt.Errorf("%v in %q", err, line)
+				return s, fmt.Errorf("%w in %q", err, line)
 			}
 			if _, dup := s.Labels[name]; dup {
 				return s, fmt.Errorf("duplicate label %q in %q", name, line)
@@ -295,7 +295,7 @@ func ParseExposition(data []byte) ([]PromFamily, error) {
 		}
 		s, err := parseSampleLine(line)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		// Attach to the family owning this sample name.
 		owner := current
@@ -425,6 +425,7 @@ func checkHistogram(f *PromFamily) error {
 		if g.sum == nil || g.count == nil {
 			return fmt.Errorf("family %s{%s}: missing _sum or _count", f.Name, key)
 		}
+		//lint:ignore rplint/floateq histogram invariant: _count and the +Inf bucket are parsed from the same integral exposition text, so exact equality is the check
 		if *g.count != g.infCount {
 			return fmt.Errorf("family %s{%s}: _count %v != +Inf bucket %v",
 				f.Name, key, *g.count, g.infCount)

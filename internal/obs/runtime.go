@@ -3,6 +3,8 @@ package obs
 import (
 	"math"
 	"runtime/metrics"
+
+	"robustperiod/internal/registry"
 )
 
 // Runtime gauges sourced from the runtime/metrics package. One
@@ -92,18 +94,19 @@ func (rs *RuntimeSampler) WriteProm(p *PromWriter) {
 		default:
 			return // bad/unavailable on this runtime: omit the family
 		}
+		//lint:ignore rplint/registry promName is forwarded verbatim from the registry constants below
 		p.Family(promName, help, "gauge")
 		p.Sample(promName, nil, v)
 	}
-	gauge("rp_go_goroutines", "Current number of live goroutines.",
+	gauge(registry.MetricGoGoroutines, "Current number of live goroutines.",
 		"/sched/goroutines:goroutines")
-	gauge("rp_go_heap_objects_bytes", "Bytes of memory occupied by live heap objects.",
+	gauge(registry.MetricGoHeapObjectsBytes, "Bytes of memory occupied by live heap objects.",
 		"/memory/classes/heap/objects:bytes")
-	gauge("rp_go_memory_total_bytes", "All memory mapped by the Go runtime.",
+	gauge(registry.MetricGoMemoryTotalBytes, "All memory mapped by the Go runtime.",
 		"/memory/classes/total:bytes")
-	gauge("rp_go_gc_cycles_total", "Completed GC cycles since process start.",
+	gauge(registry.MetricGoGCCyclesTotal, "Completed GC cycles since process start.",
 		"/gc/cycles/total:gc-cycles")
-	gauge("rp_go_heap_allocs_bytes_total", "Cumulative bytes allocated on the heap.",
+	gauge(registry.MetricGoHeapAllocsBytes, "Cumulative bytes allocated on the heap.",
 		"/gc/heap/allocs:bytes")
 
 	histGauges := func(promName, help, key string) {
@@ -112,13 +115,14 @@ func (rs *RuntimeSampler) WriteProm(p *PromWriter) {
 			return
 		}
 		h := s.Value.Float64Histogram()
+		//lint:ignore rplint/registry promName is forwarded verbatim from the registry constants below
 		p.Family(promName, help, "gauge")
 		for i, lbl := range QuantileLabels {
 			p.Sample(promName, []Label{{"q", lbl}}, histQuantile(h, QuantileTargets[i]))
 		}
 	}
-	histGauges("rp_go_gc_pause_seconds", "Distribution of stop-the-world GC pause latencies (quantiles).",
+	histGauges(registry.MetricGoGCPauseSeconds, "Distribution of stop-the-world GC pause latencies (quantiles).",
 		"/gc/pauses:seconds")
-	histGauges("rp_go_sched_latency_seconds", "Distribution of goroutine scheduling latencies (quantiles).",
+	histGauges(registry.MetricGoSchedLatencySeconds, "Distribution of goroutine scheduling latencies (quantiles).",
 		"/sched/latencies:seconds")
 }

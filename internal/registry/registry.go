@@ -1,0 +1,194 @@
+// Package registry is the single source of truth for every
+// cross-cutting string name the pipeline and the serving layer bake
+// into production code: fault-injection point names, trace stage
+// names, and Prometheus metric family names. The names used to live
+// as bare literals scattered across ~28 files; concentrating them
+// here lets the rplint static-analysis suite (cmd/rplint) verify that
+// every name used anywhere in the tree resolves to a registry
+// constant, is unique, and — for metric families — is documented in
+// the README metric table.
+//
+// The package imports nothing and is imported by faults, trace,
+// serve, and obs, so it can never participate in an import cycle.
+package registry
+
+// Fault-injection point names (internal/faults). One constant per
+// point compiled into the pipeline or the serving layer; see
+// faults.Check call sites.
+const (
+	FaultHPRobustSolver  = "hp/robust_solver"  // robust HP trend IRLS solve
+	FaultWaveletTransfrm = "wavelet/transform" // circular MODWT pyramid
+	FaultWaveletReflect  = "wavelet/reflect"   // reflection-boundary MODWT fallback
+	FaultSpectrumSolver  = "spectrum/solver"   // per-frequency IRLS/ADMM regressions
+	FaultSpectrumStall   = "spectrum/stall"    // latency surrogate inside the periodogram
+	FaultCoreLevel       = "core/level"        // one wavelet level's detection
+	FaultServeHandler    = "serve/handler"     // HTTP handler body
+	FaultServeWorker     = "serve/worker"      // worker-pool job start
+	FaultServeCache      = "serve/cache"       // result-cache read (corruption surrogate)
+)
+
+// FaultPoints lists every canonical fault point, in pipeline-then-
+// serving order.
+func FaultPoints() []string {
+	return []string{
+		FaultHPRobustSolver, FaultWaveletTransfrm, FaultWaveletReflect,
+		FaultSpectrumSolver, FaultSpectrumStall, FaultCoreLevel,
+		FaultServeHandler, FaultServeWorker, FaultServeCache,
+	}
+}
+
+// Trace stage names of the RobustPeriod pipeline (Fig. 1 of the
+// paper), in execution order (internal/trace).
+const (
+	StageHPFilter    = "hp_filter"        // HP detrending + winsorized normalization
+	StageMODWT       = "modwt"            // maximal overlap DWT decomposition
+	StageRanking     = "variance_ranking" // robust wavelet-variance level ranking
+	StagePeriodogram = "periodogram"      // Huber-periodogram + Fisher test (per level)
+	StageValidation  = "validation"       // Huber-ACF validation + refinement
+)
+
+// TraceStages lists the canonical pipeline stages in execution order.
+func TraceStages() []string {
+	return []string{StageHPFilter, StageMODWT, StageRanking, StagePeriodogram, StageValidation}
+}
+
+// Prometheus metric family names exposed on GET /metrics. Every
+// family emitted anywhere in the tree must be declared here and
+// documented in the README metric table (rplint enforces both).
+const (
+	MetricBuildInfo = "rp_build_info"
+
+	MetricRequestsTotal      = "rp_requests_total"
+	MetricRequestErrorsTotal = "rp_request_errors_total"
+	MetricRequestsShedTotal  = "rp_requests_shed_total"
+	MetricRequestsInFlight   = "rp_requests_in_flight"
+	MetricWorkerQueueDepth   = "rp_worker_queue_depth"
+
+	MetricCacheEntries          = "rp_cache_entries"
+	MetricCacheHitsTotal        = "rp_cache_hits_total"
+	MetricCacheMissesTotal      = "rp_cache_misses_total"
+	MetricCacheCorruptionsTotal = "rp_cache_corruptions_total"
+
+	MetricPanicsRecoveredTotal = "rp_panics_recovered_total"
+	MetricDegradedTotal        = "rp_degraded_total"
+	MetricBreakerState         = "rp_breaker_state"
+	MetricBreakerOpensTotal    = "rp_breaker_opens_total"
+
+	MetricRequestDuration        = "rp_request_duration_seconds"
+	MetricStageDuration          = "rp_stage_duration_seconds"
+	MetricRequestLatencyQuantile = "rp_request_latency_seconds_quantile"
+	MetricStageLatencyQuantile   = "rp_stage_latency_seconds_quantile"
+
+	MetricGoGoroutines          = "rp_go_goroutines"
+	MetricGoHeapObjectsBytes    = "rp_go_heap_objects_bytes"
+	MetricGoMemoryTotalBytes    = "rp_go_memory_total_bytes"
+	MetricGoGCCyclesTotal       = "rp_go_gc_cycles_total"
+	MetricGoHeapAllocsBytes     = "rp_go_heap_allocs_bytes_total"
+	MetricGoGCPauseSeconds      = "rp_go_gc_pause_seconds"
+	MetricGoSchedLatencySeconds = "rp_go_sched_latency_seconds"
+)
+
+// Metric describes one Prometheus family: its name, exposition type
+// (counter, gauge, histogram) and HELP docstring. The help text lives
+// here, next to the name, so the exposition and the README table
+// cannot drift apart silently.
+type Metric struct {
+	Name string
+	Type string
+	Help string
+}
+
+// metrics is the full catalog, in exposition order.
+var metrics = []Metric{
+	{MetricBuildInfo, "gauge", "Build metadata of the running binary (value is always 1)."},
+
+	{MetricRequestsTotal, "counter", "HTTP requests served, by endpoint."},
+	{MetricRequestErrorsTotal, "counter", "Requests answered with status >= 400, by endpoint."},
+	{MetricRequestsShedTotal, "counter", "Requests shed before compute (429 or 503), by endpoint."},
+	{MetricRequestsInFlight, "gauge", "Requests currently inside a handler."},
+	{MetricWorkerQueueDepth, "gauge", "Detection jobs waiting in the worker queue."},
+
+	{MetricCacheEntries, "gauge", "Entries currently in the result cache."},
+	{MetricCacheHitsTotal, "counter", "Result-cache hits."},
+	{MetricCacheMissesTotal, "counter", "Result-cache misses."},
+	{MetricCacheCorruptionsTotal, "counter", "Cache entries dropped by the integrity check on read."},
+
+	{MetricPanicsRecoveredTotal, "counter", "Panics recovered in handlers and detection workers."},
+	{MetricDegradedTotal, "counter", "Detections that returned graceful-degradation annotations."},
+	{MetricBreakerState, "gauge", "Circuit-breaker state by endpoint: 0 closed, 1 open, 2 half-open."},
+	{MetricBreakerOpensTotal, "counter", "Circuit-breaker open transitions by endpoint."},
+
+	{MetricRequestDuration, "histogram", "Request latency by endpoint."},
+	{MetricStageDuration, "histogram", "Pipeline stage latency by stage (microsecond-resolution low buckets)."},
+	{MetricRequestLatencyQuantile, "gauge", "Streaming request-latency quantile estimates (P2 algorithm) by endpoint."},
+	{MetricStageLatencyQuantile, "gauge", "Streaming stage-latency quantile estimates (P2 algorithm) by stage."},
+
+	{MetricGoGoroutines, "gauge", "Current number of live goroutines."},
+	{MetricGoHeapObjectsBytes, "gauge", "Bytes of memory occupied by live heap objects."},
+	{MetricGoMemoryTotalBytes, "gauge", "All memory mapped by the Go runtime."},
+	{MetricGoGCCyclesTotal, "gauge", "Completed GC cycles since process start."},
+	{MetricGoHeapAllocsBytes, "gauge", "Cumulative bytes allocated on the heap."},
+	{MetricGoGCPauseSeconds, "gauge", "Distribution of stop-the-world GC pause latencies (quantiles)."},
+	{MetricGoSchedLatencySeconds, "gauge", "Distribution of goroutine scheduling latencies (quantiles)."},
+}
+
+// Metrics returns the full metric catalog, in exposition order. The
+// returned slice is a copy.
+func Metrics() []Metric {
+	return append([]Metric(nil), metrics...)
+}
+
+// MetricNames returns every family name in catalog order.
+func MetricNames() []string {
+	out := make([]string, len(metrics))
+	for i, m := range metrics {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// LookupMetric returns the catalog entry for name.
+func LookupMetric(name string) (Metric, bool) {
+	for _, m := range metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// MustMetric is LookupMetric for compiled-in names; it panics on a
+// name missing from the catalog (a programming error rplint catches
+// statically anyway).
+func MustMetric(name string) Metric {
+	m, ok := LookupMetric(name)
+	if !ok {
+		panic("registry: unknown metric family " + name)
+	}
+	return m
+}
+
+// Validate checks the registry's own internal consistency: every
+// fault point, stage, and metric family name must be non-empty and
+// unique across its namespace. rplint runs this once per invocation
+// and the registry tests pin it.
+func Validate() []string {
+	var problems []string
+	check := func(kind string, names []string) {
+		seen := make(map[string]bool, len(names))
+		for _, n := range names {
+			if n == "" {
+				problems = append(problems, kind+": empty name")
+				continue
+			}
+			if seen[n] {
+				problems = append(problems, kind+": duplicate name "+n)
+			}
+			seen[n] = true
+		}
+	}
+	check("fault point", FaultPoints())
+	check("trace stage", TraceStages())
+	check("metric family", MetricNames())
+	return problems
+}

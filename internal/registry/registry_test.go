@@ -1,0 +1,41 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if problems := Validate(); len(problems) != 0 {
+		t.Fatalf("registry invalid:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestLookupMetric(t *testing.T) {
+	m, ok := LookupMetric(MetricRequestsTotal)
+	if !ok {
+		t.Fatalf("LookupMetric(%q) not found", MetricRequestsTotal)
+	}
+	if m.Type != "counter" || m.Help == "" {
+		t.Errorf("unexpected catalog entry: %+v", m)
+	}
+	if _, ok := LookupMetric("rp_no_such_family"); ok {
+		t.Error("LookupMetric found a family that does not exist")
+	}
+}
+
+func TestNamingConventions(t *testing.T) {
+	for _, name := range MetricNames() {
+		if !strings.HasPrefix(name, "rp_") {
+			t.Errorf("metric %q does not carry the rp_ namespace", name)
+		}
+	}
+	for _, p := range FaultPoints() {
+		if !strings.Contains(p, "/") {
+			t.Errorf("fault point %q is not package/site-shaped", p)
+		}
+	}
+	if len(TraceStages()) == 0 {
+		t.Error("no trace stages registered")
+	}
+}

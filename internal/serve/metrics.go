@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"robustperiod/internal/obs"
+	"robustperiod/internal/registry"
 	"robustperiod/internal/trace"
 )
 
@@ -292,38 +293,38 @@ func (m *metrics) writeProm(w io.Writer) error {
 	p := obs.NewPromWriter(w)
 	obs.GetBuildInfo().WriteProm(p)
 
-	p.Family("rp_requests_total", "HTTP requests served, by endpoint.", "counter")
+	p.Family(registry.MetricRequestsTotal, "HTTP requests served, by endpoint.", "counter")
 	for _, ep := range m.endpoints {
-		p.Sample("rp_requests_total", []obs.Label{{Name: "endpoint", Value: ep}}, expvarInt(m.requests, ep))
+		p.Sample(registry.MetricRequestsTotal, []obs.Label{{Name: "endpoint", Value: ep}}, expvarInt(m.requests, ep))
 	}
-	p.Family("rp_request_errors_total", "Requests answered with status >= 400, by endpoint.", "counter")
+	p.Family(registry.MetricRequestErrorsTotal, "Requests answered with status >= 400, by endpoint.", "counter")
 	for _, ep := range m.endpoints {
-		p.Sample("rp_request_errors_total", []obs.Label{{Name: "endpoint", Value: ep}}, expvarInt(m.errors, ep))
+		p.Sample(registry.MetricRequestErrorsTotal, []obs.Label{{Name: "endpoint", Value: ep}}, expvarInt(m.errors, ep))
 	}
-	p.Family("rp_requests_shed_total", "Requests shed before compute (429 or 503), by endpoint.", "counter")
+	p.Family(registry.MetricRequestsShedTotal, "Requests shed before compute (429 or 503), by endpoint.", "counter")
 	for _, ep := range m.endpoints {
-		p.Sample("rp_requests_shed_total", []obs.Label{{Name: "endpoint", Value: ep}}, expvarInt(m.shed, ep))
+		p.Sample(registry.MetricRequestsShedTotal, []obs.Label{{Name: "endpoint", Value: ep}}, expvarInt(m.shed, ep))
 	}
 
-	p.Family("rp_requests_in_flight", "Requests currently inside a handler.", "gauge")
-	p.Sample("rp_requests_in_flight", nil, float64(m.inFlight.Value()))
-	p.Family("rp_worker_queue_depth", "Detection jobs waiting in the worker queue.", "gauge")
-	p.Sample("rp_worker_queue_depth", nil, float64(m.queueDepth()))
-	p.Family("rp_cache_entries", "Entries currently in the result cache.", "gauge")
-	p.Sample("rp_cache_entries", nil, float64(m.cacheLen()))
+	p.Family(registry.MetricRequestsInFlight, "Requests currently inside a handler.", "gauge")
+	p.Sample(registry.MetricRequestsInFlight, nil, float64(m.inFlight.Value()))
+	p.Family(registry.MetricWorkerQueueDepth, "Detection jobs waiting in the worker queue.", "gauge")
+	p.Sample(registry.MetricWorkerQueueDepth, nil, float64(m.queueDepth()))
+	p.Family(registry.MetricCacheEntries, "Entries currently in the result cache.", "gauge")
+	p.Sample(registry.MetricCacheEntries, nil, float64(m.cacheLen()))
 
-	p.Family("rp_cache_hits_total", "Result-cache hits.", "counter")
-	p.Sample("rp_cache_hits_total", nil, float64(m.cacheHits.Value()))
-	p.Family("rp_cache_misses_total", "Result-cache misses.", "counter")
-	p.Sample("rp_cache_misses_total", nil, float64(m.cacheMisses.Value()))
+	p.Family(registry.MetricCacheHitsTotal, "Result-cache hits.", "counter")
+	p.Sample(registry.MetricCacheHitsTotal, nil, float64(m.cacheHits.Value()))
+	p.Family(registry.MetricCacheMissesTotal, "Result-cache misses.", "counter")
+	p.Sample(registry.MetricCacheMissesTotal, nil, float64(m.cacheMisses.Value()))
 	if m.corruptions != nil {
-		p.Family("rp_cache_corruptions_total", "Cache entries dropped by the integrity check on read.", "counter")
-		p.Sample("rp_cache_corruptions_total", nil, float64(m.corruptions()))
+		p.Family(registry.MetricCacheCorruptionsTotal, "Cache entries dropped by the integrity check on read.", "counter")
+		p.Sample(registry.MetricCacheCorruptionsTotal, nil, float64(m.corruptions()))
 	}
-	p.Family("rp_panics_recovered_total", "Panics recovered in handlers and detection workers.", "counter")
-	p.Sample("rp_panics_recovered_total", nil, float64(m.panicsRecovered.Value()))
-	p.Family("rp_degraded_total", "Detections that returned graceful-degradation annotations.", "counter")
-	p.Sample("rp_degraded_total", nil, float64(m.degradedTotal.Value()))
+	p.Family(registry.MetricPanicsRecoveredTotal, "Panics recovered in handlers and detection workers.", "counter")
+	p.Sample(registry.MetricPanicsRecoveredTotal, nil, float64(m.panicsRecovered.Value()))
+	p.Family(registry.MetricDegradedTotal, "Detections that returned graceful-degradation annotations.", "counter")
+	p.Sample(registry.MetricDegradedTotal, nil, float64(m.degradedTotal.Value()))
 
 	if len(m.breakers) > 0 {
 		eps := make([]string, 0, len(m.breakers))
@@ -331,34 +332,34 @@ func (m *metrics) writeProm(w io.Writer) error {
 			eps = append(eps, ep)
 		}
 		sort.Strings(eps)
-		p.Family("rp_breaker_state", "Circuit-breaker state by endpoint: 0 closed, 1 open, 2 half-open.", "gauge")
+		p.Family(registry.MetricBreakerState, "Circuit-breaker state by endpoint: 0 closed, 1 open, 2 half-open.", "gauge")
 		for _, ep := range eps {
 			state, _ := m.breakers[ep].snapshot()
-			p.Sample("rp_breaker_state", []obs.Label{{Name: "endpoint", Value: ep}}, breakerStateCode(state))
+			p.Sample(registry.MetricBreakerState, []obs.Label{{Name: "endpoint", Value: ep}}, breakerStateCode(state))
 		}
-		p.Family("rp_breaker_opens_total", "Circuit-breaker open transitions by endpoint.", "counter")
+		p.Family(registry.MetricBreakerOpensTotal, "Circuit-breaker open transitions by endpoint.", "counter")
 		for _, ep := range eps {
 			_, opens := m.breakers[ep].snapshot()
-			p.Sample("rp_breaker_opens_total", []obs.Label{{Name: "endpoint", Value: ep}}, float64(opens))
+			p.Sample(registry.MetricBreakerOpensTotal, []obs.Label{{Name: "endpoint", Value: ep}}, float64(opens))
 		}
 	}
 
-	p.Family("rp_request_duration_seconds", "Request latency by endpoint.", "histogram")
+	p.Family(registry.MetricRequestDuration, "Request latency by endpoint.", "histogram")
 	for _, ep := range m.endpoints {
-		promHistogram(p, "rp_request_duration_seconds", []obs.Label{{Name: "endpoint", Value: ep}}, m.latency[ep])
+		promHistogram(p, registry.MetricRequestDuration, []obs.Label{{Name: "endpoint", Value: ep}}, m.latency[ep])
 	}
-	p.Family("rp_stage_duration_seconds", "Pipeline stage latency by stage (microsecond-resolution low buckets).", "histogram")
+	p.Family(registry.MetricStageDuration, "Pipeline stage latency by stage (microsecond-resolution low buckets).", "histogram")
 	for _, st := range m.stages {
-		promHistogram(p, "rp_stage_duration_seconds", []obs.Label{{Name: "stage", Value: st}}, m.stageLat[st])
+		promHistogram(p, registry.MetricStageDuration, []obs.Label{{Name: "stage", Value: st}}, m.stageLat[st])
 	}
 
-	p.Family("rp_request_latency_seconds_quantile", "Streaming request-latency quantile estimates (P2 algorithm) by endpoint.", "gauge")
+	p.Family(registry.MetricRequestLatencyQuantile, "Streaming request-latency quantile estimates (P2 algorithm) by endpoint.", "gauge")
 	for _, ep := range m.endpoints {
-		p.QuantileGauges("rp_request_latency_seconds_quantile", []obs.Label{{Name: "endpoint", Value: ep}}, m.latQ[ep])
+		p.QuantileGauges(registry.MetricRequestLatencyQuantile, []obs.Label{{Name: "endpoint", Value: ep}}, m.latQ[ep])
 	}
-	p.Family("rp_stage_latency_seconds_quantile", "Streaming stage-latency quantile estimates (P2 algorithm) by stage.", "gauge")
+	p.Family(registry.MetricStageLatencyQuantile, "Streaming stage-latency quantile estimates (P2 algorithm) by stage.", "gauge")
 	for _, st := range m.stages {
-		p.QuantileGauges("rp_stage_latency_seconds_quantile", []obs.Label{{Name: "stage", Value: st}}, m.stageQ[st])
+		p.QuantileGauges(registry.MetricStageLatencyQuantile, []obs.Label{{Name: "stage", Value: st}}, m.stageQ[st])
 	}
 
 	m.runtime.WriteProm(p)

@@ -23,6 +23,7 @@ func NormalQuantile(p float64) float64 {
 		return math.NaN()
 	case p == 0:
 		return math.Inf(-1)
+	//lint:ignore rplint/floateq boundary of the quantile domain: exactly 1.0 maps to +Inf; any nearby value takes the Acklam path
 	case p == 1:
 		return math.Inf(1)
 	}

@@ -17,23 +17,24 @@ import (
 	"runtime/metrics"
 	"sync"
 	"time"
+
+	"robustperiod/internal/registry"
 )
 
 // Canonical stage names of the RobustPeriod pipeline (Fig. 1 of the
-// paper), in execution order.
+// paper), in execution order, aliased from internal/registry (the
+// single source of truth rplint checks call sites against).
 const (
-	StageHPFilter    = "hp_filter"        // HP detrending + winsorized normalization
-	StageMODWT       = "modwt"            // maximal overlap DWT decomposition
-	StageRanking     = "variance_ranking" // robust wavelet-variance level ranking
-	StagePeriodogram = "periodogram"      // Huber-periodogram + Fisher test (per level)
-	StageValidation  = "validation"       // Huber-ACF validation + refinement
+	StageHPFilter    = registry.StageHPFilter    // HP detrending + winsorized normalization
+	StageMODWT       = registry.StageMODWT       // maximal overlap DWT decomposition
+	StageRanking     = registry.StageRanking     // robust wavelet-variance level ranking
+	StagePeriodogram = registry.StagePeriodogram // Huber-periodogram + Fisher test (per level)
+	StageValidation  = registry.StageValidation  // Huber-ACF validation + refinement
 )
 
 // PipelineStages lists the canonical stages in pipeline order; the
 // serve layer uses it to pre-register one latency histogram per stage.
-func PipelineStages() []string {
-	return []string{StageHPFilter, StageMODWT, StageRanking, StagePeriodogram, StageValidation}
-}
+func PipelineStages() []string { return registry.TraceStages() }
 
 // Stage is one merged stage accumulator of a Summary.
 type Stage struct {
@@ -190,6 +191,7 @@ func (t *Trace) CountBool(stage string, v bool, trueKey, falseKey string) {
 	if v {
 		key = trueKey
 	}
+	//lint:ignore rplint/registry CountBool forwards its stage argument to Count; call sites pass registry constants and are checked there
 	t.Count(stage, key, 1)
 }
 
