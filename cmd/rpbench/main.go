@@ -168,12 +168,17 @@ func runBench(quick bool, trials int, seed int64, jsonOut, baselinePath string, 
 	rep.Service = &service
 	log.Printf("bench: service %d requests, %d errors, %d shed, %d degraded",
 		service.Requests, service.Errors, service.Shed, service.Degraded)
+	jobsLeg := servicebench.RunJobs(seed)
+	rep.Jobs = &jobsLeg
+	log.Printf("bench: jobs %d clients/%d keys: %d errors, %d failed, %d shed, %d coalesced (hit rate %.2f), p99 %.0fms",
+		jobsLeg.Clients, jobsLeg.Unique, jobsLeg.Errors, jobsLeg.Failed, jobsLeg.Shed,
+		jobsLeg.Coalesced, jobsLeg.HitRate, jobsLeg.P99MS)
 
 	for _, q := range rep.Quality {
 		log.Printf("bench: %-28s %s=%.4f (p=%.4f r=%.4f f1=%.4f)",
 			q.Key(), q.Metric, q.Score, q.Precision, q.Recall, q.F1)
 	}
-	for _, p := range rep.Perf {
+	for _, p := range append(append([]eval.PerfRow(nil), rep.Perf...), rep.PerfAsym...) {
 		log.Printf("bench: %-16s %8.2fms/op  %d allocs/op", p.Name, float64(p.NsPerOp)/1e6, p.AllocsPerOp)
 	}
 

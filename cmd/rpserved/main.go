@@ -10,6 +10,11 @@
 //	                       (?debug=1 bypasses the cache and inlines
 //	                       per-stage pipeline timings in the response)
 //	POST /v1/detect/batch  {"series":[[...],[...]], "options":{...}}
+//	POST /v1/jobs          async submit: same body as /v1/detect, answers
+//	                       202 + job ID; identical in-flight submissions
+//	                       coalesce and dequeue is fair-share across
+//	                       tenants (X-API-Key header)
+//	GET  /v1/jobs/{id}     poll an async job: state, then the result
 //	GET  /healthz
 //	GET  /metrics          Prometheus text exposition
 //
@@ -62,6 +67,11 @@ func main() {
 	flag.DurationVar(&cfg.BreakerCooldown, "breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 5s)")
 	flag.IntVar(&cfg.AccessLogEvery, "access-log-every", 0, "log every Nth healthy compute request (0 = 64, 1 = all, negative disables; errors always log)")
 	flag.IntVar(&cfg.RecorderSize, "recorder-size", 0, "flight-recorder retained request records (0 = 256)")
+	flag.IntVar(&cfg.JobsQueue, "jobs-queue", 0, "pending async job executions across all tenants (0 = 4096)")
+	flag.IntVar(&cfg.JobsPerTenant, "jobs-per-tenant", 0, "live async jobs per API key (0 = jobs-queue/4)")
+	flag.DurationVar(&cfg.JobsTTL, "jobs-ttl", 0, "retention of finished async jobs (0 = 5m)")
+	flag.IntVar(&cfg.JobsStore, "jobs-store", 0, "retained finished async jobs (0 = 4096)")
+	flag.IntVar(&cfg.JobsQuantum, "jobs-quantum", 0, "fair-share scheduling quantum in series points (0 = 4096)")
 	logFormat := flag.String("log-format", "text", "log encoding: "+strings.Join(obs.LogFormats(), "|"))
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	version := flag.Bool("version", false, "print build information and exit")

@@ -1,8 +1,9 @@
 // Command service shows the serving layer end to end: it starts the
 // rpserved HTTP service in-process on an ephemeral port, submits a
 // single detection and a batch over JSON — exactly what an external
-// client would send with curl — and reads the metrics endpoint. The
-// repeated request demonstrates the LRU result cache.
+// client would send with curl — runs the async job flow (submit, poll
+// honoring Retry-After, fetch the result), and reads the metrics
+// endpoint. The repeated request demonstrates the LRU result cache.
 package main
 
 import (
@@ -10,12 +11,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
+	"time"
 
+	"robustperiod/internal/obs"
 	"robustperiod/internal/serve"
 )
 
@@ -71,11 +76,34 @@ func main() {
 		fmt.Printf("batch[%d]: periods=%v cached=%v\n", r.Index, r.Periods, r.Cached)
 	}
 
-	// GET /metrics — request and cache counters.
-	var metrics map[string]any
-	getJSON(base+"/metrics", &metrics)
-	fmt.Printf("metrics: requests=%v cache_hits=%v cache_misses=%v\n",
-		metrics["requests"], metrics["cache_hits"], metrics["cache_misses"])
+	// POST /v1/jobs — the async path: submit, poll with a backoff that
+	// honors the server's Retry-After hint, then read the result.
+	asyncDetect(base, series)
+
+	// GET /metrics — the Prometheus exposition, parsed with the
+	// in-repo reader: request, cache, and async-job counters.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"rp_requests_total", "rp_cache_hits_total", "rp_jobs_submitted_total"} {
+		total := 0.0
+		if f := obs.FindFamily(fams, name); f != nil {
+			for _, s := range f.Samples {
+				total += s.Value
+			}
+		}
+		fmt.Printf("metrics: %s = %g\n", name, total)
+	}
 
 	// Graceful shutdown: stop accepting, drain, exit.
 	stop()
@@ -83,6 +111,79 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("service drained cleanly")
+}
+
+// asyncDetect runs the submit-then-poll flow of the async job API: a
+// 202 with the job ID and status URL, polls paced by the Retry-After
+// header (the server's own backlog-aware estimate), and prints the
+// result once the job lands.
+func asyncDetect(base string, series []float64) {
+	body, err := json.Marshal(map[string]any{"series": series})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sub struct {
+		JobID     string `json:"jobId"`
+		State     string `json:"state"`
+		StatusURL string `json:"statusUrl"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("POST /v1/jobs: %s", resp.Status)
+	}
+	fmt.Printf("job %s accepted (%s), polling %s\n", sub.JobID, sub.State, sub.StatusURL)
+
+	for {
+		resp, err := http.Get(base + sub.StatusURL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var st struct {
+			State     string  `json:"state"`
+			Coalesced bool    `json:"coalesced"`
+			ElapsedMS float64 `json:"elapsedMs"`
+			Result    *struct {
+				Periods []int `json:"periods"`
+			} `json:"result"`
+			Error *struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch st.State {
+		case "done":
+			fmt.Printf("job %s done: periods=%v coalesced=%v elapsed=%.2fms\n",
+				sub.JobID, st.Result.Periods, st.Coalesced, st.ElapsedMS)
+			return
+		case "failed":
+			log.Fatalf("job %s failed: %s: %s", sub.JobID, st.Error.Code, st.Error.Message)
+		}
+		// Still queued or running: the server says how long to back
+		// off. Real clients sleep the full hint; this demo caps it so
+		// the example finishes promptly.
+		wait := time.Second
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+		if wait > 100*time.Millisecond {
+			wait = 100 * time.Millisecond
+		}
+		time.Sleep(wait)
+	}
 }
 
 func postJSON(url string, body, out any) {
@@ -98,17 +199,6 @@ func postJSON(url string, body, out any) {
 	if resp.StatusCode != http.StatusOK {
 		log.Fatalf("POST %s: %s", url, resp.Status)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		log.Fatal(err)
-	}
-}
-
-func getJSON(url string, out any) {
-	resp, err := http.Get(url)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		log.Fatal(err)
 	}

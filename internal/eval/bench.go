@@ -67,9 +67,16 @@ type BenchReport struct {
 	Seed      int64        `json:"seed"`
 	Quality   []QualityRow `json:"quality"`
 	Perf      []PerfRow    `json:"perf"`
+	// PerfAsym holds the long-series N=8192/16384 legs that pin down
+	// the detector's asymptotic scaling (additive; absent in older
+	// baselines, so CompareBench skips rows the baseline lacks).
+	PerfAsym []PerfRow `json:"perfAsym,omitempty"`
 	// Service is the in-process service leg (additive since the
 	// schema's introduction; absent in older baselines).
 	Service *ServiceRow `json:"service,omitempty"`
+	// Jobs is the duplicate-rich async-job heavy-traffic leg
+	// (additive; absent in older baselines).
+	Jobs *JobsRow `json:"jobs,omitempty"`
 }
 
 // benchCorpus names one Tables 1–3 corpus for the quality suite. The
@@ -159,6 +166,56 @@ func BenchPerf(quick bool, seed int64) []PerfRow {
 	return rows
 }
 
+// BenchPerfAsym times whole detections on the same canonical series
+// at N=8192 and N=16384, where one run costs seconds to tens of
+// seconds. At that scale a warm-up plus an iteration loop would turn
+// the bench into minutes, so each leg is a single traced run: the
+// wall time doubles as the headline number and the trace supplies the
+// stage breakdown in the same pass. Baseline and current measure
+// identically, so the regression ratio stays meaningful. The legs run
+// in quick mode too: the committed baseline is quick-generated and
+// the gate skips rows the baseline lacks.
+func BenchPerfAsym(seed int64) []PerfRow {
+	var rows []PerfRow
+	for _, n := range []int{8192, 16384} {
+		cfg := synthetic.PaperConfig(n, synthetic.Sine, []int{20, 50, 100}, 0.1, 0.01, seed)
+		x := synthetic.Generate(cfg)
+		rows = append(rows, measureDetectOnce(fmt.Sprintf("detect/N=%d", n), x))
+	}
+	return rows
+}
+
+// measureDetectOnce times a single traced detection, reading wall
+// time, allocations, and the per-stage breakdown from the same run.
+func measureDetectOnce(name string, x []float64) PerfRow {
+	opts := core.Options{Trace: trace.New()}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := core.Detect(x, opts)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return PerfRow{Name: name, N: len(x), Iters: 0}
+	}
+	row := PerfRow{
+		Name:        name,
+		N:           len(x),
+		Iters:       1,
+		NsPerOp:     wall.Nanoseconds(),
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+		BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+		StageNs:     map[string]int64{},
+	}
+	if res != nil && res.Trace != nil {
+		for _, st := range res.Trace.Stages {
+			row.StageNs[st.Name] += st.Duration.Nanoseconds()
+		}
+	}
+	return row
+}
+
 // measureDetect runs one warm-up detection, then an untraced timing
 // loop for wall time and allocation rates, then traced runs for the
 // per-stage breakdown.
@@ -223,6 +280,7 @@ func RunBench(quick bool, trials int, seed int64) BenchReport {
 		Seed:      seed,
 		Quality:   BenchQuality(trials, seed),
 		Perf:      BenchPerf(quick, seed),
+		PerfAsym:  BenchPerfAsym(seed),
 	}
 }
 
@@ -274,13 +332,17 @@ func CompareBench(baseline, current BenchReport, maxRegress float64) []string {
 	}
 
 	violations = append(violations, compareService(current.Service)...)
+	violations = append(violations, compareJobs(current.Jobs)...)
 
 	if maxRegress >= 0 {
-		basePerf := make(map[string]PerfRow, len(baseline.Perf))
+		basePerf := make(map[string]PerfRow, len(baseline.Perf)+len(baseline.PerfAsym))
 		for _, p := range baseline.Perf {
 			basePerf[p.Name] = p
 		}
-		for _, c := range current.Perf {
+		for _, p := range baseline.PerfAsym {
+			basePerf[p.Name] = p
+		}
+		for _, c := range append(append([]PerfRow(nil), current.Perf...), current.PerfAsym...) {
 			b, ok := basePerf[c.Name]
 			if !ok || b.NsPerOp <= 0 {
 				continue

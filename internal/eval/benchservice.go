@@ -16,6 +16,60 @@ type ServiceRow struct {
 	Degraded int64 `json:"degraded"` // detections with degradation annotations
 }
 
+// JobsRow summarizes the duplicate-rich async-job heavy-traffic leg
+// (see servicebench.RunJobs): thousands of concurrent submitters with
+// a deliberately duplicate-heavy key mix, exercising coalescing and
+// fair-share admission on the async path.
+type JobsRow struct {
+	Clients   int     `json:"clients"`   // concurrent submitters
+	Tenants   int     `json:"tenants"`   // distinct X-API-Key values
+	Unique    int     `json:"unique"`    // distinct (series, options) keys
+	Errors    int     `json:"errors"`    // submissions or polls that failed outright
+	Failed    int64   `json:"failed"`    // jobs reaching the failed terminal state
+	Shed      int64   `json:"shed"`      // rp_jobs_shed_total — unexpected on a sized queue
+	Coalesced int64   `json:"coalesced"` // rp_jobs_coalesced_total
+	HitRate   float64 `json:"hitRate"`   // coalesced / submitted
+	P99MS     float64 `json:"p99MS"`     // submit-to-result latency, 99th percentile
+}
+
+// compareJobs gates the async leg: queues are sized for the offered
+// load, the input is clean, and more than half the keys are
+// duplicates — so sheds, failures, or a zero coalesce hit-rate each
+// mean the subsystem (not the workload) regressed.
+func compareJobs(current *JobsRow) []string {
+	if current == nil {
+		return nil
+	}
+	var violations []string
+	if current.Errors > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"jobs: %d of %d async clients hit a request error", current.Errors, current.Clients))
+	}
+	if current.Failed > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"jobs: %d jobs failed on clean input", current.Failed))
+	}
+	if current.Shed > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"jobs: %d submissions shed on a queue sized for the load", current.Shed))
+	}
+	if current.Coalesced == 0 {
+		violations = append(violations, fmt.Sprintf(
+			"jobs: zero coalesced submissions on a %d-client/%d-key duplicate-rich run — coalescing is inert",
+			current.Clients, current.Unique))
+	}
+	// Deliberately generous absolute bound (hosted runners vary): the
+	// leg's short series finish in seconds when coalescing and
+	// fair-share dequeue work, so a minute-scale P99 means submissions
+	// serialized or stalled.
+	const jobsP99BoundMS = 60_000
+	if current.P99MS > jobsP99BoundMS {
+		violations = append(violations, fmt.Sprintf(
+			"jobs: submit-to-result P99 %.0fms exceeds the %dms bound", current.P99MS, int(jobsP99BoundMS)))
+	}
+	return violations
+}
+
 // compareService gates the service leg: a healthy single-tenant run
 // over the perf corpora must admit and fully serve every request.
 func compareService(current *ServiceRow) []string {

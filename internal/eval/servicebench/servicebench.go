@@ -14,7 +14,12 @@ package servicebench
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"robustperiod/internal/eval"
 	"robustperiod/internal/obs"
@@ -66,6 +71,120 @@ func Run(quick bool, seed int64) eval.ServiceRow {
 		}
 		if f := obs.FindFamily(fams, registry.MetricDegradedTotal); f != nil && len(f.Samples) == 1 {
 			row.Degraded = int64(f.Samples[0].Value)
+		}
+	}
+	return row
+}
+
+// RunJobs pushes a deliberately duplicate-heavy burst through the
+// async job API: jobsClients concurrent submitters spread across
+// jobsTenants API keys share only jobsUnique distinct series, so well
+// over half the submissions are duplicates of an in-flight key and
+// must coalesce. Queues are sized above the offered load and the
+// cache is disabled, so every shed, error, or failed job — and a zero
+// coalesce count — is a subsystem regression, not workload noise.
+const (
+	jobsClients = 10000
+	jobsUnique  = 48
+	jobsTenants = 16
+)
+
+func RunJobs(seed int64) eval.JobsRow {
+	srv := serve.New(serve.Config{
+		CacheSize:     -1,
+		JobsQueue:     2 * jobsClients,
+		JobsPerTenant: 2 * jobsClients / jobsTenants,
+	})
+	defer srv.Close()
+	h := srv.Handler()
+
+	bodies := make([][]byte, jobsUnique)
+	for i := range bodies {
+		cfg := synthetic.PaperConfig(512, synthetic.Sine, []int{20, 50, 100}, 0.1, 0.01, seed+int64(i))
+		bodies[i], _ = json.Marshal(map[string]any{"series": synthetic.Generate(cfg)})
+	}
+
+	row := eval.JobsRow{Clients: jobsClients, Tenants: jobsTenants, Unique: jobsUnique}
+	latMS := make([]float64, jobsClients)
+	for i := range latMS {
+		latMS[i] = -1
+	}
+	var errCount atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < jobsClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(bodies[i%jobsUnique]))
+			req.Header.Set(serve.TenantHeader, fmt.Sprintf("tenant-%d", i%jobsTenants))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			var sub serve.JobSubmitResponse
+			if rec.Code != 202 || json.Unmarshal(rec.Body.Bytes(), &sub) != nil || sub.StatusURL == "" {
+				errCount.Add(1)
+				return
+			}
+			// Poll with capped exponential backoff; in-process there is
+			// no network to spare, so the cadence can be much tighter
+			// than the API's Retry-After hints.
+			wait := 2 * time.Millisecond
+			for {
+				prec := httptest.NewRecorder()
+				h.ServeHTTP(prec, httptest.NewRequest("GET", sub.StatusURL, nil))
+				var st serve.JobStatusResponse
+				if prec.Code != 200 || json.Unmarshal(prec.Body.Bytes(), &st) != nil {
+					errCount.Add(1)
+					return
+				}
+				if st.State == "done" || st.State == "failed" {
+					break
+				}
+				time.Sleep(wait)
+				if wait *= 2; wait > 250*time.Millisecond {
+					wait = 250 * time.Millisecond
+				}
+			}
+			latMS[i] = float64(time.Since(start)) / float64(time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	row.Errors = int(errCount.Load())
+
+	var done []float64
+	for _, ms := range latMS {
+		if ms >= 0 {
+			done = append(done, ms)
+		}
+	}
+	if len(done) > 0 {
+		sort.Float64s(done)
+		row.P99MS = done[len(done)*99/100]
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if fams, err := obs.ParseExposition(rec.Body.Bytes()); err == nil {
+		var submitted float64
+		if f := obs.FindFamily(fams, registry.MetricJobsSubmittedTotal); f != nil && len(f.Samples) == 1 {
+			submitted = f.Samples[0].Value
+		}
+		if f := obs.FindFamily(fams, registry.MetricJobsCoalescedTotal); f != nil && len(f.Samples) == 1 {
+			row.Coalesced = int64(f.Samples[0].Value)
+		}
+		if f := obs.FindFamily(fams, registry.MetricJobsShedTotal); f != nil && len(f.Samples) == 1 {
+			row.Shed = int64(f.Samples[0].Value)
+		}
+		if f := obs.FindFamily(fams, registry.MetricJobsCompletedTotal); f != nil {
+			for _, s := range f.Samples {
+				if s.Label("outcome") == "failed" {
+					row.Failed += int64(s.Value)
+				}
+			}
+		}
+		if submitted > 0 {
+			row.HitRate = float64(row.Coalesced) / submitted
 		}
 	}
 	return row

@@ -53,6 +53,8 @@ const (
 	PointServeHandler    = registry.FaultServeHandler    // HTTP handler body
 	PointServeWorker     = registry.FaultServeWorker     // worker-pool job start
 	PointServeCache      = registry.FaultServeCache      // result-cache read (corruption surrogate)
+	PointJobsStore       = registry.FaultJobsStore       // async job-store insert (submission path)
+	PointJobsExec        = registry.FaultJobsExec        // async job execution start
 )
 
 // Points lists the canonical fault points, for documentation and

@@ -1,0 +1,104 @@
+package jobs
+
+// fairQueue schedules pending job executions across tenants with
+// deficit round-robin: each tenant keeps a FIFO of its queued leader
+// jobs and a deficit counter topped up by one quantum per scheduling
+// visit; a job is dispatched when its cost (series points — the best
+// cheap proxy for detection work) fits the accumulated deficit. A
+// tenant flooding the queue with long series therefore drains at the
+// same long-run cost rate as a light tenant submitting short ones,
+// instead of monopolizing the worker pool by arrival order.
+//
+// Not internally synchronized — the manager owns it under its mutex.
+type fairQueue struct {
+	quantum int
+	tenants map[string]*tenantQueue
+	active  []*tenantQueue // tenants with queued jobs, round-robin order
+	next    int            // round-robin cursor into active
+	depth   int            // total queued (undispatched) jobs
+}
+
+// tenantQueue is one tenant's pending executions and scheduling state.
+type tenantQueue struct {
+	name    string
+	jobs    []*Job // queued leader jobs, FIFO
+	deficit int    // accumulated dispatch budget, in cost units
+	pending int    // live jobs (queued, coalesced, running) for admission
+}
+
+func newFairQueue(quantum int) *fairQueue {
+	return &fairQueue{quantum: quantum, tenants: make(map[string]*tenantQueue)}
+}
+
+// tenant returns (creating if needed) the named tenant's queue.
+func (q *fairQueue) tenant(name string) *tenantQueue {
+	tq, ok := q.tenants[name]
+	if !ok {
+		tq = &tenantQueue{name: name}
+		q.tenants[name] = tq
+	}
+	return tq
+}
+
+// push enqueues a leader job for dispatch.
+func (q *fairQueue) push(j *Job) {
+	tq := q.tenant(j.Tenant)
+	if len(tq.jobs) == 0 {
+		q.active = append(q.active, tq)
+	}
+	tq.jobs = append(tq.jobs, j)
+	q.depth++
+}
+
+// pop returns the next job under deficit round-robin, or nil when
+// nothing is queued. Each visit to a tenant adds one quantum to its
+// deficit; the head job dispatches once the deficit covers its cost,
+// so an over-quantum job waits a few rounds instead of starving or
+// jumping the line.
+func (q *fairQueue) pop() *Job {
+	for len(q.active) > 0 {
+		if q.next >= len(q.active) {
+			q.next = 0
+		}
+		tq := q.active[q.next]
+		tq.deficit += q.quantum
+		head := tq.jobs[0]
+		cost := head.Cost
+		if cost < 1 {
+			cost = 1
+		}
+		if cost > tq.deficit {
+			q.next++
+			continue
+		}
+		tq.deficit -= cost
+		tq.jobs[0] = nil
+		tq.jobs = tq.jobs[1:]
+		q.depth--
+		if len(tq.jobs) == 0 {
+			// An empty tenant leaves the round-robin ring and forfeits
+			// its deficit: fairness is about the backlog, not a savings
+			// account for future bursts.
+			tq.deficit = 0
+			q.active = append(q.active[:q.next], q.active[q.next+1:]...)
+		} else {
+			q.next++
+		}
+		return head
+	}
+	return nil
+}
+
+// drain removes and returns every queued job (shutdown path).
+func (q *fairQueue) drain() []*Job {
+	var out []*Job
+	for _, tq := range q.active {
+		out = append(out, tq.jobs...)
+		tq.jobs = nil
+		tq.deficit = 0
+	}
+	q.active = nil
+	q.next = 0
+	q.depth = 0
+	return out
+}

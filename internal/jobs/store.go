@@ -1,0 +1,122 @@
+package jobs
+
+import (
+	"container/list"
+	"time"
+
+	"robustperiod/internal/obs"
+)
+
+// store retains terminal jobs for polling clients, modeled on the
+// flight recorder's dual-ring design (internal/obs): a bounded ring of
+// recently finished healthy jobs plus a second bounded ring where
+// failed and degraded jobs are pinned, so a burst of healthy churn
+// cannot flush the one job a client needs to debug. Every retained job
+// carries an expiry stamp; expired jobs are reaped lazily on lookup
+// and periodically by the manager's reaper.
+//
+// The store is not internally synchronized — the manager owns it and
+// serializes access under its own mutex.
+type store struct {
+	done    *list.List // healthy terminal jobs, front = newest
+	pinned  *list.List // failed/degraded terminal jobs, front = newest
+	doneIdx map[obs.ID]*list.Element
+	pinIdx  map[obs.ID]*list.Element
+	doneCap int
+	pinCap  int
+
+	expired int64 // jobs reaped past their TTL
+}
+
+func newStore(doneCap, pinCap int) *store {
+	return &store{
+		done:    list.New(),
+		pinned:  list.New(),
+		doneIdx: make(map[obs.ID]*list.Element, doneCap),
+		pinIdx:  make(map[obs.ID]*list.Element, pinCap),
+		doneCap: doneCap,
+		pinCap:  pinCap,
+	}
+}
+
+// pinworthy reports whether a terminal job belongs in the pinned ring:
+// it failed, or it completed with degradation annotations.
+func pinworthy(j *Job) bool { return j.Err != nil || j.Degraded }
+
+// put retains a terminal job, evicting the oldest entry of the target
+// ring when it is full.
+func (s *store) put(j *Job) {
+	ll, idx, capacity := s.done, s.doneIdx, s.doneCap
+	if pinworthy(j) {
+		ll, idx, capacity = s.pinned, s.pinIdx, s.pinCap
+	}
+	idx[j.ID] = ll.PushFront(j)
+	if ll.Len() > capacity {
+		oldest := ll.Back()
+		ll.Remove(oldest)
+		delete(idx, oldest.Value.(*Job).ID)
+	}
+}
+
+// get returns the retained job with the given ID. A job past its
+// expiry is reaped on sight and reported missing.
+func (s *store) get(id obs.ID, now time.Time) (*Job, bool) {
+	for _, half := range [2]struct {
+		ll  *list.List
+		idx map[obs.ID]*list.Element
+	}{{s.pinned, s.pinIdx}, {s.done, s.doneIdx}} {
+		if el, ok := half.idx[id]; ok {
+			j := el.Value.(*Job)
+			if !j.Expires.After(now) {
+				half.ll.Remove(el)
+				delete(half.idx, id)
+				s.expired++
+				return nil, false
+			}
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// reap removes every job whose TTL has elapsed. Jobs finish in time
+// order, so each ring is scanned oldest-first and the scan stops at
+// the first live entry.
+func (s *store) reap(now time.Time) {
+	for _, half := range [2]struct {
+		ll  *list.List
+		idx map[obs.ID]*list.Element
+	}{{s.pinned, s.pinIdx}, {s.done, s.doneIdx}} {
+		for el := half.ll.Back(); el != nil; {
+			j := el.Value.(*Job)
+			if j.Expires.After(now) {
+				break
+			}
+			prev := el.Prev()
+			half.ll.Remove(el)
+			delete(half.idx, j.ID)
+			s.expired++
+			el = prev
+		}
+	}
+}
+
+// counts reports how many retained terminal jobs are in each outcome
+// bucket.
+func (s *store) counts() (done, failed int) {
+	for el := s.done.Front(); el != nil; el = el.Next() {
+		if el.Value.(*Job).Err != nil {
+			failed++
+		} else {
+			done++
+		}
+	}
+	for el := s.pinned.Front(); el != nil; el = el.Next() {
+		if el.Value.(*Job).Err != nil {
+			failed++
+		} else {
+			done++
+		}
+	}
+	return done, failed
+}

@@ -25,6 +25,8 @@ const (
 	FaultServeHandler    = "serve/handler"     // HTTP handler body
 	FaultServeWorker     = "serve/worker"      // worker-pool job start
 	FaultServeCache      = "serve/cache"       // result-cache read (corruption surrogate)
+	FaultJobsStore       = "jobs/store"        // async job-store insert (submission path)
+	FaultJobsExec        = "jobs/exec"         // async job execution start
 )
 
 // FaultPoints lists every canonical fault point, in pipeline-then-
@@ -34,6 +36,7 @@ func FaultPoints() []string {
 		FaultHPRobustSolver, FaultWaveletTransfrm, FaultWaveletReflect,
 		FaultSpectrumSolver, FaultSpectrumStall, FaultCoreLevel,
 		FaultServeHandler, FaultServeWorker, FaultServeCache,
+		FaultJobsStore, FaultJobsExec,
 	}
 }
 
@@ -73,6 +76,17 @@ const (
 	MetricDegradedTotal        = "rp_degraded_total"
 	MetricBreakerState         = "rp_breaker_state"
 	MetricBreakerOpensTotal    = "rp_breaker_opens_total"
+
+	MetricAdmissionJobTime = "rp_admission_job_time_seconds"
+
+	MetricJobsSubmittedTotal = "rp_jobs_submitted_total"
+	MetricJobsCoalescedTotal = "rp_jobs_coalesced_total"
+	MetricJobsCompletedTotal = "rp_jobs_completed_total"
+	MetricJobsExpiredTotal   = "rp_jobs_expired_total"
+	MetricJobsShedTotal      = "rp_jobs_shed_total"
+	MetricJobsQueueDepth     = "rp_jobs_queue_depth"
+	MetricJobsState          = "rp_jobs_state"
+	MetricJobLatencyQuantile = "rp_job_latency_seconds_quantile"
 
 	MetricRequestDuration        = "rp_request_duration_seconds"
 	MetricStageDuration          = "rp_stage_duration_seconds"
@@ -117,6 +131,17 @@ var metrics = []Metric{
 	{MetricDegradedTotal, "counter", "Detections that returned graceful-degradation annotations."},
 	{MetricBreakerState, "gauge", "Circuit-breaker state by endpoint: 0 closed, 1 open, 2 half-open."},
 	{MetricBreakerOpensTotal, "counter", "Circuit-breaker open transitions by endpoint."},
+
+	{MetricAdmissionJobTime, "gauge", "EWMA estimate of one detection's service time feeding the admission controller's Retry-After values."},
+
+	{MetricJobsSubmittedTotal, "counter", "Async job submissions accepted (coalesced followers included)."},
+	{MetricJobsCoalescedTotal, "counter", "Async jobs that coalesced onto an identical in-flight execution."},
+	{MetricJobsCompletedTotal, "counter", "Async jobs reaching a terminal state, by outcome (ok or failed)."},
+	{MetricJobsExpiredTotal, "counter", "Terminal async jobs reaped from the store after their TTL."},
+	{MetricJobsShedTotal, "counter", "Async job submissions rejected by the fair-share admission bounds."},
+	{MetricJobsQueueDepth, "gauge", "Async job executions waiting in the fair-share queues."},
+	{MetricJobsState, "gauge", "Async jobs currently retained, by state (queued, running, done, failed)."},
+	{MetricJobLatencyQuantile, "gauge", "Streaming submit-to-completion job-latency quantile estimates (P2 algorithm)."},
 
 	{MetricRequestDuration, "histogram", "Request latency by endpoint."},
 	{MetricStageDuration, "histogram", "Pipeline stage latency by stage (microsecond-resolution low buckets)."},

@@ -22,6 +22,7 @@ import (
 
 	"robustperiod"
 	"robustperiod/internal/faults"
+	"robustperiod/internal/jobs"
 	"robustperiod/internal/obs"
 )
 
@@ -431,7 +432,7 @@ func toAPIError(err error) (int, *APIError) {
 		// Client went away; the status is written to a dead connection
 		// but keeps logs and metrics truthful.
 		return 499, &APIError{Code: "client_closed_request", Message: err.Error()}
-	case errors.Is(err, errPoolClosed):
+	case errors.Is(err, errPoolClosed), errors.Is(err, jobs.ErrClosed):
 		return http.StatusServiceUnavailable, &APIError{Code: "shutting_down", Message: err.Error()}
 	default:
 		return http.StatusBadRequest, &APIError{Code: "detect_failed", Message: err.Error()}

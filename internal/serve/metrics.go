@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"robustperiod/internal/jobs"
 	"robustperiod/internal/obs"
 	"robustperiod/internal/registry"
 	"robustperiod/internal/trace"
@@ -119,6 +120,11 @@ type metrics struct {
 	corruptions func() int64
 	breakers    map[string]*breaker
 
+	// Async job tier hooks (registerJobs).
+	jobsMgr *jobs.Manager
+	jobLatQ *obs.Quantiles
+	jobEWMA func() float64
+
 	runtime *obs.RuntimeSampler
 }
 
@@ -202,6 +208,31 @@ func (m *metrics) registerBreakers(breakers map[string]*breaker) {
 func (m *metrics) registerCacheCorruptions(f func() int64) {
 	m.corruptions = f
 	m.vars.Set("cache_corruptions", expvar.Func(func() any { return f() }))
+}
+
+// registerJobs exposes the async job tier: cumulative counters, queue
+// depth and per-state gauges, the submit-to-completion latency
+// quantiles, and the admission controller's EWMA service-time
+// estimate, on both /debug/vars and the Prometheus exposition.
+func (m *metrics) registerJobs(mgr *jobs.Manager, latQ *obs.Quantiles, ewma func() float64) {
+	m.jobsMgr = mgr
+	m.jobLatQ = latQ
+	m.jobEWMA = ewma
+	m.vars.Set("jobs", expvar.Func(func() any {
+		c := mgr.Counters()
+		return map[string]any{
+			"submitted":   c.Submitted,
+			"coalesced":   c.Coalesced,
+			"executions":  c.Executions,
+			"done_ok":     c.DoneOK,
+			"done_failed": c.DoneFailed,
+			"expired":     c.Expired,
+			"shed":        c.Shed,
+			"queue_depth": mgr.QueueDepth(),
+			"states":      mgr.StateCounts(),
+		}
+	}))
+	m.vars.Set("admission_job_time_seconds", expvar.Func(func() any { return ewma() }))
 }
 
 // observeStages folds one detection's per-stage wall times into the
@@ -342,6 +373,34 @@ func (m *metrics) writeProm(w io.Writer) error {
 			_, opens := m.breakers[ep].snapshot()
 			p.Sample(registry.MetricBreakerOpensTotal, []obs.Label{{Name: "endpoint", Value: ep}}, float64(opens))
 		}
+	}
+
+	if m.jobEWMA != nil {
+		p.Family(registry.MetricAdmissionJobTime, "EWMA estimate of one detection's service time feeding the admission controller's Retry-After values.", "gauge")
+		p.Sample(registry.MetricAdmissionJobTime, nil, m.jobEWMA())
+	}
+	if m.jobsMgr != nil {
+		c := m.jobsMgr.Counters()
+		p.Family(registry.MetricJobsSubmittedTotal, "Async job submissions accepted (coalesced followers included).", "counter")
+		p.Sample(registry.MetricJobsSubmittedTotal, nil, float64(c.Submitted))
+		p.Family(registry.MetricJobsCoalescedTotal, "Async jobs that coalesced onto an identical in-flight execution.", "counter")
+		p.Sample(registry.MetricJobsCoalescedTotal, nil, float64(c.Coalesced))
+		p.Family(registry.MetricJobsCompletedTotal, "Async jobs reaching a terminal state, by outcome (ok or failed).", "counter")
+		p.Sample(registry.MetricJobsCompletedTotal, []obs.Label{{Name: "outcome", Value: "ok"}}, float64(c.DoneOK))
+		p.Sample(registry.MetricJobsCompletedTotal, []obs.Label{{Name: "outcome", Value: "failed"}}, float64(c.DoneFailed))
+		p.Family(registry.MetricJobsExpiredTotal, "Terminal async jobs reaped from the store after their TTL.", "counter")
+		p.Sample(registry.MetricJobsExpiredTotal, nil, float64(c.Expired))
+		p.Family(registry.MetricJobsShedTotal, "Async job submissions rejected by the fair-share admission bounds.", "counter")
+		p.Sample(registry.MetricJobsShedTotal, nil, float64(c.Shed))
+		p.Family(registry.MetricJobsQueueDepth, "Async job executions waiting in the fair-share queues.", "gauge")
+		p.Sample(registry.MetricJobsQueueDepth, nil, float64(m.jobsMgr.QueueDepth()))
+		states := m.jobsMgr.StateCounts()
+		p.Family(registry.MetricJobsState, "Async jobs currently retained, by state (queued, running, done, failed).", "gauge")
+		for _, st := range jobs.StateNames() {
+			p.Sample(registry.MetricJobsState, []obs.Label{{Name: "state", Value: st}}, float64(states[st]))
+		}
+		p.Family(registry.MetricJobLatencyQuantile, "Streaming submit-to-completion job-latency quantile estimates (P2 algorithm).", "gauge")
+		p.QuantileGauges(registry.MetricJobLatencyQuantile, nil, m.jobLatQ)
 	}
 
 	p.Family(registry.MetricRequestDuration, "Request latency by endpoint.", "histogram")

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"robustperiod/internal/faults"
+	"robustperiod/internal/jobs"
 	"robustperiod/internal/obs"
 )
 
@@ -75,6 +76,19 @@ type Config struct {
 	// flight recorder retains (plus as many pinned error/degraded
 	// records); 0 means 256. The recorder is always on.
 	RecorderSize int
+	// JobsQueue bounds undispatched async job executions across all
+	// tenants; 0 means 4096.
+	JobsQueue int
+	// JobsPerTenant bounds one API key's live (queued, coalesced,
+	// running) async jobs; 0 means JobsQueue/4.
+	JobsPerTenant int
+	// JobsTTL is how long finished async jobs stay pollable; 0 means 5m.
+	JobsTTL time.Duration
+	// JobsStore bounds retained finished async jobs; 0 means 4096.
+	JobsStore int
+	// JobsQuantum is the fair-share deficit-round-robin budget per
+	// tenant visit, in series points; 0 means 4096.
+	JobsQuantum int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,10 +124,12 @@ func (c Config) withDefaults() Config {
 
 // endpoint labels used in metrics.
 const (
-	epDetect  = "detect"
-	epBatch   = "batch"
-	epHealthz = "healthz"
-	epMetrics = "metrics"
+	epDetect    = "detect"
+	epBatch     = "batch"
+	epJobs      = "jobs"
+	epJobStatus = "job_status"
+	epHealthz   = "healthz"
+	epMetrics   = "metrics"
 )
 
 // Server is one instance of the detection service. Create with New,
@@ -132,6 +148,11 @@ type Server struct {
 	logger    *slog.Logger
 	recorder  *obs.Recorder
 	accessCtr atomic.Uint64
+
+	// jobs is the async submit-then-poll tier (POST /v1/jobs), and
+	// jobLatQ its submit-to-completion latency quantile estimator.
+	jobs    *jobs.Manager
+	jobLatQ *obs.Quantiles
 
 	// breakers guard the compute endpoints (nil entries never trip).
 	breakers map[string]*breaker
@@ -154,20 +175,45 @@ func New(cfg Config) *Server {
 		idGen:    obs.NewIDGen(),
 		logger:   cfg.Logger,
 		recorder: obs.NewRecorder(cfg.RecorderSize),
+		jobLatQ:  obs.NewQuantiles(),
 	}
+	// The async tier shares the server's ID mint (one job ID namespace
+	// with request IDs) and executes exclusively on the worker pool —
+	// PoolSubmit blocks while the pool is saturated, so the fair-share
+	// dispatcher provides natural backpressure instead of a deep queue.
+	s.jobs = jobs.New(jobs.Config{
+		Exec:               s.execJob,
+		PoolSubmit:         func(run func()) error { return s.pool.submit(context.Background(), run) },
+		Timeout:            cfg.RequestTimeout,
+		TTL:                cfg.JobsTTL,
+		StoreCap:           cfg.JobsStore,
+		MaxQueued:          cfg.JobsQueue,
+		MaxQueuedPerTenant: cfg.JobsPerTenant,
+		Quantum:            cfg.JobsQuantum,
+		OnDone:             s.onJobDone,
+		IDs:                s.idGen,
+	})
 	s.breakers = map[string]*breaker{
 		epDetect: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		epBatch:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		epJobs:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 	s.metrics = newMetrics(
-		[]string{epDetect, epBatch, epHealthz, epMetrics},
+		[]string{epDetect, epBatch, epJobs, epJobStatus, epHealthz, epMetrics},
 		s.pool.depth, s.cache.len,
 	)
 	s.metrics.registerBreakers(s.breakers)
 	s.metrics.registerCacheCorruptions(s.cache.corrupted)
+	// The EWMA is kept in nanoseconds (duration arithmetic in admit and
+	// jobRetrySeconds); the _seconds gauge converts at the edge.
+	s.metrics.registerJobs(s.jobs, s.jobLatQ, func() float64 {
+		return math.Float64frombits(s.jobEWMA.Load()) / float64(time.Second)
+	})
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/detect", s.instrument(epDetect, s.handleDetect))
 	s.mux.Handle("POST /v1/detect/batch", s.instrument(epBatch, s.handleBatch))
+	s.mux.Handle("POST /v1/jobs", s.instrument(epJobs, s.handleJobSubmit))
+	s.mux.Handle("GET /v1/jobs/{id}", s.instrument(epJobStatus, s.handleJobStatus))
 	s.mux.Handle("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
 	return s
@@ -177,10 +223,15 @@ func New(cfg Config) *Server {
 // the service inside another server (or an httptest.Server).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool after draining queued jobs. Call after
+// Close stops the async job manager (failing still-queued jobs) and
+// then the worker pool after draining in-flight executions. Call after
 // the HTTP listener has stopped accepting requests. Idempotent.
 func (s *Server) Close() {
 	s.draining.Store(true)
+	// Order matters: the job manager must stop dispatching before the
+	// pool closes (its dispatcher blocks in pool.submit under load);
+	// executions already on the pool finish inside the pool drain.
+	s.jobs.Close()
 	s.pool.close()
 }
 
@@ -195,10 +246,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// computeEndpoint reports whether ep runs detections (and therefore
-// falls under overload protection); health and metrics stay reachable
-// while draining or broken — that is when they matter most.
-func computeEndpoint(ep string) bool { return ep == epDetect || ep == epBatch }
+// computeEndpoint reports whether ep admits detection work (and
+// therefore falls under overload protection); health, metrics, and
+// job polling stay reachable while draining or broken — that is when
+// they matter most (finished async results must remain retrievable
+// through a drain).
+func computeEndpoint(ep string) bool {
+	return ep == epDetect || ep == epBatch || ep == epJobs
+}
 
 // instrument wraps a handler with the request-size limit, the
 // per-endpoint metrics (request count, error count, in-flight gauge,
