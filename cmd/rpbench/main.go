@@ -19,6 +19,7 @@
 //	rpbench -quick -json bench/                     # write BENCH_<ts>.json
 //	rpbench -quick -baseline bench/BENCH_x.json     # gate against a baseline
 //	rpbench -quick -baseline ... -max-regress 0.2   # allow +20% wall time
+//	rpbench -quick -stage-diff bench/BENCH_x.json   # markdown per-stage diff (non-gating)
 //
 // With -baseline, rpbench exits non-zero when any Tables 1–3 quality
 // score drops or whole-detection wall time regresses beyond
@@ -57,6 +58,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "bench mode with CI-sized corpora (pins -trials 5 -seed 1)")
 		jsonOut    = flag.String("json", "", "bench mode: write the JSON report to this path (a directory gets BENCH_<timestamp>.json)")
 		baseline   = flag.String("baseline", "", "bench mode: gate the run against this baseline JSON report, exit 1 on regression")
+		stageDiff  = flag.String("stage-diff", "", "bench mode: print a non-gating markdown per-stage diff table against this baseline JSON report")
 		maxRegress = flag.Float64("max-regress", 0.20, "bench gate: allowed whole-detection wall-time regression (0.20 = +20%; negative disables the perf gate)")
 		version    = flag.Bool("version", false, "print build information and exit")
 	)
@@ -67,13 +69,13 @@ func main() {
 		return
 	}
 
-	benchMode := *quick || *jsonOut != "" || *baseline != ""
+	benchMode := *quick || *jsonOut != "" || *baseline != "" || *stageDiff != ""
 	if *table == "" && *figure == "" && !*ablations && *report == "" && !benchMode {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if benchMode {
-		runBench(*quick, *trials, *seed, *jsonOut, *baseline, *maxRegress)
+		runBench(*quick, *trials, *seed, *jsonOut, *baseline, *stageDiff, *maxRegress)
 	}
 	if *report != "" {
 		if err := os.WriteFile(*report, []byte(eval.Report(*trials, *seed)), 0o644); err != nil {
@@ -155,7 +157,7 @@ func minInt(a, b int) int {
 // runBench runs the quality+perf suites and optionally writes the
 // JSON report and/or gates against a baseline. Exits the process:
 // 0 on success, 1 on a failed gate or I/O error.
-func runBench(quick bool, trials int, seed int64, jsonOut, baselinePath string, maxRegress float64) {
+func runBench(quick bool, trials int, seed int64, jsonOut, baselinePath, stageDiffPath string, maxRegress float64) {
 	if quick {
 		// Pin the corpus shape so -quick runs are comparable across
 		// machines and across the committed baseline.
@@ -197,14 +199,18 @@ func runBench(quick bool, trials int, seed int64, jsonOut, baselinePath string, 
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 
-	if baselinePath != "" {
-		raw, err := os.ReadFile(baselinePath)
+	if stageDiffPath != "" {
+		base, err := readBench(stageDiffPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var base eval.BenchReport
-		if err := json.Unmarshal(raw, &base); err != nil {
-			log.Fatalf("parse baseline %s: %v", baselinePath, err)
+		fmt.Print(eval.FormatStageDiff(base, rep))
+	}
+
+	if baselinePath != "" {
+		base, err := readBench(baselinePath)
+		if err != nil {
+			log.Fatal(err)
 		}
 		violations := eval.CompareBench(base, rep, maxRegress)
 		if len(violations) > 0 {
@@ -216,4 +222,17 @@ func runBench(quick bool, trials int, seed int64, jsonOut, baselinePath string, 
 		log.Printf("bench gate passed against %s", baselinePath)
 	}
 	os.Exit(0)
+}
+
+// readBench loads and parses a JSON bench report from disk.
+func readBench(path string) (eval.BenchReport, error) {
+	var rep eval.BenchReport
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return rep, nil
 }

@@ -162,6 +162,14 @@ func Single(x []float64, kLo, kHi int, cfg Config) (Result, error) {
 	if cfg.MPOpts.Trace == nil {
 		cfg.MPOpts.Trace = cfg.Trace
 	}
+	// Arm the Fisher prefilter at the significance level this detection
+	// will test at: frequencies certified below the acceptance floor
+	// fall back to the cheap clipped-series ordinate (see
+	// spectrum/prefilter.go). Callers can force the exact path with
+	// MPOpts.NoPrefilter.
+	if cfg.MPOpts.PrefilterAlpha == 0 {
+		cfg.MPOpts.PrefilterAlpha = cfg.Alpha
+	}
 
 	stp := cfg.Trace.StartStage(trace.StagePeriodogram)
 	half, degraded, err := hybridWithBudget(padded, kLo, kHi, cfg)

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // FFT returns the forward discrete Fourier transform of x. The input
@@ -100,44 +101,103 @@ func radix2(x []complex128, inverse bool) {
 	}
 }
 
-// bluestein computes an arbitrary-length DFT as a convolution with a
-// chirp, using two power-of-two radix-2 transforms internally.
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
+// chirpPlan holds the input-independent half of a Bluestein transform
+// of one (length, direction) pair: the chirp itself and the forward
+// transform of the chirp filter. Building it costs n complex
+// exponentials plus one radix-2 transform — the majority of a
+// Bluestein call — so plans are cached: the detect pipeline transforms
+// the same non-power-of-two padded length dozens of times per request.
+type chirpPlan struct {
+	chirp []complex128 // exp(sign·iπt²/n), t < n
+	bhat  []complex128 // FFT of the chirp filter, length m
+}
+
+type chirpKey struct {
+	n       int
+	inverse bool
+}
+
+var chirpCache struct {
+	mu    sync.Mutex
+	plans map[chirpKey]*chirpPlan
+}
+
+// chirpCacheCap bounds the cache; one entry per distinct transform
+// length and direction, a handful per process in practice.
+const chirpCacheCap = 16
+
+func getChirpPlan(n, m int, inverse bool) *chirpPlan {
+	key := chirpKey{n, inverse}
+	chirpCache.mu.Lock()
+	if p, ok := chirpCache.plans[key]; ok {
+		chirpCache.mu.Unlock()
+		return p
 	}
+	chirpCache.mu.Unlock()
+
 	sign := -1.0
 	if inverse {
 		sign = 1.0
 	}
 	// chirp[t] = exp(sign * i*pi*t^2/n). Reduce t^2 mod 2n to keep the
 	// angle small and accurate for large n.
-	chirp := make([]complex128, n)
+	p := &chirpPlan{
+		chirp: make([]complex128, n),
+		bhat:  make([]complex128, m),
+	}
 	for t := 0; t < n; t++ {
 		sq := (int64(t) * int64(t)) % int64(2*n)
 		ang := sign * math.Pi * float64(sq) / float64(n)
-		chirp[t] = cmplx.Exp(complex(0, ang))
+		p.chirp[t] = cmplx.Exp(complex(0, ang))
 	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
 	for t := 0; t < n; t++ {
-		a[t] = x[t] * chirp[t]
-		b[t] = cmplx.Conj(chirp[t])
+		p.bhat[t] = cmplx.Conj(p.chirp[t])
 	}
 	for t := 1; t < n; t++ {
-		b[m-t] = cmplx.Conj(chirp[t])
+		p.bhat[m-t] = cmplx.Conj(p.chirp[t])
+	}
+	radix2(p.bhat, false)
+
+	chirpCache.mu.Lock()
+	defer chirpCache.mu.Unlock()
+	if q, ok := chirpCache.plans[key]; ok {
+		return q // lost a build race; share the first
+	}
+	if chirpCache.plans == nil {
+		chirpCache.plans = make(map[chirpKey]*chirpPlan, chirpCacheCap)
+	}
+	if len(chirpCache.plans) >= chirpCacheCap {
+		for k := range chirpCache.plans {
+			delete(chirpCache.plans, k)
+			break
+		}
+	}
+	chirpCache.plans[key] = p
+	return p
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution with a
+// chirp, using two power-of-two radix-2 transforms internally (the
+// third — the chirp filter's — comes precomputed from the plan cache).
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p := getChirpPlan(n, m, inverse)
+	a := make([]complex128, m)
+	for t := 0; t < n; t++ {
+		a[t] = x[t] * p.chirp[t]
 	}
 	radix2(a, false)
-	radix2(b, false)
 	for i := range a {
-		a[i] *= b[i]
+		a[i] *= p.bhat[i]
 	}
 	radix2(a, true)
 	scale := complex(1/float64(m), 0)
 	for t := 0; t < n; t++ {
-		x[t] = a[t] * scale * chirp[t]
+		x[t] = a[t] * scale * p.chirp[t]
 	}
 }
 

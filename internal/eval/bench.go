@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"robustperiod/internal/baselines"
@@ -356,4 +357,47 @@ func CompareBench(baseline, current BenchReport, maxRegress float64) []string {
 		}
 	}
 	return violations
+}
+
+// FormatStageDiff renders a GitHub-flavoured markdown table comparing
+// the current report's per-stage wall times against a baseline, one
+// block per perf leg (short legs first, then the asymptotic ones).
+// Informational only — the regression gate is CompareBench; this
+// feeds the perf-guard job summary so a reviewer can see where time
+// went without downloading artifacts. Legs or stages the baseline
+// lacks render with an em dash in the baseline column.
+func FormatStageDiff(baseline, current BenchReport) string {
+	basePerf := make(map[string]PerfRow, len(baseline.Perf)+len(baseline.PerfAsym))
+	for _, p := range append(append([]PerfRow(nil), baseline.Perf...), baseline.PerfAsym...) {
+		basePerf[p.Name] = p
+	}
+
+	var b strings.Builder
+	b.WriteString("| Leg | Stage | Baseline (ms) | Current (ms) | Speedup |\n")
+	b.WriteString("|---|---|---:|---:|---:|\n")
+	ms := func(ns int64) string { return fmt.Sprintf("%.2f", float64(ns)/1e6) }
+	row := func(leg, stage string, baseNs int64, haveBase bool, curNs int64) {
+		baseCol, speedCol := "—", "—"
+		if haveBase && baseNs > 0 {
+			baseCol = ms(baseNs)
+			if curNs > 0 {
+				speedCol = fmt.Sprintf("%.2fx", float64(baseNs)/float64(curNs))
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n", leg, stage, baseCol, ms(curNs), speedCol)
+	}
+	for _, c := range append(append([]PerfRow(nil), current.Perf...), current.PerfAsym...) {
+		base, ok := basePerf[c.Name]
+		row(c.Name, "total", base.NsPerOp, ok, c.NsPerOp)
+		stages := make([]string, 0, len(c.StageNs))
+		for s := range c.StageNs {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		for _, s := range stages {
+			baseNs, haveStage := base.StageNs[s]
+			row(c.Name, s, baseNs, ok && haveStage, c.StageNs[s])
+		}
+	}
+	return b.String()
 }

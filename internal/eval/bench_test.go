@@ -145,3 +145,23 @@ func TestBenchPerfSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestFormatStageDiff(t *testing.T) {
+	base := benchFixture()
+	base.Perf[0].StageNs = map[string]int64{"periodogram": 80_000_000}
+	cur := benchFixture()
+	cur.Perf[0].NsPerOp = 10_000_000
+	cur.Perf[0].StageNs = map[string]int64{"periodogram": 8_000_000}
+	cur.PerfAsym = []PerfRow{{Name: "detect/N=8192", N: 8192, NsPerOp: 500_000_000}}
+
+	out := FormatStageDiff(base, cur)
+	for _, want := range []string{
+		"| detect/N=1000 | total | 100.00 | 10.00 | 10.00x |",
+		"| detect/N=1000 | periodogram | 80.00 | 8.00 | 10.00x |",
+		"| detect/N=8192 | total | — | 500.00 | — |", // leg absent from baseline
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing row %q in:\n%s", want, out)
+		}
+	}
+}

@@ -94,6 +94,12 @@ func RunJobs(seed int64) eval.JobsRow {
 		CacheSize:     -1,
 		JobsQueue:     2 * jobsClients,
 		JobsPerTenant: 2 * jobsClients / jobsTenants,
+		// Every client holds a finished job until its first poll, so
+		// the retention ring must cover the full client count: with
+		// fast detections all jobs can complete before the scheduler
+		// gets any poller its first turn, and a default-sized store
+		// would evict early results into job_not_found 404s.
+		JobsStore: 2 * jobsClients,
 	})
 	defer srv.Close()
 	h := srv.Handler()

@@ -55,6 +55,21 @@ func TraceStages() []string {
 	return []string{StageHPFilter, StageMODWT, StageRanking, StagePeriodogram, StageValidation}
 }
 
+// Trace counter names accumulated under the pipeline stages above
+// (internal/trace Count call sites). Counters are per-request
+// diagnostics, not Prometheus families; they surface in Result.Trace
+// and the ?debug=1 response body.
+const (
+	CounterSolverIters    = "solver_iters"     // IRLS/ADMM iterations across all per-frequency solves
+	CounterSolverWarmHits = "solver_warm_hits" // solves whose warm start beat the cold OLS init
+	CounterPrefilterSkips = "prefilter_skips"  // frequencies certified below the Fisher floor and skipped
+)
+
+// TraceCounters lists the canonical per-stage trace counter names.
+func TraceCounters() []string {
+	return []string{CounterSolverIters, CounterSolverWarmHits, CounterPrefilterSkips}
+}
+
 // Prometheus metric family names exposed on GET /metrics. Every
 // family emitted anywhere in the tree must be declared here and
 // documented in the README metric table (rplint enforces both).
@@ -214,6 +229,7 @@ func Validate() []string {
 	}
 	check("fault point", FaultPoints())
 	check("trace stage", TraceStages())
+	check("trace counter", TraceCounters())
 	check("metric family", MetricNames())
 	return problems
 }

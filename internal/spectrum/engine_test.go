@@ -1,0 +1,279 @@
+package spectrum
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"robustperiod/internal/stat/dist"
+)
+
+// paddedSeries builds a detect-layout input: n real samples (sinusoids
+// + noise + sparse outliers), zero-padded to 2n after centring, the
+// way detect.Single feeds the hybrid periodogram.
+func paddedSeries(n int, periods []int, outlierFrac, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for t := 0; t < n; t++ {
+		for _, p := range periods {
+			x[t] += math.Sin(2 * math.Pi * float64(t) / float64(p))
+		}
+		x[t] += noise * rng.NormFloat64()
+	}
+	for t := 0; t < n; t++ {
+		if rng.Float64() < outlierFrac {
+			x[t] += (rng.Float64()*16 - 8)
+		}
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	padded := make([]float64, 2*n)
+	for t := 0; t < n; t++ {
+		padded[t] = x[t] - mean
+	}
+	return padded
+}
+
+// TestPrefilterNeverSkipsFisherPassable is the safety property of the
+// prefilter certificate: no frequency it skips could have passed
+// Fisher's g-test had it been solved exactly. Exercised over an
+// adversarial mix of clean, noisy, outlier-ridden and multi-periodic
+// series.
+func TestPrefilterNeverSkipsFisherPassable(t *testing.T) {
+	const alpha = 0.05 // looser than detect's default: a lower floor is a stricter property
+	cases := []struct {
+		periods     []int
+		outlierFrac float64
+		noise       float64
+	}{
+		{nil, 0, 1},                  // pure noise
+		{[]int{32}, 0, 0.2},          // one strong tone
+		{[]int{32}, 0.2, 0.5},        // tone + heavy outliers
+		{[]int{16, 40, 100}, 0.1, 1}, // multi-periodic + outliers
+		{nil, 0.3, 0.1},              // outliers dominating a quiet series
+	}
+	for ci, tc := range cases {
+		for seed := int64(0); seed < 6; seed++ {
+			n := 256
+			padded := paddedSeries(n, tc.periods, tc.outlierFrac, tc.noise, 1000*int64(ci)+seed)
+			kHi := len(padded)/2 - 1
+			opts := Options{Loss: LossHuber, FitLength: n, PrefilterAlpha: alpha}.withDefaults(padded)
+			classical := Periodogram(padded)
+			pre := buildPrefilter(padded, 1, kHi, opts, classical, true, getPlan(len(padded), n))
+			if pre == nil {
+				continue // nothing skipped; trivially safe
+			}
+			exactOpts := opts
+			exactOpts.NoPrefilter = true
+			half, err := HybridPeriodogram(padded, 1, kHi, exactOpts)
+			if err != nil {
+				t.Fatalf("case %d seed %d: exact hybrid: %v", ci, seed, err)
+			}
+			sum := 0.0
+			for _, v := range half[1:] {
+				sum += v
+			}
+			gcrit := dist.FisherGCritical(alpha, len(half)-1)
+			for k := 1; k <= kHi; k++ {
+				if !pre.skip[k-1] {
+					continue
+				}
+				if half[k] >= gcrit*sum {
+					t.Errorf("case %d seed %d: skipped k=%d would pass Fisher: ordinate %g >= floor %g",
+						ci, seed, k, half[k], gcrit*sum)
+				}
+				if pre.cheap[k-1] > half[k]*(1+1e-9) {
+					t.Errorf("case %d seed %d: cheap ordinate %g above exact %g at k=%d",
+						ci, seed, pre.cheap[k-1], half[k], k)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefilterPreservesFisherVerdict: the full hybrid array with the
+// prefilter armed must yield the same Fisher argmax and the same
+// accept/reject verdict as the exact reference path.
+func TestPrefilterPreservesFisherVerdict(t *testing.T) {
+	const alpha = 0.01
+	for seed := int64(0); seed < 8; seed++ {
+		n := 500
+		padded := paddedSeries(n, []int{50}, 0.1, 0.5, 42+seed)
+		kHi := len(padded)/2 - 1
+		opts := Options{Loss: LossHuber, FitLength: n, PrefilterAlpha: alpha}
+
+		fast, err := HybridPeriodogram(padded, 1, kHi, opts)
+		if err != nil {
+			t.Fatalf("seed %d: fast: %v", seed, err)
+		}
+		exactOpts := opts
+		exactOpts.NoPrefilter = true
+		exactOpts.NoWarmStart = true
+		exact, err := HybridPeriodogram(padded, 1, kHi, exactOpts)
+		if err != nil {
+			t.Fatalf("seed %d: exact: %v", seed, err)
+		}
+
+		argmax := func(p []float64) (int, float64, float64) {
+			best, sum := 1, 0.0
+			for k := 1; k < len(p); k++ {
+				sum += p[k]
+				if p[k] > p[best] {
+					best = k
+				}
+			}
+			return best, p[best] / sum, sum
+		}
+		kF, gF, _ := argmax(fast)
+		kE, gE, _ := argmax(exact)
+		gcrit := dist.FisherGCritical(alpha, len(fast)-1)
+		if kF != kE {
+			t.Errorf("seed %d: argmax moved: fast k=%d exact k=%d", seed, kF, kE)
+		}
+		if (gF > gcrit) != (gE > gcrit) {
+			t.Errorf("seed %d: Fisher verdict flipped: fast g=%g exact g=%g crit=%g", seed, gF, gE, gcrit)
+		}
+	}
+}
+
+// TestWarmStartMatchesCold: warm-started solves converge to the same
+// ordinates as cold OLS-started ones (the warm iterate is only taken
+// when it already has lower loss, so the optimum is unchanged).
+func TestWarmStartMatchesCold(t *testing.T) {
+	n := 400
+	padded := paddedSeries(n, []int{40}, 0.15, 0.3, 7)
+	opts := Options{Loss: LossHuber, FitLength: n}
+	warm, err := MPeriodogram(padded, 1, len(padded)/2-1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOpts := opts
+	coldOpts.NoWarmStart = true
+	cold, err := MPeriodogram(padded, 1, len(padded)/2-1, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm {
+		diff := math.Abs(warm[i] - cold[i])
+		if diff > 1e-6*(math.Abs(cold[i])+1e-12) {
+			t.Fatalf("ordinate %d diverged: warm %g cold %g", i, warm[i], cold[i])
+		}
+	}
+}
+
+// TestSolverStressParallelIdentical hammers the shared worker pool,
+// plan cache and prefilter from many goroutines at once (run under
+// -race by the chaos CI job); every concurrent result must be bitwise
+// identical to the sequential reference.
+func TestSolverStressParallelIdentical(t *testing.T) {
+	n := 512
+	padded := paddedSeries(n, []int{32, 80}, 0.1, 0.5, 11)
+	kHi := len(padded)/2 - 1
+	seqOpts := Options{Loss: LossHuber, FitLength: n, PrefilterAlpha: 0.01}
+	ref, err := HybridPeriodogram(padded, 1, kHi, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := seqOpts
+	parOpts.Parallel = true
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				got, err := HybridPeriodogram(padded, 1, kHi, parOpts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for k := range got {
+					if got[k] != ref[k] {
+						t.Errorf("parallel ordinate %d = %g, sequential %g", k, got[k], ref[k])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSolverStressCancel cancels contexts racing against in-flight
+// parallel solves; each call must either finish cleanly or surface
+// the context error — never panic, race, or hang.
+func TestSolverStressCancel(t *testing.T) {
+	n := 512
+	padded := paddedSeries(n, []int{64}, 0.1, 0.5, 13)
+	kHi := len(padded)/2 - 1
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				timer := time.AfterFunc(time.Duration(g*i%5)*100*time.Microsecond, cancel)
+				opts := Options{Loss: LossHuber, FitLength: n, Parallel: true, Ctx: ctx}
+				_, err := MPeriodogram(padded, 1, kHi, opts)
+				if err != nil && err != context.Canceled {
+					t.Errorf("unexpected error: %v", err)
+				}
+				timer.Stop()
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSolveBandAllocsFlat pins the engine's allocation behaviour: the
+// per-frequency hot loop is allocation-free, so widening the band must
+// not add allocations beyond the fixed per-call setup.
+func TestSolveBandAllocsFlat(t *testing.T) {
+	n := 1024
+	padded := paddedSeries(n, []int{64}, 0.1, 0.5, 17)
+	opts := Options{Loss: LossHuber, FitLength: n, Zeta: 1} // fixed ζ: no MADN scratch in the measured loop
+	solve := func(kHi int) func() {
+		return func() {
+			if _, err := MPeriodogram(padded, 1, kHi, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	solve(64)()  // warm the plan cache and scratch pool
+	solve(512)() //
+	narrow := testing.AllocsPerRun(10, solve(64))
+	wide := testing.AllocsPerRun(10, solve(512))
+	if wide > narrow+8 {
+		t.Errorf("allocations scale with band width: %v at 64 freqs, %v at 512", narrow, wide)
+	}
+	if narrow > 32 {
+		t.Errorf("narrow band allocates %v per call, want <= 32", narrow)
+	}
+}
+
+// TestTrigPlanShared: repeated solves of the same layout reuse one
+// cached plan (the cross-level sharing the engine is built around).
+func TestTrigPlanShared(t *testing.T) {
+	p1 := getPlan(2048, 1024)
+	p2 := getPlan(2048, 1024)
+	if p1 != p2 {
+		t.Error("same (N, FitLength) returned distinct plans")
+	}
+	if p3 := getPlan(2048, 2048); p3 == p1 {
+		t.Error("different FitLength shares a plan key")
+	}
+}

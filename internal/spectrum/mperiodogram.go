@@ -9,8 +9,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"robustperiod/internal/dsp/fft"
 	"robustperiod/internal/faults"
@@ -70,16 +68,20 @@ type Options struct {
 	Tol     float64 // relative convergence tolerance; <= 0 means 1e-8
 	Rho     float64 // ADMM penalty; <= 0 means 1
 
-	// Parallel fans the per-frequency regressions out over all CPUs
-	// when the requested band is wide enough to amortize the goroutine
-	// overhead. Results are identical to the sequential path.
+	// Parallel enlists the bounded solver worker pool for the
+	// per-frequency regressions when the requested band spans more
+	// than one work chunk. Results are bitwise identical to the
+	// sequential path: chunk boundaries are a fixed grid and the
+	// warm-start chains reset at them (see engine.go).
 	Parallel bool
 
-	// Trace, when non-nil, accumulates the total IRLS/ADMM iteration
-	// count of the per-frequency robust regressions under the
-	// "periodogram" stage ("solver_iters" counter). Iterations are
-	// tallied locally per worker chunk and merged once per chunk, so
-	// the hot solver loops never touch a shared lock.
+	// Trace, when non-nil, accumulates the solver engine's
+	// diagnostics under the "periodogram" stage: total IRLS/ADMM
+	// iterations ("solver_iters"), warm starts that beat the cold OLS
+	// init ("solver_warm_hits"), and frequencies skipped by the
+	// prefilter ("prefilter_skips"). Tallies accumulate locally per
+	// worker and merge once per call, so the hot solver loops never
+	// touch a shared lock.
 	Trace *trace.Trace
 
 	// Ctx, when non-nil, is polled between per-frequency regressions
@@ -98,6 +100,33 @@ type Options struct {
 	// period; excluding the padding removes that bias. 0 fits all
 	// samples.
 	FitLength int
+
+	// PrefilterAlpha, when in (0, 1), arms the vanilla-periodogram
+	// prefilter inside HybridPeriodogram: any frequency whose exact
+	// Huber ordinate is provably below the Fisher-g acceptance floor
+	// at this significance level is not solved exactly — the
+	// clipped-series vanilla ordinate is substituted (and the skip
+	// counted under the "prefilter_skips" trace counter), which
+	// cannot change the set of Fisher-accepted frequencies (see
+	// prefilter.go for the certificate). The prefilter needs the
+	// padded detect layout (2·FitLength == len(x)) and the Huber
+	// loss; in any other configuration the exact path runs
+	// unconditionally. 0 (the zero value) disables it. MPeriodogram
+	// never prefilters: its contract is the exact band.
+	PrefilterAlpha float64
+
+	// NoPrefilter forces the exact solve for every frequency even
+	// when PrefilterAlpha is set — the reference configuration of the
+	// equivalence tests.
+	NoPrefilter bool
+
+	// NoWarmStart cold-starts every per-frequency solve from the OLS
+	// init instead of considering the neighbouring frequency's
+	// solution. Warm starts never change the optimum (the solvers are
+	// descent schemes and the warm iterate is taken only when it
+	// already has the lower loss); this switch exists for the
+	// equivalence tests and for A/B iteration-count measurements.
+	NoWarmStart bool
 }
 
 func (o Options) withDefaults(x []float64) Options {
@@ -170,79 +199,9 @@ func MPeriodogram(x []float64, kLo, kHi int, opts Options) ([]float64, error) {
 		copy(out, p[kLo:kHi+1])
 		return out, nil
 	}
-	m := opts.FitLength
-	fit := x[:m]
-	// Scale mapping ‖β̂‖² to the padded vanilla-periodogram convention
-	// P_k = |Σ_{t<m} x_t e^{−i2πkt/n}|²/n; for m == n this is the
-	// familiar n/4.
-	scale := float64(m) * float64(m) / (4 * float64(n))
-	out := make([]float64, kHi-kLo+1)
-
-	done := ctxDone(opts.Ctx)
-	solveRange := func(lo, hi int) {
-		cosBuf := make([]float64, m)
-		sinBuf := make([]float64, m)
-		// Iterations accumulate locally and merge into the trace once
-		// per chunk, keeping the solver loop lock-free.
-		iters := int64(0)
-		defer func() { opts.Trace.Count(trace.StagePeriodogram, "solver_iters", iters) }()
-		for k := lo; k <= hi; k++ {
-			if cancelled(done) {
-				return
-			}
-			w := 2 * math.Pi * float64(k) / float64(n)
-			for t := 0; t < m; t++ {
-				s, c := math.Sincos(w * float64(t))
-				cosBuf[t] = c
-				sinBuf[t] = s
-			}
-			var a, b float64
-			var it int
-			switch opts.Solver {
-			case SolverADMM:
-				a, b, it = solveADMM(fit, cosBuf, sinBuf, opts)
-			default:
-				a, b, it = solveIRLS(fit, cosBuf, sinBuf, opts)
-			}
-			iters += int64(it)
-			out[k-kLo] = scale * (a*a + b*b)
-		}
-	}
-
-	nFreq := kHi - kLo + 1
-	workers := runtime.NumCPU()
-	if !opts.Parallel || nFreq < 64 || workers < 2 {
-		solveRange(kLo, kHi)
-		if err := ctxErr(opts.Ctx); err != nil {
-			return nil, err
-		}
-		return out, checkOrdinates(out, kLo)
-	}
-	if workers > nFreq {
-		workers = nFreq
-	}
-	chunk := (nFreq + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := kLo + w*chunk
-		hi := lo + chunk - 1
-		if hi > kHi {
-			hi = kHi
-		}
-		if lo > hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			solveRange(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	if err := ctxErr(opts.Ctx); err != nil {
-		return nil, err
-	}
-	return out, checkOrdinates(out, kLo)
+	// The exact band, never prefiltered: callers of MPeriodogram get
+	// the true M-ordinate at every requested frequency.
+	return solveBand(x, kLo, kHi, opts, nil)
 }
 
 // checkOrdinates rejects a solve that produced a non-finite ordinate
@@ -308,16 +267,17 @@ func olsInit(x, cosB, sinB []float64) (a, b float64) {
 	return (sxc*sss - sxs*scs) / det, (sxs*scc - sxc*scs) / det
 }
 
-// solveIRLS minimizes Σ γ(a·cos + b·sin − x) by iteratively
-// reweighted least squares on the 2×2 normal equations. iters reports
-// the reweighting iterations executed (for the tracing layer).
-func solveIRLS(x, cosB, sinB []float64, opts Options) (a, b float64, iters int) {
-	a, b = olsInit(x, cosB, sinB)
+// solveIRLSFrom minimizes Σ γ(a·cos + b·sin − x) by iteratively
+// reweighted least squares on the 2×2 normal equations, starting from
+// the given iterate (the OLS init, or a warm start the engine already
+// vetted). iters reports the reweighting iterations executed (for the
+// tracing layer).
+func solveIRLSFrom(x, cosB, sinB []float64, a0, b0 float64, opts Options, done <-chan struct{}) (a, b float64, iters int) {
+	a, b = a0, b0
 	if opts.Loss == LossL2 {
 		return a, b, 0
 	}
 	const ladEps = 1e-8
-	done := ctxDone(opts.Ctx)
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if cancelled(done) {
 			return a, b, iters
@@ -354,15 +314,16 @@ func solveIRLS(x, cosB, sinB []float64, opts Options) (a, b float64, iters int) 
 	return a, b, iters
 }
 
-// solveADMM minimizes Σ γ(z) subject to z = Φβ − x via ADMM with
-// penalty ρ; the β-update solves the exact 2×2 normal equations of
-// Φβ = x + z − u. iters reports the ADMM iterations executed.
-func solveADMM(x, cosB, sinB []float64, opts Options) (a, b float64, iters int) {
-	a, b = olsInit(x, cosB, sinB)
+// solveADMMFrom minimizes Σ γ(z) subject to z = Φβ − x via ADMM with
+// penalty ρ, starting from the given iterate; the β-update solves the
+// exact 2×2 normal equations of Φβ = x + z − u. z and u are
+// caller-provided scratch (len ≥ len(x)), overwritten here. iters
+// reports the ADMM iterations executed.
+func solveADMMFrom(x, cosB, sinB []float64, a0, b0 float64, z, u []float64, opts Options, done <-chan struct{}) (a, b float64, iters int) {
+	a, b = a0, b0
 	if opts.Loss == LossL2 {
 		return a, b, 0
 	}
-	n := len(x)
 	var scc, sss, scs float64
 	for t := range x {
 		c, s := cosB[t], sinB[t]
@@ -374,13 +335,11 @@ func solveADMM(x, cosB, sinB []float64, opts Options) (a, b float64, iters int) 
 	if det == 0 || math.IsNaN(det) {
 		return a, b, 0
 	}
-	z := make([]float64, n)
-	u := make([]float64, n)
 	for t := range x {
 		z[t] = a*cosB[t] + b*sinB[t] - x[t]
+		u[t] = 0
 	}
 	rho := opts.Rho
-	done := ctxDone(opts.Ctx)
 	for iter := 0; iter < 4*opts.MaxIter; iter++ {
 		if cancelled(done) {
 			return a, b, iters
@@ -468,7 +427,7 @@ func RobustNyquist(x []float64, opts Options) float64 {
 	const ladEps = 1e-8
 	done := ctxDone(opts.Ctx)
 	iters := int64(0)
-	defer func() { opts.Trace.Count(trace.StagePeriodogram, "solver_iters", iters) }()
+	defer func() { opts.Trace.Count(trace.StagePeriodogram, trace.CounterSolverIters, iters) }()
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if cancelled(done) {
 			break
@@ -534,12 +493,27 @@ func HybridPeriodogram(x []float64, kLo, kHi int, opts Options) ([]float64, erro
 	if kHi < kLo {
 		return p, nil
 	}
-	m, err := MPeriodogram(x, kLo, kHi, opts)
+	if len(x) < 4 {
+		return nil, fmt.Errorf("spectrum: series too short (%d)", len(x))
+	}
+	opts = opts.withDefaults(x)
+	if err := faults.Check(faults.PointSpectrumSolver); err != nil {
+		return nil, err
+	}
+	if err := faults.Check(faults.PointSpectrumStall); err != nil {
+		return nil, err
+	}
+	robustNyq := len(x)%2 == 0 && kHi == nyq-1 && nyq < len(p)
+	// The Fisher prefilter applies here and not in MPeriodogram: only
+	// the hybrid array feeds Fisher's test, so only here is "below the
+	// acceptance floor" a meaningful certificate.
+	pre := buildPrefilter(x, kLo, kHi, opts, p, robustNyq, getPlan(len(x), opts.FitLength))
+	m, err := solveBand(x, kLo, kHi, opts, pre)
 	if err != nil {
 		return nil, err
 	}
 	copy(p[kLo:kHi+1], m)
-	if len(x)%2 == 0 && kHi == nyq-1 && nyq < len(p) {
+	if robustNyq {
 		p[nyq] = RobustNyquist(x, opts)
 	}
 	return p, nil

@@ -36,6 +36,15 @@ const (
 // serve layer uses it to pre-register one latency histogram per stage.
 func PipelineStages() []string { return registry.TraceStages() }
 
+// Canonical per-stage counter names, aliased from internal/registry.
+// The periodogram solver engine reports its staged-solve diagnostics
+// under these keys (see README "Periodogram performance").
+const (
+	CounterSolverIters    = registry.CounterSolverIters    // IRLS/ADMM iterations, summed over solves
+	CounterSolverWarmHits = registry.CounterSolverWarmHits // warm starts that beat the cold OLS init
+	CounterPrefilterSkips = registry.CounterPrefilterSkips // frequencies certified below the Fisher floor
+)
+
 // Stage is one merged stage accumulator of a Summary.
 type Stage struct {
 	// Name identifies the stage (one of the Stage* constants, or any
