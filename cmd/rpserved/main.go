@@ -50,7 +50,42 @@ import (
 	"robustperiod/internal/faults"
 	"robustperiod/internal/obs"
 	"robustperiod/internal/serve"
+	"robustperiod/internal/wal"
 )
+
+// validateConfig rejects flag values that would otherwise be absorbed
+// silently (the serve defaults treat any non-positive value as "use
+// the default", so a typo like -jobs-queue -100 would start a healthy-
+// looking server with a 4096 queue instead of failing loudly). Flags
+// where negative is a documented mode (-cache, -breaker-threshold:
+// negative disables) are deliberately not checked here.
+func validateConfig(cfg serve.Config) error {
+	if cfg.RequestTimeout < 0 {
+		return fmt.Errorf("-timeout must not be negative, got %v", cfg.RequestTimeout)
+	}
+	if cfg.DrainTimeout < 0 {
+		return fmt.Errorf("-drain must not be negative, got %v", cfg.DrainTimeout)
+	}
+	if cfg.JobsQueue < 0 {
+		return fmt.Errorf("-jobs-queue must not be negative, got %d", cfg.JobsQueue)
+	}
+	if cfg.JobsPerTenant < 0 {
+		return fmt.Errorf("-jobs-per-tenant must not be negative, got %d", cfg.JobsPerTenant)
+	}
+	if cfg.JobsStore < 0 {
+		return fmt.Errorf("-jobs-store must not be negative, got %d", cfg.JobsStore)
+	}
+	if cfg.JobsQuantum < 0 {
+		return fmt.Errorf("-jobs-quantum must not be negative, got %d", cfg.JobsQuantum)
+	}
+	if cfg.JobsTTL < 0 {
+		return fmt.Errorf("-jobs-ttl must not be negative, got %v", cfg.JobsTTL)
+	}
+	if _, _, err := wal.ParsePolicy(cfg.JobsFsync); err != nil {
+		return fmt.Errorf("-fsync: %w", err)
+	}
+	return nil
+}
 
 func main() {
 	var cfg serve.Config
@@ -72,6 +107,8 @@ func main() {
 	flag.DurationVar(&cfg.JobsTTL, "jobs-ttl", 0, "retention of finished async jobs (0 = 5m)")
 	flag.IntVar(&cfg.JobsStore, "jobs-store", 0, "retained finished async jobs (0 = 4096)")
 	flag.IntVar(&cfg.JobsQuantum, "jobs-quantum", 0, "fair-share scheduling quantum in series points (0 = 4096)")
+	flag.StringVar(&cfg.JobsDataDir, "data-dir", "", "directory for the durable async-job store (WAL + snapshot); empty keeps jobs in-memory")
+	flag.StringVar(&cfg.JobsFsync, "fsync", "always", "WAL fsync policy with -data-dir: always, never, or an interval like 100ms")
 	logFormat := flag.String("log-format", "text", "log encoding: "+strings.Join(obs.LogFormats(), "|"))
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	version := flag.Bool("version", false, "print build information and exit")
@@ -80,6 +117,11 @@ func main() {
 	if *version {
 		fmt.Println(obs.GetBuildInfo())
 		return
+	}
+
+	if err := validateConfig(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rpserved: %v\n", err)
+		os.Exit(2)
 	}
 
 	var level slog.Level
@@ -116,7 +158,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	srv := serve.New(cfg)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		logger.Error("server init failed", slog.Any("error", err))
+		os.Exit(1)
+	}
 	if err := srv.Run(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("server failed", slog.Any("error", err))
 		os.Exit(1)

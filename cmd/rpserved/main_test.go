@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"robustperiod/internal/serve"
+)
+
+// TestValidateConfigRejectsNegatives: every tuning flag whose serve
+// default treats non-positive as "use the default" must fail loudly
+// on a negative value instead of silently starting with the default.
+func TestValidateConfigRejectsNegatives(t *testing.T) {
+	cases := []struct {
+		flag string // expected in the error message
+		cfg  serve.Config
+	}{
+		{"-timeout", serve.Config{RequestTimeout: -time.Second}},
+		{"-drain", serve.Config{DrainTimeout: -time.Second}},
+		{"-jobs-queue", serve.Config{JobsQueue: -1}},
+		{"-jobs-per-tenant", serve.Config{JobsPerTenant: -1}},
+		{"-jobs-store", serve.Config{JobsStore: -1}},
+		{"-jobs-quantum", serve.Config{JobsQuantum: -1}},
+		{"-jobs-ttl", serve.Config{JobsTTL: -time.Minute}},
+		{"-fsync", serve.Config{JobsFsync: "-5ms"}},
+		{"-fsync", serve.Config{JobsFsync: "sometimes"}},
+	}
+	for _, tc := range cases {
+		err := validateConfig(tc.cfg)
+		if err == nil {
+			t.Errorf("validateConfig(%+v): want error mentioning %s, got nil", tc.cfg, tc.flag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.flag) {
+			t.Errorf("validateConfig error %q does not name the offending flag %s", err, tc.flag)
+		}
+	}
+}
+
+// TestValidateConfigAcceptsDefaultsAndDocumentedModes: the zero
+// config, every fsync spelling, and the documented negative modes
+// (-cache and -breaker-threshold use negative = disable) pass.
+func TestValidateConfigAcceptsDefaultsAndDocumentedModes(t *testing.T) {
+	good := []serve.Config{
+		{},
+		{JobsFsync: "always"},
+		{JobsFsync: "never"},
+		{JobsFsync: "100ms", JobsDataDir: "/tmp/x"},
+		{CacheSize: -1, BreakerThreshold: -1},
+		{RequestTimeout: time.Second, DrainTimeout: time.Second,
+			JobsQueue: 10, JobsPerTenant: 5, JobsStore: 10,
+			JobsQuantum: 100, JobsTTL: time.Minute},
+	}
+	for _, cfg := range good {
+		if err := validateConfig(cfg); err != nil {
+			t.Errorf("validateConfig(%+v) = %v, want nil", cfg, err)
+		}
+	}
+}

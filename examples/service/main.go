@@ -42,7 +42,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := serve.New(serve.Config{})
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ctx, ln) }()

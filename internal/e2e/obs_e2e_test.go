@@ -31,9 +31,10 @@ type logEvent struct {
 }
 
 // startServer builds rpserved, starts it on ephemeral ports with the
-// given fault plan, and returns the API base URL, the debug base URL,
-// the running process, and a channel that receives its exit error.
-func startServer(t *testing.T, faultPlan string) (api, debug string, cmd *exec.Cmd, done chan error) {
+// given fault plan plus any extra command-line flags, and returns the
+// API base URL, the debug base URL, the running process, and a channel
+// that receives its exit error.
+func startServer(t *testing.T, faultPlan string, extra ...string) (api, debug string, cmd *exec.Cmd, done chan error) {
 	t.Helper()
 	bin := filepath.Join(t.TempDir(), "rpserved")
 	build := exec.Command("go", "build", "-o", bin, "robustperiod/cmd/rpserved")
@@ -42,14 +43,16 @@ func startServer(t *testing.T, faultPlan string) (api, debug string, cmd *exec.C
 		t.Fatalf("go build rpserved: %v\n%s", err, out)
 	}
 
-	cmd = exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-debug-addr", "127.0.0.1:0",
 		"-log-format", "json",
 		"-access-log-every", "1",
 		"-cache", "-1",
 		"-breaker-threshold", "-1",
-	)
+	}
+	args = append(args, extra...)
+	cmd = exec.Command(bin, args...)
 	cmd.Env = append(os.Environ(), "RP_FAULTS="+faultPlan)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {

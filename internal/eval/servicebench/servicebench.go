@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,7 +38,10 @@ func Run(quick bool, seed int64) eval.ServiceRow {
 	if quick {
 		reps = 1
 	}
-	srv := serve.New(serve.Config{CacheSize: -1})
+	srv, err := serve.New(serve.Config{CacheSize: -1})
+	if err != nil {
+		panic(err)
+	}
 	defer srv.Close()
 	h := srv.Handler()
 
@@ -90,7 +94,17 @@ const (
 )
 
 func RunJobs(seed int64) eval.JobsRow {
-	srv := serve.New(serve.Config{
+	// Durability is on for the benchmark — every submission and result
+	// goes through the WAL — so a regression in the persistence path
+	// shows up in the jobs row, not only in a dedicated microbench.
+	// Interval fsync matches a production latency-sensitive deployment;
+	// SyncAlways would measure the disk, not the service.
+	dataDir, err := os.MkdirTemp("", "rp-jobsbench-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dataDir)
+	srv, err := serve.New(serve.Config{
 		CacheSize:     -1,
 		JobsQueue:     2 * jobsClients,
 		JobsPerTenant: 2 * jobsClients / jobsTenants,
@@ -99,8 +113,13 @@ func RunJobs(seed int64) eval.JobsRow {
 		// fast detections all jobs can complete before the scheduler
 		// gets any poller its first turn, and a default-sized store
 		// would evict early results into job_not_found 404s.
-		JobsStore: 2 * jobsClients,
+		JobsStore:   2 * jobsClients,
+		JobsDataDir: dataDir,
+		JobsFsync:   "25ms",
 	})
+	if err != nil {
+		panic(err)
+	}
 	defer srv.Close()
 	h := srv.Handler()
 

@@ -55,6 +55,9 @@ const (
 	PointServeCache      = registry.FaultServeCache      // result-cache read (corruption surrogate)
 	PointJobsStore       = registry.FaultJobsStore       // async job-store insert (submission path)
 	PointJobsExec        = registry.FaultJobsExec        // async job execution start
+	PointWALAppend       = registry.FaultWALAppend       // write-ahead-log record append
+	PointWALFsync        = registry.FaultWALFsync        // write-ahead-log fsync
+	PointWALReplay       = registry.FaultWALReplay       // write-ahead-log startup replay
 )
 
 // Points lists the canonical fault points, for documentation and

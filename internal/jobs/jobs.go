@@ -33,6 +33,7 @@ import (
 
 	"robustperiod/internal/faults"
 	"robustperiod/internal/obs"
+	"robustperiod/internal/wal"
 )
 
 // State is a job's lifecycle position. The wire form is the lowercase
@@ -98,6 +99,12 @@ type Job struct {
 	Result   any
 	Degraded bool // execution completed with degradation annotations
 	Err      error
+
+	// Durable encodings of Payload/Result (codec output), retained so
+	// snapshots re-serialize without re-encoding. Empty when the
+	// manager runs in-memory.
+	payloadRaw []byte
+	resultRaw  []byte
 }
 
 // Sentinel submission failures. The serving layer maps them onto 429
@@ -149,6 +156,9 @@ type Config struct {
 	IDs *obs.IDGen
 	// Now is the clock, injectable for TTL tests; nil means time.Now.
 	Now func() time.Time
+	// Durability enables WAL persistence (see persist.go); nil keeps
+	// the manager fully in-memory.
+	Durability *Durability
 }
 
 func (c Config) withDefaults() Config {
@@ -229,13 +239,37 @@ type Manager struct {
 	doneFailed int64
 	shed       int64
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	// Durability tier (nil/zero when in-memory; see persist.go).
+	wlog          *wal.Log
+	codec         Codec
+	compactBytes  int64
+	recovered     int64
+	lost          int64
+	walEncodeErrs int64
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	execWG sync.WaitGroup // executions handed to the worker pool
 }
 
-// New assembles and starts a Manager (dispatcher + reaper goroutines).
-// Exec and PoolSubmit must be set; Close releases the goroutines.
+// New assembles and starts a Manager, panicking on failure. In-memory
+// managers (Durability nil) cannot fail; durable callers that want
+// the error — a bad data dir, a corrupt snapshot, an injected replay
+// fault — should use Open.
 func New(cfg Config) *Manager {
+	m, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Open assembles and starts a Manager (dispatcher + reaper
+// goroutines). Exec and PoolSubmit must be set; Close releases the
+// goroutines. With Config.Durability set, Open replays the data
+// directory's snapshot+log and restores the previous process's jobs
+// before accepting new work (see persist.go).
+func Open(cfg Config) (*Manager, error) {
 	if cfg.Exec == nil || cfg.PoolSubmit == nil {
 		panic("jobs: Config.Exec and Config.PoolSubmit are required")
 	}
@@ -253,10 +287,33 @@ func New(cfg Config) *Manager {
 		stop:    make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if d := cfg.Durability; d != nil {
+		if d.Dir == "" || d.Codec == nil {
+			return nil, errors.New("jobs: Durability needs Dir and Codec")
+		}
+		l, err := wal.Open(d.Dir, wal.Options{
+			Policy:    d.Policy,
+			Interval:  d.SyncInterval,
+			MaxRecord: d.MaxRecord,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.wlog = l
+		m.codec = d.Codec
+		m.compactBytes = d.CompactBytes
+		if m.compactBytes <= 0 {
+			m.compactBytes = 8 << 20
+		}
+		if err := m.recover(); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
 	m.wg.Add(2)
 	go m.dispatch()
 	go m.reapLoop()
-	return m
+	return m, nil
 }
 
 // Submit accepts one job. Identical in-flight work coalesces: when an
@@ -291,22 +348,50 @@ func (m *Manager) Submit(tenant string, key Key, cost int, payload any) (Job, er
 		Submitted: m.cfg.Now(),
 		State:     StateQueued,
 	}
-	if fl, ok := m.flights[key]; ok {
+	fl, coalescing := m.flights[key]
+	if !coalescing && m.fq.depth >= m.cfg.MaxQueued {
+		m.shed++
+		m.dropTenantIfIdle(tenant)
+		return Job{}, ErrQueueFull
+	}
+	if coalescing {
 		leader := fl.jobs[0]
 		j.Coalesced = true
 		j.State = leader.State
 		j.Started = leader.Started
+	}
+	// Durable managers log the submission *before* mutating state: an
+	// append failure rejects the job so an unacknowledged submission
+	// can never resurrect after a restart.
+	if m.wlog != nil {
+		raw, err := m.codec.EncodePayload(payload)
+		if err != nil {
+			m.walEncodeErrs++
+			m.dropTenantIfIdle(tenant)
+			return Job{}, fmt.Errorf("jobs: encode payload for WAL: %w", err)
+		}
+		j.payloadRaw = raw
+		if err := m.logAppendLocked(&walRecord{
+			Kind:        recSubmit,
+			ID:          j.ID.String(),
+			Tenant:      tenant,
+			Key:         &walKey{key.H1, key.H2, key.N},
+			Cost:        cost,
+			Coalesced:   j.Coalesced,
+			SubmittedNS: tsNS(j.Submitted),
+			Payload:     raw,
+		}); err != nil {
+			m.dropTenantIfIdle(tenant)
+			return Job{}, fmt.Errorf("jobs: durable submit: %w", err)
+		}
+	}
+	if coalescing {
 		fl.jobs = append(fl.jobs, j)
 		m.live[j.ID] = j
 		tq.pending++
 		m.submitted++
 		m.coalesced++
 		return *j, nil
-	}
-	if m.fq.depth >= m.cfg.MaxQueued {
-		m.shed++
-		m.dropTenantIfIdle(tenant)
-		return Job{}, ErrQueueFull
 	}
 	m.flights[key] = &flight{jobs: []*Job{j}}
 	m.live[j.ID] = j
@@ -413,7 +498,9 @@ func (m *Manager) dispatch() {
 		if j == nil {
 			continue
 		}
-		if err := m.cfg.PoolSubmit(func() { m.execute(j) }); err != nil {
+		m.execWG.Add(1)
+		if err := m.cfg.PoolSubmit(func() { defer m.execWG.Done(); m.execute(j) }); err != nil {
+			m.execWG.Done()
 			m.finishFlight(j.Key, nil, false, err)
 		}
 	}
@@ -436,6 +523,7 @@ func (m *Manager) execute(j *Job) {
 			jb.State = StateRunning
 			jb.Started = now
 		}
+		m.logStartLocked(j.Key, now)
 	}
 	m.executions++
 	m.mu.Unlock()
@@ -456,6 +544,19 @@ func (m *Manager) execute(j *Job) {
 // store, and fires the OnDone hook. Idempotent: a second call for the
 // same key (e.g. from the panic net) finds no flight and does nothing.
 func (m *Manager) finishFlight(key Key, res any, degraded bool, err error) {
+	// Encode the result outside the lock; marshal cost scales with the
+	// series, the append itself must stay inside the critical section.
+	var resRaw []byte
+	if m.wlog != nil && res != nil && err == nil {
+		b, encErr := m.codec.EncodeResult(res)
+		if encErr != nil {
+			m.mu.Lock()
+			m.walEncodeErrs++
+			m.mu.Unlock()
+		} else {
+			resRaw = b
+		}
+	}
 	m.mu.Lock()
 	fl, ok := m.flights[key]
 	if !ok {
@@ -463,7 +564,10 @@ func (m *Manager) finishFlight(key Key, res any, degraded bool, err error) {
 		return
 	}
 	delete(m.flights, key)
-	done := m.finishJobsLocked(fl.jobs, res, degraded, err)
+	done := m.finishJobsLocked(fl.jobs, res, degraded, err, resRaw)
+	if len(done) > 0 {
+		m.logFinishLocked(key, &done[0], resRaw)
+	}
 	m.mu.Unlock()
 	if m.cfg.OnDone != nil {
 		for i := range done {
@@ -474,7 +578,7 @@ func (m *Manager) finishFlight(key Key, res any, degraded bool, err error) {
 
 // finishJobsLocked applies a terminal outcome to jobs under m.mu and
 // returns copies for the OnDone hook.
-func (m *Manager) finishJobsLocked(jobs []*Job, res any, degraded bool, err error) []Job {
+func (m *Manager) finishJobsLocked(jobs []*Job, res any, degraded bool, err error, resRaw []byte) []Job {
 	now := m.cfg.Now()
 	expires := now.Add(m.cfg.TTL)
 	out := make([]Job, 0, len(jobs))
@@ -482,6 +586,7 @@ func (m *Manager) finishJobsLocked(jobs []*Job, res any, degraded bool, err erro
 		jb.Finished = now
 		jb.Expires = expires
 		jb.Result = res
+		jb.resultRaw = resRaw
 		jb.Degraded = degraded
 		jb.Err = err
 		if err != nil {
@@ -511,6 +616,7 @@ func (m *Manager) reapLoop() {
 		select {
 		case <-t.C:
 			m.Reap()
+			m.maybeCompact()
 		case <-m.stop:
 			return
 		}
@@ -537,7 +643,11 @@ func (m *Manager) Close() {
 			continue
 		}
 		delete(m.flights, j.Key)
-		failed = append(failed, m.finishJobsLocked(fl.jobs, nil, false, ErrClosed)...)
+		done := m.finishJobsLocked(fl.jobs, nil, false, ErrClosed, nil)
+		if len(done) > 0 {
+			m.logFinishLocked(j.Key, &done[0], nil)
+		}
+		failed = append(failed, done...)
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -548,4 +658,15 @@ func (m *Manager) Close() {
 		}
 	}
 	m.wg.Wait()
+	if m.wlog != nil {
+		// Wait for executions still draining on the worker pool so
+		// their finish records land in the log, then seal the durable
+		// state as one snapshot. A restart after a clean Close
+		// restores only terminal jobs.
+		m.execWG.Wait()
+		m.mu.Lock()
+		m.compactLocked() // failure leaves the log as the source of truth
+		m.mu.Unlock()
+		m.wlog.Close()
+	}
 }

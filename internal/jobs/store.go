@@ -101,6 +101,19 @@ func (s *store) reap(now time.Time) {
 	}
 }
 
+// all returns every retained terminal job, oldest first, so re-putting
+// them in order (crash recovery) reproduces the ring order and
+// therefore the eviction order.
+func (s *store) all() []*Job {
+	out := make([]*Job, 0, s.done.Len()+s.pinned.Len())
+	for _, ll := range [2]*list.List{s.done, s.pinned} {
+		for el := ll.Back(); el != nil; el = el.Prev() {
+			out = append(out, el.Value.(*Job))
+		}
+	}
+	return out
+}
+
 // counts reports how many retained terminal jobs are in each outcome
 // bucket.
 func (s *store) counts() (done, failed int) {

@@ -1,0 +1,161 @@
+package jobs
+
+// TTL-store edge cases: the zero-TTL default, expiry racing Close,
+// and eviction order under overflow in both rings (degraded jobs are
+// pinworthy too, not only failed ones).
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"robustperiod/internal/obs"
+)
+
+// TestTTLZeroUsesDefault: TTL=0 is not "expire immediately" — it
+// selects the 5m production default, so a finished job is still
+// retrievable right after completion and for the default window.
+func TestTTLZeroUsesDefault(t *testing.T) {
+	clk := newTestClock()
+	done := &doneCollector{}
+	m := New(Config{
+		Exec: func(ctx context.Context, payload any) (any, bool, error) {
+			return "ok", false, nil
+		},
+		PoolSubmit: asyncPool,
+		OnDone:     done.add,
+		TTL:        0,
+		Now:        clk.Now,
+	})
+	defer m.Close()
+	j, err := m.Submit("t", key(1), 64, nil)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	done.await(t, 1)
+	got, ok := m.Get(j.ID)
+	if !ok {
+		t.Fatal("finished job not retrievable with TTL=0")
+	}
+	if want := got.Finished.Add(5 * time.Minute); !got.Expires.Equal(want) {
+		t.Fatalf("TTL=0 expiry %v, want default-5m %v", got.Expires, want)
+	}
+	clk.Advance(5*time.Minute - time.Second)
+	if _, ok := m.Get(j.ID); !ok {
+		t.Fatal("job expired before the default TTL elapsed")
+	}
+	clk.Advance(2 * time.Second)
+	if _, ok := m.Get(j.ID); ok {
+		t.Fatal("job survived past the default TTL")
+	}
+}
+
+// TestChaosTTLExpiryRacesClose drives expiry (lazy Gets + reaper
+// ticks on a real clock with a tiny TTL) concurrently with Close,
+// for the race detector: no lookup may observe a torn store.
+func TestChaosTTLExpiryRacesClose(t *testing.T) {
+	const jobs = 64
+	done := &doneCollector{}
+	m := New(Config{
+		Exec: func(ctx context.Context, payload any) (any, bool, error) {
+			return "ok", false, nil
+		},
+		PoolSubmit: asyncPool,
+		OnDone:     done.add,
+		TTL:        time.Millisecond,
+		ReapEvery:  time.Millisecond,
+	})
+	ids := make([]obs.ID, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		j, err := m.Submit("t", key(i), 64, nil)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	done.await(t, jobs)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Get(ids[g%len(ids)])
+				m.Reap()
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond) // let expiry and lookups overlap
+	m.Close()
+	close(stop)
+	wg.Wait()
+	// After TTL + Close every job is gone, each accounted as expired
+	// exactly once.
+	for _, id := range ids {
+		if _, ok := m.Get(id); ok {
+			t.Fatalf("job %s survived TTL+Close", id)
+		}
+	}
+	if c := m.Counters(); c.Expired != jobs {
+		t.Fatalf("expired = %d, want %d", c.Expired, jobs)
+	}
+}
+
+// TestStoreOverflowEvictionOrder pins down eviction order in both
+// rings: overflow evicts strictly oldest-first, degraded (not just
+// failed) jobs land in the pinned ring, and healthy churn can never
+// evict a pinned job or vice versa.
+func TestStoreOverflowEvictionOrder(t *testing.T) {
+	s := newStore(2, 2)
+	expires := time.Now().Add(time.Hour)
+	mk := func(i int, failed, degraded bool) *Job {
+		j := &Job{ID: obs.ID{byte(i)}, Expires: expires, Degraded: degraded}
+		if failed {
+			j.Err = errors.New("x")
+		}
+		return j
+	}
+	// Pinned ring: one failed, one degraded-but-successful, then a
+	// third pinworthy job evicts the oldest (1), not the degraded (2).
+	s.put(mk(1, true, false))
+	s.put(mk(2, false, true))
+	s.put(mk(3, true, true))
+	if _, ok := s.get(obs.ID{1}, time.Now()); ok {
+		t.Fatal("pinned overflow did not evict oldest-first")
+	}
+	for i := 2; i <= 3; i++ {
+		if _, ok := s.get(obs.ID{byte(i)}, time.Now()); !ok {
+			t.Fatalf("pinned entry %d missing", i)
+		}
+	}
+	// Healthy ring overflow evicts its own oldest and leaves the
+	// pinned ring untouched.
+	for i := 10; i <= 12; i++ {
+		s.put(mk(i, false, false))
+	}
+	if _, ok := s.get(obs.ID{10}, time.Now()); ok {
+		t.Fatal("done overflow did not evict oldest-first")
+	}
+	for i := 11; i <= 12; i++ {
+		if _, ok := s.get(obs.ID{byte(i)}, time.Now()); !ok {
+			t.Fatalf("done entry %d missing", i)
+		}
+	}
+	for i := 2; i <= 3; i++ {
+		if _, ok := s.get(obs.ID{byte(i)}, time.Now()); !ok {
+			t.Fatalf("done churn evicted pinned entry %d", i)
+		}
+	}
+	done, failed := s.counts()
+	if done+failed != 4 {
+		t.Fatalf("retained %d jobs, want 4", done+failed)
+	}
+}

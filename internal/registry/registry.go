@@ -27,6 +27,9 @@ const (
 	FaultServeCache      = "serve/cache"       // result-cache read (corruption surrogate)
 	FaultJobsStore       = "jobs/store"        // async job-store insert (submission path)
 	FaultJobsExec        = "jobs/exec"         // async job execution start
+	FaultWALAppend       = "wal/append"        // write-ahead-log record append
+	FaultWALFsync        = "wal/fsync"         // write-ahead-log fsync
+	FaultWALReplay       = "wal/replay"        // write-ahead-log startup replay
 )
 
 // FaultPoints lists every canonical fault point, in pipeline-then-
@@ -37,6 +40,7 @@ func FaultPoints() []string {
 		FaultSpectrumSolver, FaultSpectrumStall, FaultCoreLevel,
 		FaultServeHandler, FaultServeWorker, FaultServeCache,
 		FaultJobsStore, FaultJobsExec,
+		FaultWALAppend, FaultWALFsync, FaultWALReplay,
 	}
 }
 
@@ -103,6 +107,13 @@ const (
 	MetricJobsState          = "rp_jobs_state"
 	MetricJobLatencyQuantile = "rp_job_latency_seconds_quantile"
 
+	MetricWALAppendsTotal       = "rp_wal_appends_total"
+	MetricWALFsyncsTotal        = "rp_wal_fsyncs_total"
+	MetricWALBytes              = "rp_wal_bytes"
+	MetricWALReplayRecordsTotal = "rp_wal_replay_records_total"
+	MetricJobsRecoveredTotal    = "rp_jobs_recovered_total"
+	MetricJobsLostTotal         = "rp_jobs_lost_total"
+
 	MetricRequestDuration        = "rp_request_duration_seconds"
 	MetricStageDuration          = "rp_stage_duration_seconds"
 	MetricRequestLatencyQuantile = "rp_request_latency_seconds_quantile"
@@ -157,6 +168,13 @@ var metrics = []Metric{
 	{MetricJobsQueueDepth, "gauge", "Async job executions waiting in the fair-share queues."},
 	{MetricJobsState, "gauge", "Async jobs currently retained, by state (queued, running, done, failed)."},
 	{MetricJobLatencyQuantile, "gauge", "Streaming submit-to-completion job-latency quantile estimates (P2 algorithm)."},
+
+	{MetricWALAppendsTotal, "counter", "Records appended to the jobs write-ahead log."},
+	{MetricWALFsyncsTotal, "counter", "Fsyncs issued by the jobs write-ahead log."},
+	{MetricWALBytes, "gauge", "Size of the current jobs write-ahead-log segment in bytes."},
+	{MetricWALReplayRecordsTotal, "counter", "Log records decoded during startup replay."},
+	{MetricJobsRecoveredTotal, "counter", "Jobs restored to a pollable state by crash recovery (finished results plus re-enqueued submissions)."},
+	{MetricJobsLostTotal, "counter", "Jobs that were mid-execution at a crash and failed as lost to restart."},
 
 	{MetricRequestDuration, "histogram", "Request latency by endpoint."},
 	{MetricStageDuration, "histogram", "Pipeline stage latency by stage (microsecond-resolution low buckets)."},

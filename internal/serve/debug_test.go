@@ -168,7 +168,10 @@ func TestStageHistogramsOnMetrics(t *testing.T) {
 // map. (A process-global expvar.Publish of the same name panics.)
 func TestStageHistogramsRegisteredOncePerServer(t *testing.T) {
 	for i := 0; i < 3; i++ {
-		s := New(Config{})
+		s, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		ts := httptest.NewServer(s.Handler())
 		m := metricsSnapshot(t, ts.URL)
 		if obs.FindFamily(m, "rp_stage_duration_seconds") == nil {
@@ -182,7 +185,10 @@ func TestStageHistogramsRegisteredOncePerServer(t *testing.T) {
 // TestDebugHandlerSurfaces checks the separate debug listener serves
 // the pprof index, a profile endpoint, and the expvar dump.
 func TestDebugHandlerSurfaces(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.DebugHandler())
 	defer ts.Close()

@@ -1,0 +1,89 @@
+// WAL codec for the async job store: how serve-layer payloads and
+// results cross a process restart. Payloads persist the validated
+// request (series + wire options + details flag) and recompute the
+// cache fingerprint on decode; results persist the wire-form answer
+// (periods, level details, degradations, filled fraction) rather
+// than the full pipeline Result, which carries non-serializable
+// trace state and far more intermediate data than a poll needs.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"robustperiod"
+)
+
+// persistedPayload is the durable form of a jobPayload.
+type persistedPayload struct {
+	Series  []float64   `json:"series"`
+	Options *APIOptions `json:"options,omitempty"`
+	Details bool        `json:"details,omitempty"`
+}
+
+// persistedResult is the durable form of a finished detection: the
+// wire-level answer a status poll needs, detached from the in-memory
+// pipeline Result. Levels are always encoded; the status handler
+// gates them on the restored payload's details flag, mirroring the
+// in-memory path.
+type persistedResult struct {
+	Periods        []int                      `json:"periods"`
+	Levels         []LevelDetail              `json:"levels,omitempty"`
+	Degraded       []robustperiod.Degradation `json:"degraded,omitempty"`
+	FilledFraction float64                    `json:"filledFraction,omitempty"`
+}
+
+// walCodec implements jobs.Codec for the serve layer.
+type walCodec struct{}
+
+func (walCodec) EncodePayload(payload any) ([]byte, error) {
+	jp, ok := payload.(*jobPayload)
+	if !ok {
+		return nil, fmt.Errorf("serve: cannot persist payload of type %T", payload)
+	}
+	return json.Marshal(persistedPayload{
+		Series:  jp.series,
+		Options: jp.apiOpts,
+		Details: jp.details,
+	})
+}
+
+func (walCodec) DecodePayload(data []byte) (any, error) {
+	var pp persistedPayload
+	if err := json.Unmarshal(data, &pp); err != nil {
+		return nil, fmt.Errorf("serve: decode persisted payload: %w", err)
+	}
+	// Re-validate the restored options: a record written by a newer
+	// build (or corrupted in a CRC-colliding way) must not smuggle an
+	// unvalidated request into the executor.
+	if _, err := pp.Options.toOptions(); err != nil {
+		return nil, fmt.Errorf("serve: persisted payload options: %w", err)
+	}
+	key := requestKey(pp.Series, pp.Options.canonicalTag())
+	return &jobPayload{series: pp.Series, apiOpts: pp.Options, key: key, details: pp.Details}, nil
+}
+
+func (walCodec) EncodeResult(res any) ([]byte, error) {
+	switch r := res.(type) {
+	case *robustperiod.Result:
+		return json.Marshal(persistedResult{
+			Periods:        nonNil(r.Periods),
+			Levels:         resultLevels(r),
+			Degraded:       r.Degraded,
+			FilledFraction: r.FilledFraction,
+		})
+	case *persistedResult:
+		// A recovered job's result compacting back into a snapshot.
+		return json.Marshal(r)
+	default:
+		return nil, fmt.Errorf("serve: cannot persist result of type %T", res)
+	}
+}
+
+func (walCodec) DecodeResult(data []byte) (any, error) {
+	var pr persistedResult
+	if err := json.Unmarshal(data, &pr); err != nil {
+		return nil, fmt.Errorf("serve: decode persisted result: %w", err)
+	}
+	return &pr, nil
+}

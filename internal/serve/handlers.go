@@ -432,6 +432,11 @@ func toAPIError(err error) (int, *APIError) {
 		// Client went away; the status is written to a dead connection
 		// but keeps logs and metrics truthful.
 		return 499, &APIError{Code: "client_closed_request", Message: err.Error()}
+	case errors.Is(err, jobs.ErrLostToRestart):
+		// The process died mid-execution and crash recovery restored
+		// the job as failed; the computation itself must be redone.
+		return http.StatusServiceUnavailable, &APIError{Code: "lost_to_restart",
+			Message: "the server restarted while this job was executing; resubmit to POST /v1/jobs"}
 	case errors.Is(err, errPoolClosed), errors.Is(err, jobs.ErrClosed):
 		return http.StatusServiceUnavailable, &APIError{Code: "shutting_down", Message: err.Error()}
 	default:

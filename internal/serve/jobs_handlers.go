@@ -230,7 +230,8 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		if !j.Started.IsZero() {
 			resp.QueuedMS = float64(j.Started.Sub(j.Submitted)) / float64(time.Millisecond)
 		}
-		if res, ok := j.Result.(*robustperiod.Result); ok {
+		switch res := j.Result.(type) {
+		case *robustperiod.Result:
 			resp.Result = &DetectResponse{
 				Periods:        nonNil(res.Periods),
 				ElapsedMS:      resp.ElapsedMS,
@@ -239,6 +240,18 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 			}
 			if jp, ok := j.Payload.(*jobPayload); ok && jp.details {
 				resp.Result.Levels = resultLevels(res)
+			}
+		case *persistedResult:
+			// A result restored by crash recovery: already in wire
+			// form, with the same details gating as the live path.
+			resp.Result = &DetectResponse{
+				Periods:        nonNil(res.Periods),
+				ElapsedMS:      resp.ElapsedMS,
+				Degraded:       res.Degraded,
+				FilledFraction: res.FilledFraction,
+			}
+			if jp, ok := j.Payload.(*jobPayload); ok && jp.details {
+				resp.Result.Levels = res.Levels
 			}
 		}
 	case jobs.StateFailed:

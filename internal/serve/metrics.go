@@ -232,6 +232,25 @@ func (m *metrics) registerJobs(mgr *jobs.Manager, latQ *obs.Quantiles, ewma func
 			"states":      mgr.StateCounts(),
 		}
 	}))
+	m.vars.Set("jobs_wal", expvar.Func(func() any {
+		ws := mgr.WALStats()
+		if !ws.Enabled {
+			return map[string]any{"enabled": false}
+		}
+		return map[string]any{
+			"enabled":        true,
+			"appends":        ws.Appends,
+			"append_errs":    ws.AppendErrs,
+			"fsyncs":         ws.Fsyncs,
+			"sync_errs":      ws.SyncErrs,
+			"bytes":          ws.Bytes,
+			"replay_records": ws.ReplayRecords,
+			"compactions":    ws.Compactions,
+			"encode_errs":    ws.EncodeErrs,
+			"recovered":      ws.Recovered,
+			"lost":           ws.Lost,
+		}
+	}))
 	m.vars.Set("admission_job_time_seconds", expvar.Func(func() any { return ewma() }))
 }
 
@@ -401,6 +420,20 @@ func (m *metrics) writeProm(w io.Writer) error {
 		}
 		p.Family(registry.MetricJobLatencyQuantile, "Streaming submit-to-completion job-latency quantile estimates (P2 algorithm).", "gauge")
 		p.QuantileGauges(registry.MetricJobLatencyQuantile, nil, m.jobLatQ)
+		if ws := m.jobsMgr.WALStats(); ws.Enabled {
+			p.Family(registry.MetricWALAppendsTotal, "Records appended to the jobs write-ahead log.", "counter")
+			p.Sample(registry.MetricWALAppendsTotal, nil, float64(ws.Appends))
+			p.Family(registry.MetricWALFsyncsTotal, "Fsyncs issued by the jobs write-ahead log.", "counter")
+			p.Sample(registry.MetricWALFsyncsTotal, nil, float64(ws.Fsyncs))
+			p.Family(registry.MetricWALBytes, "Size of the current jobs write-ahead-log segment in bytes.", "gauge")
+			p.Sample(registry.MetricWALBytes, nil, float64(ws.Bytes))
+			p.Family(registry.MetricWALReplayRecordsTotal, "Log records decoded during startup replay.", "counter")
+			p.Sample(registry.MetricWALReplayRecordsTotal, nil, float64(ws.ReplayRecords))
+			p.Family(registry.MetricJobsRecoveredTotal, "Jobs restored to a pollable state by crash recovery (finished results plus re-enqueued submissions).", "counter")
+			p.Sample(registry.MetricJobsRecoveredTotal, nil, float64(ws.Recovered))
+			p.Family(registry.MetricJobsLostTotal, "Jobs that were mid-execution at a crash and failed as lost to restart.", "counter")
+			p.Sample(registry.MetricJobsLostTotal, nil, float64(ws.Lost))
+		}
 	}
 
 	p.Family(registry.MetricRequestDuration, "Request latency by endpoint.", "histogram")

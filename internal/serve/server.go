@@ -22,6 +22,7 @@ import (
 	"robustperiod/internal/faults"
 	"robustperiod/internal/jobs"
 	"robustperiod/internal/obs"
+	"robustperiod/internal/wal"
 )
 
 // Config tunes the service. The zero value is production-safe.
@@ -89,6 +90,15 @@ type Config struct {
 	// JobsQuantum is the fair-share deficit-round-robin budget per
 	// tenant visit, in series points; 0 means 4096.
 	JobsQuantum int
+	// JobsDataDir enables durable async jobs: submissions, state
+	// transitions, and results persist to a write-ahead log +
+	// snapshot in this directory and are recovered on startup. Empty
+	// keeps the job tier fully in-memory.
+	JobsDataDir string
+	// JobsFsync is the WAL fsync policy when JobsDataDir is set:
+	// "always" (default), "never", or a positive Go duration for
+	// interval fsync (e.g. "100ms").
+	JobsFsync string
 }
 
 func (c Config) withDefaults() Config {
@@ -165,8 +175,10 @@ type Server struct {
 	jobEWMA atomic.Uint64
 }
 
-// New assembles a Server from cfg.
-func New(cfg Config) *Server {
+// New assembles a Server from cfg. It errors when the durable job
+// store cannot start: a bad fsync policy, an unusable data directory,
+// or a replay failure (corrupt snapshot, injected wal/replay fault).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -177,11 +189,27 @@ func New(cfg Config) *Server {
 		recorder: obs.NewRecorder(cfg.RecorderSize),
 		jobLatQ:  obs.NewQuantiles(),
 	}
+	var durability *jobs.Durability
+	if cfg.JobsDataDir != "" {
+		policy, interval, err := wal.ParsePolicy(cfg.JobsFsync)
+		if err != nil {
+			s.pool.close()
+			return nil, err
+		}
+		durability = &jobs.Durability{
+			Dir:          cfg.JobsDataDir,
+			Codec:        walCodec{},
+			Policy:       policy,
+			SyncInterval: interval,
+		}
+	}
 	// The async tier shares the server's ID mint (one job ID namespace
 	// with request IDs) and executes exclusively on the worker pool —
 	// PoolSubmit blocks while the pool is saturated, so the fair-share
 	// dispatcher provides natural backpressure instead of a deep queue.
-	s.jobs = jobs.New(jobs.Config{
+	// Recovered queued jobs from a previous process re-enter through
+	// the same path during jobs.Open.
+	mgr, err := jobs.Open(jobs.Config{
 		Exec:               s.execJob,
 		PoolSubmit:         func(run func()) error { return s.pool.submit(context.Background(), run) },
 		Timeout:            cfg.RequestTimeout,
@@ -192,7 +220,13 @@ func New(cfg Config) *Server {
 		Quantum:            cfg.JobsQuantum,
 		OnDone:             s.onJobDone,
 		IDs:                s.idGen,
+		Durability:         durability,
 	})
+	if err != nil {
+		s.pool.close()
+		return nil, err
+	}
+	s.jobs = mgr
 	s.breakers = map[string]*breaker{
 		epDetect: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		epBatch:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
@@ -216,7 +250,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument(epJobStatus, s.handleJobStatus))
 	s.mux.Handle("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
-	return s
+	return s, nil
 }
 
 // Handler returns the fully-instrumented HTTP handler, for mounting

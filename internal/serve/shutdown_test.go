@@ -121,11 +121,14 @@ func TestShutdownUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{
+	s, err := New(Config{
 		Workers:      2,
 		CacheSize:    -1,
 		DrainTimeout: 5 * time.Second,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- s.Serve(ctx, ln) }()

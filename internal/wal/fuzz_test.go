@@ -1,0 +1,58 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALDecode drives DecodeFrames — the exact decoder Replay uses —
+// with arbitrary bytes, including truncations and bit-flips of valid
+// logs, and checks the replay invariants: never panic, never allocate
+// past the input (a length prefix is only trusted up to the bytes
+// present and MaxRecord), and always terminate with a clean prefix
+// that re-encodes byte-identically.
+func FuzzWALDecode(f *testing.F) {
+	valid := appendFrame(nil, []byte("alpha"))
+	valid = appendFrame(valid, []byte(""))
+	valid = appendFrame(valid, bytes.Repeat([]byte{0x5A}, 300))
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7]) // torn tail
+	flipped := append([]byte(nil), valid...)
+	flipped[10] ^= 0x80
+	f.Add(flipped)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}) // absurd length claim
+	f.Add(append(append([]byte(nil), valid...), 0xDE, 0xAD, 0xBE, 0xEF))
+
+	const maxRecord = 1 << 20
+	f.Fuzz(func(t *testing.T, b []byte) {
+		payloads, clean := DecodeFrames(b, maxRecord)
+		if clean < 0 || clean > len(b) {
+			t.Fatalf("clean prefix %d out of range [0,%d]", clean, len(b))
+		}
+		total := 0
+		for _, p := range payloads {
+			total += len(p)
+			if len(p) > maxRecord {
+				t.Fatalf("payload of %d bytes exceeds maxRecord", len(p))
+			}
+		}
+		if total > clean {
+			t.Fatalf("payload bytes %d exceed clean prefix %d (over-allocation)", total, clean)
+		}
+		// The clean prefix is exactly the re-encoding of the decoded
+		// payloads, and decoding it again is a fixed point.
+		var enc []byte
+		for _, p := range payloads {
+			enc = appendFrame(enc, p)
+		}
+		if !bytes.Equal(enc, b[:clean]) {
+			t.Fatalf("re-encoded prefix differs from clean prefix")
+		}
+		again, cleanAgain := DecodeFrames(b[:clean], maxRecord)
+		if len(again) != len(payloads) || cleanAgain != clean {
+			t.Fatalf("re-decode of clean prefix: %d records/%d bytes, want %d/%d",
+				len(again), cleanAgain, len(payloads), clean)
+		}
+	})
+}

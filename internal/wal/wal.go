@@ -1,0 +1,586 @@
+// Package wal implements the append-only write-ahead log that makes
+// the async job tier durable across process death. Records are
+// length-prefixed frames checksummed with CRC32-C (Castagnoli); the
+// fsync policy is configurable (every append, a background interval,
+// or never); replay tolerates torn writes and trailing garbage by
+// truncating the log at the first corrupt frame — it never panics and
+// never trusts a length prefix beyond the bytes actually on disk.
+// Periodic snapshot+compaction (Compact) rewrites the durable state
+// as a single snapshot frame and swaps in a fresh empty log, so disk
+// usage is bounded by the live job set rather than by history.
+//
+// On-disk layout inside the data directory:
+//
+//	jobs.wal   append-only record log: 8-byte magic, then frames
+//	jobs.snap  latest snapshot: 8-byte magic, then one frame
+//	*.tmp      in-progress snapshot/log rewrites (removed on Open)
+//
+// Frame format (all integers little-endian):
+//
+//	uint32 payload length | uint32 CRC32-C of payload | payload
+//
+// Snapshots become visible only by atomic rename of a fully fsynced
+// temp file, so jobs.snap is either absent or complete. A crash
+// between the snapshot rename and the log reset leaves old records in
+// the log that are also covered by the snapshot; callers must make
+// replay idempotent (re-applying a record observed in the snapshot is
+// a no-op).
+//
+// The `wal/append`, `wal/fsync`, and `wal/replay` fault points
+// (internal/faults) inject disk failures at the three I/O seams for
+// chaos testing.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"robustperiod/internal/faults"
+)
+
+// Policy says when appended records are fsynced to disk.
+type Policy int
+
+// Fsync policies, in decreasing order of durability.
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record
+	// survives kill -9 and power loss. Highest latency per submit.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs from a background timer: bounded data loss
+	// (up to one interval of acknowledged records) at near-SyncNever
+	// throughput.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache: records survive
+	// process death (the write hit the kernel) but not power loss.
+	SyncNever
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses the rpserved -fsync flag value: "always",
+// "never", or a positive Go duration (e.g. "100ms") selecting
+// SyncInterval with that period. The empty string means "always".
+func ParsePolicy(s string) (Policy, time.Duration, error) {
+	switch strings.TrimSpace(s) {
+	case "", "always":
+		return SyncAlways, 0, nil
+	case "never":
+		return SyncNever, 0, nil
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: fsync policy %q is not always, never, or a duration: %w", s, err)
+	}
+	if d <= 0 {
+		return 0, 0, fmt.Errorf("wal: fsync interval %q must be positive", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// Options configures a Log.
+type Options struct {
+	// Policy is the fsync policy; the zero value is SyncAlways.
+	Policy Policy
+	// Interval is the background fsync period under SyncInterval;
+	// <= 0 means 100ms.
+	Interval time.Duration
+	// MaxRecord caps a single record payload; <= 0 means 64 MiB.
+	// Replay treats a frame claiming a larger payload as corrupt.
+	MaxRecord int
+}
+
+const (
+	logMagic     = "RPWAL01\n"
+	snapMagic    = "RPSNP01\n"
+	magicLen     = 8
+	frameHdrLen  = 8 // uint32 length + uint32 CRC32-C
+	logName      = "jobs.wal"
+	snapName     = "jobs.snap"
+	defMaxRecord = 64 << 20
+	defInterval  = 100 * time.Millisecond
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrRecordTooLarge is returned by Append for payloads over
+// Options.MaxRecord.
+var ErrRecordTooLarge = errors.New("wal: record exceeds MaxRecord")
+
+// Stats is a point-in-time snapshot of a Log's counters.
+type Stats struct {
+	Appends       int64 // records appended (log + snapshot frames)
+	AppendErrs    int64 // appends that failed (injected or real I/O)
+	Fsyncs        int64 // fsync calls that succeeded
+	SyncErrs      int64 // fsync calls that failed
+	Bytes         int64 // size of the current log segment, bytes
+	ReplayRecords int64 // records decoded by Replay (snapshot + log)
+	Compactions   int64 // snapshot+compaction cycles completed
+	Truncated     int64 // bytes of torn/garbage tail dropped by Replay
+}
+
+// Log is an append-only record log bound to one data directory. All
+// methods are safe for concurrent use; callers that need record order
+// to match their own state transitions (internal/jobs does) should
+// serialize Append under their own lock.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	size   int64 // current log segment size including magic
+	dirty  bool  // appended since the last successful fsync
+	closed bool
+	stats  Stats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open creates or opens the log in dir, creating the directory as
+// needed and removing leftover temp files from interrupted
+// compactions. It does not read existing records — call Replay before
+// the first Append to restore state and trim any torn tail.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.MaxRecord <= 0 {
+		opts.MaxRecord = defMaxRecord
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = defInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create data dir: %w", err)
+	}
+	// Temp files are only ever intermediate states of Compact; a
+	// leftover one is an interrupted rewrite and is garbage.
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	for _, t := range tmps {
+		os.Remove(t)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat log: %w", err)
+	}
+	size := st.Size()
+	if size < magicLen {
+		// New log, or a crash tore the initial header write. Start
+		// clean: nothing after a partial header can be valid.
+		if err := initLogFile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		size = magicLen
+	} else {
+		var hdr [magicLen]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: read log header: %w", err)
+		}
+		if string(hdr[:]) != logMagic {
+			f.Close()
+			return nil, fmt.Errorf("wal: %s is not a RobustPeriod job log (bad magic)", filepath.Join(dir, logName))
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: seek log: %w", err)
+		}
+	}
+	l := &Log{dir: dir, opts: opts, f: f, size: size, stop: make(chan struct{})}
+	l.stats.Bytes = size
+	if opts.Policy == SyncInterval {
+		l.wg.Add(1)
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+func initLogFile(f *os.File) error {
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset log: %w", err)
+	}
+	if _, err := f.WriteAt([]byte(logMagic), 0); err != nil {
+		return fmt.Errorf("wal: write log header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync log header: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("wal: seek log: %w", err)
+	}
+	return nil
+}
+
+// appendFrame appends one encoded frame for payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrames decodes the longest clean prefix of a frame stream
+// (the log file contents after the magic header). It returns the
+// decoded payloads and the byte length of that clean prefix; bytes
+// past it are a torn write or trailing garbage. The returned payloads
+// alias b — callers that retain them must copy. DecodeFrames never
+// panics on arbitrary input and never allocates based on a length
+// prefix alone: a frame claiming more bytes than remain in b (or more
+// than maxRecord, <= 0 meaning the 64 MiB default) terminates the
+// clean prefix.
+func DecodeFrames(b []byte, maxRecord int) (payloads [][]byte, clean int) {
+	if maxRecord <= 0 {
+		maxRecord = defMaxRecord
+	}
+	off := 0
+	for len(b)-off >= frameHdrLen {
+		n := int(binary.LittleEndian.Uint32(b[off : off+4]))
+		if n > maxRecord || n > len(b)-off-frameHdrLen {
+			break
+		}
+		want := binary.LittleEndian.Uint32(b[off+4 : off+8])
+		payload := b[off+frameHdrLen : off+frameHdrLen+n]
+		if crc32.Checksum(payload, castagnoli) != want {
+			break
+		}
+		payloads = append(payloads, payload)
+		off += frameHdrLen + n
+	}
+	return payloads, off
+}
+
+// Replay restores durable state: it reads the snapshot (if one
+// exists) through snapshotFn, then every clean log record in append
+// order through recordFn, then truncates the log file to the clean
+// prefix so a torn tail cannot shadow future appends. A torn or
+// garbage log tail is tolerated silently; a corrupt snapshot is an
+// error (jobs.snap only ever appears by atomic rename of a fully
+// synced file, so corruption there is real disk damage an operator
+// should see). Callback errors abort the replay.
+func (l *Log) Replay(snapshotFn func(payload []byte) error, recordFn func(payload []byte) error) error {
+	if err := faults.Check(faults.PointWALReplay); err != nil {
+		return fmt.Errorf("wal: replay: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: replay on closed log")
+	}
+
+	snap, err := os.ReadFile(filepath.Join(l.dir, snapName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// No snapshot yet: replay the log alone.
+	case err != nil:
+		return fmt.Errorf("wal: read snapshot: %w", err)
+	default:
+		if len(snap) < magicLen || string(snap[:magicLen]) != snapMagic {
+			return fmt.Errorf("wal: snapshot %s is corrupt (bad magic)", filepath.Join(l.dir, snapName))
+		}
+		payloads, clean := DecodeFrames(snap[magicLen:], l.opts.MaxRecord)
+		if len(payloads) != 1 || clean != len(snap)-magicLen {
+			return fmt.Errorf("wal: snapshot %s is corrupt (want one clean frame)", filepath.Join(l.dir, snapName))
+		}
+		if snapshotFn != nil {
+			if err := snapshotFn(payloads[0]); err != nil {
+				return fmt.Errorf("wal: apply snapshot: %w", err)
+			}
+		}
+		l.stats.ReplayRecords++
+	}
+
+	data, err := io.ReadAll(io.NewSectionReader(l.f, magicLen, l.size-magicLen))
+	if err != nil {
+		return fmt.Errorf("wal: read log: %w", err)
+	}
+	payloads, clean := DecodeFrames(data, l.opts.MaxRecord)
+	for _, p := range payloads {
+		if recordFn != nil {
+			if err := recordFn(p); err != nil {
+				return fmt.Errorf("wal: apply record: %w", err)
+			}
+		}
+		l.stats.ReplayRecords++
+	}
+	if torn := int64(len(data) - clean); torn > 0 {
+		end := int64(magicLen + clean)
+		if err := l.f.Truncate(end); err != nil {
+			return fmt.Errorf("wal: trim torn tail: %w", err)
+		}
+		if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+			return fmt.Errorf("wal: seek log: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync trimmed log: %w", err)
+		}
+		l.size = end
+		l.stats.Bytes = end
+		l.stats.Truncated += torn
+	}
+	return nil
+}
+
+// Append writes one record and, under SyncAlways, fsyncs it before
+// returning. On any failure the file is restored (best effort) to its
+// pre-append length so a half-written frame cannot linger mid-log,
+// and the record must be treated as not durable.
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(payload)
+}
+
+func (l *Log) appendLocked(payload []byte) error {
+	if l.closed {
+		return errors.New("wal: append on closed log")
+	}
+	if len(payload) > l.opts.MaxRecord {
+		l.stats.AppendErrs++
+		return fmt.Errorf("%w (%d > %d bytes)", ErrRecordTooLarge, len(payload), l.opts.MaxRecord)
+	}
+	if err := faults.Check(faults.PointWALAppend); err != nil {
+		l.stats.AppendErrs++
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	frame := appendFrame(make([]byte, 0, frameHdrLen+len(payload)), payload)
+	pre := l.size
+	if _, err := l.f.Write(frame); err != nil {
+		l.rollbackTo(pre)
+		l.stats.AppendErrs++
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size = pre + int64(len(frame))
+	l.stats.Bytes = l.size
+	if l.opts.Policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			l.rollbackTo(pre)
+			l.stats.AppendErrs++
+			return fmt.Errorf("wal: append: %w", err)
+		}
+	} else {
+		l.dirty = true
+	}
+	l.stats.Appends++
+	return nil
+}
+
+// rollbackTo restores the log file to a pre-append length after a
+// failed write or fsync, best effort: if the truncate itself fails
+// the next Replay's CRC check drops the torn frame instead.
+func (l *Log) rollbackTo(n int64) {
+	if l.f.Truncate(n) == nil {
+		l.f.Seek(0, io.SeekEnd)
+		l.size = n
+		l.stats.Bytes = n
+	}
+}
+
+func (l *Log) syncLocked() error {
+	if err := faults.Check(faults.PointWALFsync); err != nil {
+		l.stats.SyncErrs++
+		return fmt.Errorf("fsync: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.stats.SyncErrs++
+		return fmt.Errorf("fsync: %w", err)
+	}
+	l.stats.Fsyncs++
+	l.dirty = false
+	return nil
+}
+
+// Sync forces an fsync of the log regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: sync on closed log")
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty {
+				l.syncLocked() // error already counted in SyncErrs
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Compact atomically replaces the durable state with one snapshot
+// frame and swaps in a fresh empty log segment. The snapshot bytes
+// must fully describe live state as of the call; the caller is
+// responsible for excluding concurrent appends (internal/jobs holds
+// its manager lock across marshal+Compact). Sequence: write
+// jobs.snap.tmp (magic + frame), fsync, rename over jobs.snap, fsync
+// the directory, then build a fresh jobs.wal the same way. A crash
+// between the two renames leaves old log records alongside the new
+// snapshot, which idempotent replay absorbs.
+func (l *Log) Compact(snapshot []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: compact on closed log")
+	}
+	if len(snapshot) > l.opts.MaxRecord {
+		return fmt.Errorf("%w (snapshot %d > %d bytes)", ErrRecordTooLarge, len(snapshot), l.opts.MaxRecord)
+	}
+	if err := faults.Check(faults.PointWALAppend); err != nil {
+		l.stats.AppendErrs++
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	buf := appendFrame(append(make([]byte, 0, magicLen+frameHdrLen+len(snapshot)), snapMagic...), snapshot)
+	if err := l.writeFileSynced(snapName, buf); err != nil {
+		return fmt.Errorf("wal: compact snapshot: %w", err)
+	}
+	if err := l.writeFileSynced(logName, []byte(logMagic)); err != nil {
+		return fmt.Errorf("wal: compact log reset: %w", err)
+	}
+	// The old fd points at the unlinked pre-compaction segment;
+	// reopen the fresh one.
+	nf, err := os.OpenFile(filepath.Join(l.dir, logName), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopen log: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: seek log: %w", err)
+	}
+	l.f.Close()
+	l.f = nf
+	l.size = magicLen
+	l.dirty = false
+	l.stats.Bytes = magicLen
+	l.stats.Appends++
+	l.stats.Compactions++
+	return nil
+}
+
+// writeFileSynced writes name atomically: temp file, fsync, rename,
+// directory fsync. The wal/fsync fault point covers the file sync.
+func (l *Log) writeFileSynced(name string, data []byte) error {
+	path := filepath.Join(l.dir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := faults.Check(faults.PointWALFsync); err != nil {
+		l.stats.SyncErrs++
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsync: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		l.stats.SyncErrs++
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsync: %w", err)
+	}
+	l.stats.Fsyncs++
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return l.syncDir()
+}
+
+// syncDir fsyncs the data directory so renames are durable.
+func (l *Log) syncDir() error {
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		l.stats.SyncErrs++
+		return fmt.Errorf("fsync dir: %w", err)
+	}
+	l.stats.Fsyncs++
+	return nil
+}
+
+// Size returns the current log segment size in bytes (including the
+// header, excluding the snapshot file).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close flushes unsynced appends and closes the log. Further calls on
+// the Log error.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.dirty {
+		if serr := l.f.Sync(); serr == nil {
+			l.stats.Fsyncs++
+		} else {
+			l.stats.SyncErrs++
+			err = fmt.Errorf("wal: close: fsync: %w", serr)
+		}
+	}
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	l.mu.Unlock()
+	close(l.stop)
+	l.wg.Wait()
+	return err
+}

@@ -1,0 +1,353 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"robustperiod/internal/faults"
+)
+
+// replayAll opens dir, replays, and returns (snapshot, records) as
+// copies. It fails the test on any error.
+func replayAll(t *testing.T, dir string, opts Options) (snap []byte, recs [][]byte) {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	err = l.Replay(
+		func(p []byte) error { snap = append([]byte(nil), p...); return nil },
+		func(p []byte) error { recs = append(recs, append([]byte(nil), p...)); return nil },
+	)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return snap, recs
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Replay(nil, nil); err != nil {
+		t.Fatalf("Replay empty: %v", err)
+	}
+	want := [][]byte{[]byte("one"), []byte(""), []byte("three-3"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != int64(len(want)) || st.Fsyncs < int64(len(want)) {
+		t.Fatalf("stats = %+v, want %d appends and >= that many fsyncs", st, len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	snap, recs := replayAll(t, dir, Options{})
+	if snap != nil {
+		t.Fatalf("unexpected snapshot %q", snap)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(recs[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	goodSize := l.Size()
+	if err := l.Append([]byte("doomed")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l.Close()
+	path := filepath.Join(dir, logName)
+
+	// A torn write: the last frame is half on disk.
+	if err := os.Truncate(path, goodSize+5); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	_, recs := replayAll(t, dir, Options{})
+	if len(recs) != 3 {
+		t.Fatalf("after torn write replayed %d records, want 3", len(recs))
+	}
+	if st, _ := os.Stat(path); st.Size() != goodSize {
+		t.Fatalf("log not trimmed: size %d, want %d", st.Size(), goodSize)
+	}
+
+	// Trailing garbage after valid frames.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f.Write([]byte{0xFF, 0x01, 0xEE, 0xDD, 0xCC, 0x00, 0x00})
+	f.Close()
+	_, recs = replayAll(t, dir, Options{})
+	if len(recs) != 3 {
+		t.Fatalf("after garbage tail replayed %d records, want 3", len(recs))
+	}
+
+	// A bit flip inside a frame's payload kills that frame and the
+	// clean prefix ends before it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_, recs = replayAll(t, dir, Options{})
+	if len(recs) != 2 {
+		t.Fatalf("after bit flip replayed %d records, want 2", len(recs))
+	}
+
+	// Appends after recovery extend the clean prefix.
+	l2, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l2.Replay(nil, nil); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if err := l2.Append([]byte("after")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l2.Close()
+	_, recs = replayAll(t, dir, Options{})
+	if len(recs) != 3 || string(recs[2]) != "after" {
+		t.Fatalf("post-recovery log = %q, want 2 old + \"after\"", recs)
+	}
+}
+
+func TestWALHeaderRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// A crash mid-header leaves fewer than magicLen bytes: Open
+	// resets to a fresh log.
+	path := filepath.Join(dir, logName)
+	if err := os.WriteFile(path, []byte("RPW"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_, recs := replayAll(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("replayed %d records from reset log, want 0", len(recs))
+	}
+	// A full-size header that is not ours is a foreign file: error,
+	// never silent truncation.
+	if err := os.WriteFile(path, []byte("NOTAWAL!data"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a foreign file")
+	}
+}
+
+func TestWALCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	grown := l.Size()
+	if err := l.Compact([]byte("SNAPSHOT")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := l.Size(); got >= grown || got != magicLen {
+		t.Fatalf("post-compact size %d, want %d", got, magicLen)
+	}
+	if err := l.Append([]byte("post")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if st := l.Stats(); st.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", st.Compactions)
+	}
+	l.Close()
+
+	snap, recs := replayAll(t, dir, Options{})
+	if string(snap) != "SNAPSHOT" {
+		t.Fatalf("snapshot = %q", snap)
+	}
+	if len(recs) != 1 || string(recs[0]) != "post" {
+		t.Fatalf("post-compact records = %q, want [post]", recs)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("leftover temp files: %v", tmps)
+	}
+}
+
+func TestWALCorruptSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Compact([]byte("state")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	l.Close()
+	path := filepath.Join(dir, snapName)
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0x01
+	os.WriteFile(path, data, 0o644)
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l2.Close()
+	if err := l2.Replay(nil, nil); err == nil {
+		t.Fatal("Replay accepted a corrupt snapshot")
+	}
+}
+
+func TestWALMaxRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{MaxRecord: 16})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if err := l.Append(bytes.Repeat([]byte("x"), 17)); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized append: %v, want ErrRecordTooLarge", err)
+	}
+	if err := l.Append(bytes.Repeat([]byte("x"), 16)); err != nil {
+		t.Fatalf("max-size append: %v", err)
+	}
+	// A frame whose header claims a huge payload terminates the
+	// clean prefix instead of allocating.
+	var recs [][]byte
+	recs, clean := DecodeFrames([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4, 9, 9}, 0)
+	if len(recs) != 0 || clean != 0 {
+		t.Fatalf("huge length claim decoded recs=%d clean=%d, want 0,0", len(recs), clean)
+	}
+}
+
+func TestWALPolicies(t *testing.T) {
+	cases := []struct {
+		in      string
+		pol     Policy
+		iv      time.Duration
+		wantErr bool
+	}{
+		{"always", SyncAlways, 0, false},
+		{"", SyncAlways, 0, false},
+		{"never", SyncNever, 0, false},
+		{"100ms", SyncInterval, 100 * time.Millisecond, false},
+		{" 2s ", SyncInterval, 2 * time.Second, false},
+		{"-5ms", 0, 0, true},
+		{"0s", 0, 0, true},
+		{"sometimes", 0, 0, true},
+	}
+	for _, c := range cases {
+		pol, iv, err := ParsePolicy(c.in)
+		if c.wantErr != (err != nil) {
+			t.Fatalf("ParsePolicy(%q) err = %v, wantErr=%v", c.in, err, c.wantErr)
+		}
+		if err == nil && (pol != c.pol || iv != c.iv) {
+			t.Fatalf("ParsePolicy(%q) = %v,%v want %v,%v", c.in, pol, iv, c.pol, c.iv)
+		}
+	}
+
+	// SyncInterval flushes dirty appends from the background timer.
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncInterval, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Append([]byte("buffered")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval syncer never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+}
+
+func TestWALFaultPoints(t *testing.T) {
+	defer faults.Disable()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Append([]byte("pre-fault")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	preSize := l.Size()
+
+	faults.Enable(faults.MustParse("wal/append:error"))
+	if err := l.Append([]byte("blocked")); err == nil || !faults.IsInjected(err) {
+		t.Fatalf("armed wal/append: err = %v, want injected", err)
+	}
+	if l.Size() != preSize {
+		t.Fatalf("failed append changed size %d -> %d", preSize, l.Size())
+	}
+
+	// An fsync failure under SyncAlways rolls the record back: it is
+	// reported undurable and does not linger as a torn frame.
+	faults.Enable(faults.MustParse("wal/fsync:error"))
+	if err := l.Append([]byte("unsynced")); err == nil || !faults.IsInjected(err) {
+		t.Fatalf("armed wal/fsync: err = %v, want injected", err)
+	}
+	if l.Size() != preSize {
+		t.Fatalf("fsync-failed append changed size %d -> %d", preSize, l.Size())
+	}
+	st := l.Stats()
+	if st.AppendErrs != 2 || st.SyncErrs != 1 {
+		t.Fatalf("stats = %+v, want 2 append errs, 1 sync err", st)
+	}
+	faults.Disable()
+	if err := l.Append([]byte("recovered")); err != nil {
+		t.Fatalf("Append after disarm: %v", err)
+	}
+	l.Close()
+
+	faults.Enable(faults.MustParse("wal/replay:error"))
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l2.Replay(nil, nil); err == nil || !faults.IsInjected(err) {
+		t.Fatalf("armed wal/replay: err = %v, want injected", err)
+	}
+	faults.Disable()
+	var recs int
+	if err := l2.Replay(nil, func([]byte) error { recs++; return nil }); err != nil {
+		t.Fatalf("Replay after disarm: %v", err)
+	}
+	if recs != 2 {
+		t.Fatalf("replayed %d records, want 2 (pre-fault, recovered)", recs)
+	}
+	l2.Close()
+}
