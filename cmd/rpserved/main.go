@@ -20,12 +20,17 @@
 //
 // Every compute response carries an X-Request-ID header; the same ID
 // correlates the structured logs and retrieves the request's
-// post-mortem record from the flight recorder.
+// post-mortem record from the flight recorder. Sampled requests (and
+// any request arriving with a sampled W3C traceparent header) also
+// carry a traceparent response header whose trace ID links the span
+// store, the logs, and the OpenMetrics latency exemplars
+// (GET /metrics with Accept: application/openmetrics-text).
 //
 // With -debug-addr a second listener serves net/http/pprof under
-// /debug/pprof/, the expvar dump under /debug/vars, and the flight
-// recorder under /debug/requests[/{id}]; keep it on loopback or an
-// internal interface.
+// /debug/pprof/, the expvar dump under /debug/vars, the flight
+// recorder under /debug/requests[/{id}], the span store under
+// /debug/traces[/{traceid}], and the SLO burn-rate engine under
+// /debug/slo; keep it on loopback or an internal interface.
 //
 // Example:
 //
@@ -84,6 +89,24 @@ func validateConfig(cfg serve.Config) error {
 	if _, _, err := wal.ParsePolicy(cfg.JobsFsync); err != nil {
 		return fmt.Errorf("-fsync: %w", err)
 	}
+	if cfg.TraceStoreSize < 0 {
+		return fmt.Errorf("-trace-store must not be negative, got %d", cfg.TraceStoreSize)
+	}
+	if cfg.SLOInterval < 0 {
+		return fmt.Errorf("-slo-interval must not be negative, got %v", cfg.SLOInterval)
+	}
+	if cfg.SLOLatencyTarget < 0 {
+		return fmt.Errorf("-slo-latency-target must not be negative, got %v", cfg.SLOLatencyTarget)
+	}
+	if cfg.ProfileMax < 0 {
+		return fmt.Errorf("-profile-max must not be negative, got %d", cfg.ProfileMax)
+	}
+	if cfg.ProfileCPU < 0 {
+		return fmt.Errorf("-profile-cpu must not be negative, got %v", cfg.ProfileCPU)
+	}
+	if cfg.TenantMaxLabels < 0 {
+		return fmt.Errorf("-tenant-labels must not be negative, got %d", cfg.TenantMaxLabels)
+	}
 	return nil
 }
 
@@ -109,6 +132,14 @@ func main() {
 	flag.IntVar(&cfg.JobsQuantum, "jobs-quantum", 0, "fair-share scheduling quantum in series points (0 = 4096)")
 	flag.StringVar(&cfg.JobsDataDir, "data-dir", "", "directory for the durable async-job store (WAL + snapshot); empty keeps jobs in-memory")
 	flag.StringVar(&cfg.JobsFsync, "fsync", "always", "WAL fsync policy with -data-dir: always, never, or an interval like 100ms")
+	flag.IntVar(&cfg.TraceSampleEvery, "trace-sample", 0, "head-sample every Nth request for span tracing (0 = 16, 1 = all, negative disables; an incoming sampled traceparent always records)")
+	flag.IntVar(&cfg.TraceStoreSize, "trace-store", 0, "retained traces in the in-memory span store (0 = 256)")
+	flag.DurationVar(&cfg.SLOInterval, "slo-interval", 0, "SLO burn-rate evaluation interval (0 = 10s)")
+	flag.DurationVar(&cfg.SLOLatencyTarget, "slo-latency-target", 0, "latency-SLO threshold a P99-good request must beat (0 = 500ms)")
+	flag.StringVar(&cfg.ProfileDir, "profile-dir", "", "directory for pprof captures on fast-burn SLO alerts (empty disables)")
+	flag.IntVar(&cfg.ProfileMax, "profile-max", 0, "retained fast-burn profile capture sets (0 = 8)")
+	flag.DurationVar(&cfg.ProfileCPU, "profile-cpu", 0, "CPU-profile window per fast-burn capture (0 = 5s)")
+	flag.IntVar(&cfg.TenantMaxLabels, "tenant-labels", 0, "distinct tenant metric labels before new API keys fold into \"other\" (0 = 64)")
 	logFormat := flag.String("log-format", "text", "log encoding: "+strings.Join(obs.LogFormats(), "|"))
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	version := flag.Bool("version", false, "print build information and exit")

@@ -19,6 +19,11 @@ import (
 //   - obs.PromWriter.Sample/Histogram/QuantileGauges and obs.FindFamily:
 //     when the name argument is a constant starting with "rp_", it must
 //     be a registered family (forwarded/derived names pass through)
+//   - obs.PromWriter.HistogramExemplars(name, ...): the family must
+//     additionally be registered with Exemplars: true — exemplars on an
+//     undeclared family would silently vanish from dashboards that
+//     trust the catalog, and declaring them is what the OpenMetrics
+//     conformance check keys on
 //
 // Registry self-consistency (uniqueness, README coverage both ways) is
 // checked once globally in GlobalFindings, not per package.
@@ -68,6 +73,8 @@ func runRegistry(p *Pass) {
 					checkFamily(p, call)
 				case "Sample", "Histogram", "QuantileGauges":
 					checkMetricRef(p, call, 0)
+				case "HistogramExemplars":
+					checkExemplarRef(p, call)
 				}
 			case isPkgFunc(fn, obsPkg, "FindFamily"):
 				checkMetricRef(p, call, 1)
@@ -122,5 +129,28 @@ func checkMetricRef(p *Pass, call *ast.CallExpr, argIdx int) {
 	}
 	if _, registered := p.Cfg.Metrics[name]; !registered {
 		p.Reportf(call.Args[argIdx].Pos(), "metric family %q is not registered in internal/registry", name)
+	}
+}
+
+// checkExemplarRef enforces that HistogramExemplars call sites target
+// families declared exemplar-bearing in the registry. The catalog's
+// Exemplars flag is the documented contract for which series carry
+// trace IDs; attaching them elsewhere drifts the scrape surface from
+// the catalog without any runtime failure.
+func checkExemplarRef(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 1 {
+		return
+	}
+	name, ok := constString(p.Pkg.Info, call.Args[0])
+	if !ok || !strings.HasPrefix(name, "rp_") {
+		return
+	}
+	m, registered := p.Cfg.Metrics[name]
+	if !registered {
+		p.Reportf(call.Args[0].Pos(), "metric family %q is not registered in internal/registry", name)
+		return
+	}
+	if !m.Exemplars {
+		p.Reportf(call.Args[0].Pos(), "family %q carries exemplars at this call site but is not registered with Exemplars: true in internal/registry", name)
 	}
 }

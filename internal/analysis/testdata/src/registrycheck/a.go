@@ -33,4 +33,9 @@ func use(tr *trace.Trace, p *obs.PromWriter, name string) {
 	p.Sample(name, nil, 1)                               // clean: forwarded name
 	_ = obs.FindFamily(nil, "rp_missing_family_total")   // want: unregistered rp_ reference
 	_ = obs.FindFamily(nil, registry.MetricCacheEntries) // clean
+
+	p.HistogramExemplars("rp_ghost_seconds", nil, nil, nil, 0, nil)             // want: unregistered family
+	p.HistogramExemplars(registry.MetricCacheEntries, nil, nil, nil, 0, nil)    // want: registered but not exemplar-bearing
+	p.HistogramExemplars(registry.MetricRequestDuration, nil, nil, nil, 0, nil) // clean: Exemplars: true
+	p.HistogramExemplars(name, nil, nil, nil, 0, nil)                           // clean: forwarded name
 }

@@ -1,0 +1,212 @@
+// End-to-end drill of the tracing and SLO surfaces against a real
+// rpserved binary: hand it a W3C traceparent over TCP and follow the
+// trace ID through the response header, the span store, and an
+// OpenMetrics exemplar; then arm a latency fault plan and watch the
+// burn-rate engine fire its fast-burn alert, degrade /healthz, and
+// capture pprof profiles into the on-disk ring.
+package e2e
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"robustperiod/internal/obs"
+)
+
+func TestTracingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds and boots a real binary")
+	}
+	profileDir := t.TempDir()
+	// Every compute request sleeps 120ms against a 50ms latency-SLO
+	// target, so 100% of traffic blows the latency budget while
+	// succeeding — exactly the burn the availability SLO must ignore
+	// and the latency SLO must page on.
+	api, debug, _, _ := startServer(t, "serve/worker:delay=120ms",
+		"-trace-sample", "1",
+		"-slo-interval", "250ms",
+		"-slo-latency-target", "50ms",
+		"-profile-dir", profileDir,
+		"-profile-cpu", "50ms",
+	)
+
+	body := detectBody(256, 32)
+
+	// 1. Trace continuation over the wire: the response traceparent
+	// keeps the incoming trace ID, mints a fresh span ID, and stays
+	// sampled.
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	const remoteSpan = "b7ad6b7169203331"
+	req, err := http.NewRequest(http.MethodPost, api+"/v1/detect", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+traceID+"-"+remoteSpan+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced detect: %d", resp.StatusCode)
+	}
+	echo := resp.Header.Get("traceparent")
+	parts := strings.Split(echo, "-")
+	if len(parts) != 4 || parts[1] != traceID || parts[2] == remoteSpan || parts[3] != "01" {
+		t.Fatalf("response traceparent %q does not continue trace %s", echo, traceID)
+	}
+
+	// 2. The span store serves the trace by ID, root span parented
+	// under the caller's span, with queue and execution children.
+	var entry struct {
+		TraceID string `json:"traceId"`
+		Status  int    `json:"status"`
+		Spans   []struct {
+			Name   string `json:"name"`
+			Parent string `json:"parent"`
+		} `json:"spans"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, raw := get(t, debug+"/debug/traces/"+traceID)
+		if r.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(raw, &entry); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never appeared: %d (%s)", traceID, r.StatusCode, raw)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if entry.TraceID != traceID || entry.Status != http.StatusOK {
+		t.Fatalf("trace entry = %+v", entry)
+	}
+	spanNames := map[string]string{}
+	for _, sp := range entry.Spans {
+		spanNames[sp.Name] = sp.Parent
+	}
+	if parent, ok := spanNames["request"]; !ok || parent != remoteSpan {
+		t.Fatalf("root request span missing or misparented: %v", spanNames)
+	}
+	for _, name := range []string{"queue_wait", "job_exec"} {
+		if _, ok := spanNames[name]; !ok {
+			t.Fatalf("span %q missing from the trace: %v", name, spanNames)
+		}
+	}
+
+	// 3. An OpenMetrics scrape is conformant and carries the trace ID
+	// as a latency-bucket exemplar.
+	mreq, _ := http.NewRequest(http.MethodGet, api+"/metrics", nil)
+	mreq.Header.Set("Accept", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	mresp, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("OM negotiation failed, Content-Type = %q", ct)
+	}
+	if err := obs.CheckOpenMetrics(scrape); err != nil {
+		t.Fatalf("live OM scrape fails conformance: %v", err)
+	}
+	if !strings.Contains(string(scrape), `trace_id="`+traceID+`"`) {
+		t.Fatalf("trace %s not exemplified on the OM scrape", traceID)
+	}
+
+	// 4. Burn the latency budget: a handful more slow-but-successful
+	// requests, then wait for the 250ms-interval engine to trip the
+	// fast-burn alert.
+	for i := 0; i < 4; i++ {
+		r, _ := post(t, api+"/v1/detect", body)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("burn traffic request: %d", r.StatusCode)
+		}
+	}
+	var slo struct {
+		Firing     bool `json:"firing"`
+		Objectives []struct {
+			Name    string `json:"name"`
+			Windows []struct {
+				Severity string `json:"severity"`
+				Firing   bool   `json:"firing"`
+			} `json:"windows"`
+		} `json:"objectives"`
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for !slo.Firing {
+		if time.Now().After(deadline) {
+			t.Fatal("latency fast-burn alert never fired under the delay fault plan")
+		}
+		time.Sleep(100 * time.Millisecond)
+		_, raw := get(t, debug+"/debug/slo")
+		if err := json.Unmarshal(raw, &slo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latencyFires, availabilityFires := false, false
+	for _, o := range slo.Objectives {
+		for _, w := range o.Windows {
+			if w.Firing && o.Name == "latency" {
+				latencyFires = true
+			}
+			if w.Firing && o.Name == "availability" {
+				availabilityFires = true
+			}
+		}
+	}
+	if !latencyFires {
+		t.Fatalf("firing, but not on the latency objective: %+v", slo)
+	}
+	if availabilityFires {
+		t.Fatalf("availability burns on successful traffic: %+v", slo)
+	}
+
+	// 5. /healthz reports degraded but stays 200, and the scrape shows
+	// the burn.
+	hresp, hraw := get(t, api+"/healthz")
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(hraw), `"degraded"`) {
+		t.Fatalf("/healthz under fast burn = %d (%s)", hresp.StatusCode, hraw)
+	}
+	_, raw := get(t, api+"/metrics")
+	if !strings.Contains(string(raw), `rp_slo_alert{severity="fast",slo="latency"} 1`) {
+		t.Fatal("rp_slo_alert not raised on the scrape")
+	}
+
+	// 6. The alert's rising edge captured a pprof bundle into the ring.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		found := false
+		entries, _ := os.ReadDir(profileDir)
+		for _, e := range entries {
+			if !e.IsDir() || !strings.Contains(e.Name(), "fast_burn-latency") {
+				continue
+			}
+			cpu, errCPU := os.Stat(filepath.Join(profileDir, e.Name(), "cpu.pprof"))
+			heap, errHeap := os.Stat(filepath.Join(profileDir, e.Name(), "heap.pprof"))
+			if errCPU == nil && errHeap == nil && cpu.Size() > 0 && heap.Size() > 0 {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no fast-burn profile capture landed in %s", profileDir)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

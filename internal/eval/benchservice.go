@@ -10,10 +10,29 @@ import "fmt"
 // (see servicebench.Run): the perf-suite series served through a real
 // rpserved handler stack.
 type ServiceRow struct {
-	Requests int   `json:"requests"`
-	Errors   int   `json:"errors"`   // non-200 responses
-	Shed     int64 `json:"shed"`     // requests_shed_total across endpoints
-	Degraded int64 `json:"degraded"` // detections with degradation annotations
+	Requests int         `json:"requests"`
+	Errors   int         `json:"errors"`            // non-200 responses
+	Shed     int64       `json:"shed"`              // requests_shed_total across endpoints
+	Degraded int64       `json:"degraded"`          // detections with degradation annotations
+	Slowest  []SlowTrace `json:"slowest,omitempty"` // per-leg slowest request, with its span tree
+}
+
+// SlowTrace pins the slowest request of one bench leg to its trace:
+// the trace ID from the response's traceparent header (greppable in
+// logs and metric exemplars) and the server-side span breakdown, so a
+// perf regression in the bench JSON arrives pre-attributed to a
+// pipeline stage instead of as a bare wall-clock number.
+type SlowTrace struct {
+	Leg        string      `json:"leg"`     // e.g. "detect/n=2000"
+	TraceID    string      `json:"traceId"` // 32-hex W3C trace ID
+	DurationMS float64     `json:"durationMS"`
+	Spans      []SpanSlice `json:"spans,omitempty"`
+}
+
+// SpanSlice is one span of a SlowTrace's breakdown.
+type SpanSlice struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"durationMS"`
 }
 
 // JobsRow summarizes the duplicate-rich async-job heavy-traffic leg

@@ -15,9 +15,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,26 +40,42 @@ func Run(quick bool, seed int64) eval.ServiceRow {
 	if quick {
 		reps = 1
 	}
-	srv, err := serve.New(serve.Config{CacheSize: -1})
+	// Every bench request is trace-sampled so the slowest one per leg
+	// lands in the bench JSON with its span breakdown attached.
+	srv, err := serve.New(serve.Config{CacheSize: -1, TraceSampleEvery: 1})
 	if err != nil {
 		panic(err)
 	}
 	defer srv.Close()
 	h := srv.Handler()
+	dbg := srv.DebugHandler()
 
 	row := eval.ServiceRow{}
 	for _, n := range []int{500, 1000, 2000} {
 		cfg := synthetic.PaperConfig(n, synthetic.Sine, []int{20, 50, 100}, 0.1, 0.01, seed)
 		x := synthetic.Generate(cfg)
 		body, _ := json.Marshal(map[string]any{"series": x})
+		slow := eval.SlowTrace{Leg: fmt.Sprintf("detect/n=%d", n)}
 		for i := 0; i < reps; i++ {
 			req := httptest.NewRequest("POST", "/v1/detect", bytes.NewReader(body))
 			rec := httptest.NewRecorder()
+			start := time.Now()
 			h.ServeHTTP(rec, req)
+			elapsed := float64(time.Since(start)) / float64(time.Millisecond)
 			row.Requests++
 			if rec.Code != 200 {
 				row.Errors++
 			}
+			if tp := rec.Header().Get("traceparent"); tp != "" && elapsed > slow.DurationMS {
+				slow.DurationMS = elapsed
+				if parts := strings.Split(tp, "-"); len(parts) == 4 {
+					slow.TraceID = parts[1]
+				}
+			}
+		}
+		if slow.TraceID != "" {
+			slow.Spans = spanBreakdown(dbg, slow.TraceID)
+			row.Slowest = append(row.Slowest, slow)
 		}
 	}
 
@@ -78,6 +96,27 @@ func Run(quick bool, seed int64) eval.ServiceRow {
 		}
 	}
 	return row
+}
+
+// spanBreakdown reads one trace's spans back through /debug/traces —
+// the same surface an operator would use — and flattens them to
+// name/duration slices for the bench JSON. In-process the trace is
+// committed by the time ServeHTTP returns, so no polling is needed.
+func spanBreakdown(dbg http.Handler, traceID string) []eval.SpanSlice {
+	rec := httptest.NewRecorder()
+	dbg.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/"+traceID, nil))
+	if rec.Code != 200 {
+		return nil
+	}
+	var entry serve.TraceEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &entry); err != nil {
+		return nil
+	}
+	out := make([]eval.SpanSlice, 0, len(entry.Spans))
+	for _, sp := range entry.Spans {
+		out = append(out, eval.SpanSlice{Name: sp.Name, DurationMS: sp.DurationMs})
+	}
+	return out
 }
 
 // RunJobs pushes a deliberately duplicate-heavy burst through the

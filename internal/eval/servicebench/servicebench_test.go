@@ -1,0 +1,26 @@
+package servicebench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSlowestTracePerLeg pins the bench JSON's trace attribution: a
+// quick service run must record, for each series-size leg, the
+// slowest request's 32-hex trace ID and a non-empty span breakdown
+// read back through /debug/traces.
+func TestSlowestTracePerLeg(t *testing.T) {
+	row := Run(true, 42)
+	if row.Errors > 0 {
+		t.Fatalf("%d bench requests failed", row.Errors)
+	}
+	if len(row.Slowest) != 3 {
+		t.Fatalf("slowest legs = %d, want one per series size", len(row.Slowest))
+	}
+	for _, s := range row.Slowest {
+		if len(s.TraceID) != 32 || s.DurationMS <= 0 || len(s.Spans) == 0 {
+			b, _ := json.Marshal(s)
+			t.Fatalf("incomplete slow-trace record: %s", b)
+		}
+	}
+}

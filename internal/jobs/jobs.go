@@ -28,11 +28,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"robustperiod/internal/faults"
 	"robustperiod/internal/obs"
+	"robustperiod/internal/registry"
+	"robustperiod/internal/trace"
 	"robustperiod/internal/wal"
 )
 
@@ -322,7 +325,13 @@ func Open(cfg Config) (*Manager, error) {
 // becomes a flight leader and enters its tenant's fair-share queue.
 // Returns a copy of the accepted job, or ErrQueueFull /
 // ErrTenantQueueFull / ErrClosed (or an injected jobs/store fault).
-func (m *Manager) Submit(tenant string, key Key, cost int, payload any) (Job, error) {
+//
+// ctx carries the submitting request's observability scope: when the
+// serving layer sampled the request into a span recording, the WAL
+// append/fsync and any coalesced-flight attach performed by this
+// submission are emitted as spans of that request's trace.
+func (m *Manager) Submit(ctx context.Context, tenant string, key Key, cost int, payload any) (Job, error) {
+	rec := recordingFrom(ctx)
 	// Fault point "jobs/store": a failure registering the job (the
 	// store tier is unavailable or rejecting writes).
 	if err := faults.Check(faults.PointJobsStore); err != nil {
@@ -371,7 +380,11 @@ func (m *Manager) Submit(tenant string, key Key, cost int, payload any) (Job, er
 			return Job{}, fmt.Errorf("jobs: encode payload for WAL: %w", err)
 		}
 		j.payloadRaw = raw
-		if err := m.logAppendLocked(&walRecord{
+		var appendStart time.Time
+		if rec != nil {
+			appendStart = time.Now()
+		}
+		syncDur, err := m.logAppendLocked(&walRecord{
 			Kind:        recSubmit,
 			ID:          j.ID.String(),
 			Tenant:      tenant,
@@ -380,9 +393,22 @@ func (m *Manager) Submit(tenant string, key Key, cost int, payload any) (Job, er
 			Coalesced:   j.Coalesced,
 			SubmittedNS: tsNS(j.Submitted),
 			Payload:     raw,
-		}); err != nil {
+		})
+		if err != nil {
 			m.dropTenantIfIdle(tenant)
 			return Job{}, fmt.Errorf("jobs: durable submit: %w", err)
+		}
+		if rec != nil {
+			// The fsync is the tail of the append; nest it so the trace
+			// shows how much of the durable-submit cost was the disk.
+			end := time.Now()
+			appendID := rec.AddSpan(registry.SpanWALAppend, rec.Context().SpanID,
+				appendStart, end.Sub(appendStart),
+				trace.Attr{Key: "bytes", Value: strconv.Itoa(len(raw))})
+			if syncDur > 0 {
+				rec.AddSpan(registry.SpanWALFsync, appendID,
+					end.Add(-syncDur), syncDur)
+			}
 		}
 	}
 	if coalescing {
@@ -391,6 +417,9 @@ func (m *Manager) Submit(tenant string, key Key, cost int, payload any) (Job, er
 		tq.pending++
 		m.submitted++
 		m.coalesced++
+		rec.AddSpan(registry.SpanCoalesce, rec.Context().SpanID, j.Submitted, 0,
+			trace.Attr{Key: "leader_job", Value: fl.jobs[0].ID.String()},
+			trace.Attr{Key: "job", Value: j.ID.String()})
 		return *j, nil
 	}
 	m.flights[key] = &flight{jobs: []*Job{j}}
@@ -400,6 +429,18 @@ func (m *Manager) Submit(tenant string, key Key, cost int, payload any) (Job, er
 	m.fq.push(j)
 	m.cond.Signal()
 	return *j, nil
+}
+
+// recordingFrom unwraps the span recording of the request scope in
+// ctx, if the serving layer sampled this request. Nil (the common,
+// sampled-out case) keeps every span call site allocation-free.
+func recordingFrom(ctx context.Context) *trace.Recording {
+	if sc := obs.FromContext(ctx); sc != nil {
+		if r, ok := sc.Spans.(*trace.Recording); ok {
+			return r
+		}
+	}
+	return nil
 }
 
 // dropTenantIfIdle forgets a tenant's scheduling state once it has

@@ -105,7 +105,7 @@ func TestCoalesceExactlyOnce(t *testing.T) {
 	})
 	defer m.Close()
 
-	leader, err := m.Submit("tenant-a", key(1), 64, "answer")
+	leader, err := m.Submit(context.Background(), "tenant-a", key(1), 64, "answer")
 	if err != nil {
 		t.Fatalf("leader submit: %v", err)
 	}
@@ -120,7 +120,7 @@ func TestCoalesceExactlyOnce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			j, err := m.Submit("tenant-a", key(1), 64, "answer")
+			j, err := m.Submit(context.Background(), "tenant-a", key(1), 64, "answer")
 			if err != nil {
 				errs <- err
 				return
@@ -170,7 +170,7 @@ func TestDistinctKeysDoNotCoalesce(t *testing.T) {
 	})
 	defer m.Close()
 	for i := 0; i < 8; i++ {
-		if _, err := m.Submit("t", key(i), 64, i); err != nil {
+		if _, err := m.Submit(context.Background(), "t", key(i), 64, i); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
@@ -199,7 +199,7 @@ func TestGetLifecycle(t *testing.T) {
 		OnDone:     done.add,
 	})
 	defer m.Close()
-	j, err := m.Submit("t", key(1), 64, nil)
+	j, err := m.Submit(context.Background(), "t", key(1), 64, nil)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -232,7 +232,7 @@ func TestTTLExpiry(t *testing.T) {
 		Now:        clk.Now,
 	})
 	defer m.Close()
-	j, err := m.Submit("t", key(1), 64, nil)
+	j, err := m.Submit(context.Background(), "t", key(1), 64, nil)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -273,7 +273,7 @@ func TestTTLReaper(t *testing.T) {
 		if i == 0 {
 			payload = "fail" // lands in the pinned ring; must still expire
 		}
-		if _, err := m.Submit("t", key(i), 64, payload); err != nil {
+		if _, err := m.Submit(context.Background(), "t", key(i), 64, payload); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
@@ -315,14 +315,14 @@ func TestPinnedRetention(t *testing.T) {
 		StoreCap:   4,
 	})
 	defer m.Close()
-	bad, err := m.Submit("t", key(1000), 64, "fail")
+	bad, err := m.Submit(context.Background(), "t", key(1000), 64, "fail")
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
 	done.await(t, 1)
 	var healthy []obs.ID
 	for i := 0; i < 20; i++ {
-		j, err := m.Submit("t", key(i), 64, nil)
+		j, err := m.Submit(context.Background(), "t", key(i), 64, nil)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -397,14 +397,14 @@ func TestFairShareStarvationBound(t *testing.T) {
 	// The heavy tenant floods first: one job executing (held), 16 more
 	// queued behind it.
 	for i := 0; i < 17; i++ {
-		if _, err := m.Submit("heavy", key(i), 64, "heavy"); err != nil {
+		if _, err := m.Submit(context.Background(), "heavy", key(i), 64, "heavy"); err != nil {
 			t.Fatalf("heavy submit %d: %v", i, err)
 		}
 	}
 	<-started
 	// The light tenant arrives late with 2 jobs.
 	for i := 100; i < 102; i++ {
-		if _, err := m.Submit("light", key(i), 64, "light"); err != nil {
+		if _, err := m.Submit(context.Background(), "light", key(i), 64, "light"); err != nil {
 			t.Fatalf("light submit %d: %v", i, err)
 		}
 	}
@@ -503,26 +503,26 @@ func TestAdmissionBounds(t *testing.T) {
 	defer close(pool.gate) // unblock the dispatcher so Close can drain
 	// One job dispatched (held at the pool) + 2 queued saturates tenant
 	// "a": pending counts the dispatched job too.
-	if _, err := m.Submit("a", key(0), 64, nil); err != nil {
+	if _, err := m.Submit(context.Background(), "a", key(0), 64, nil); err != nil {
 		t.Fatalf("submit 0: %v", err)
 	}
 	<-pool.popped // the dispatcher holds job 0; nothing else will leave the queue
 	for i := 1; i < 3; i++ {
-		if _, err := m.Submit("a", key(i), 64, nil); err != nil {
+		if _, err := m.Submit(context.Background(), "a", key(i), 64, nil); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
-	if _, err := m.Submit("a", key(10), 64, nil); !errors.Is(err, ErrTenantQueueFull) {
+	if _, err := m.Submit(context.Background(), "a", key(10), 64, nil); !errors.Is(err, ErrTenantQueueFull) {
 		t.Fatalf("tenant bound: err = %v, want ErrTenantQueueFull", err)
 	}
 	// Other tenants can still fill the global queue (depth 2 so far).
-	if _, err := m.Submit("b", key(20), 64, nil); err != nil {
+	if _, err := m.Submit(context.Background(), "b", key(20), 64, nil); err != nil {
 		t.Fatalf("tenant b submit: %v", err)
 	}
-	if _, err := m.Submit("c", key(21), 64, nil); err != nil {
+	if _, err := m.Submit(context.Background(), "c", key(21), 64, nil); err != nil {
 		t.Fatalf("tenant c submit: %v", err)
 	}
-	if _, err := m.Submit("d", key(22), 64, nil); !errors.Is(err, ErrQueueFull) {
+	if _, err := m.Submit(context.Background(), "d", key(22), 64, nil); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("global bound: err = %v, want ErrQueueFull", err)
 	}
 	if c := m.Counters(); c.Shed != 2 {
@@ -541,12 +541,12 @@ func TestCloseFailsQueuedJobs(t *testing.T) {
 		},
 		PoolSubmit: pool.submit,
 	})
-	dispatched, err := m.Submit("t", key(1), 64, nil)
+	dispatched, err := m.Submit(context.Background(), "t", key(1), 64, nil)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
 	<-pool.popped // job 1 is at the pool; job 2 will stay queued
-	queued, err := m.Submit("t", key(2), 64, nil)
+	queued, err := m.Submit(context.Background(), "t", key(2), 64, nil)
 	if err != nil {
 		t.Fatalf("submit queued: %v", err)
 	}
@@ -558,7 +558,7 @@ func TestCloseFailsQueuedJobs(t *testing.T) {
 	// Wait until Close has flipped the closed flag (and, in the same
 	// critical section, drained the queue) before releasing the pool.
 	for {
-		if _, err := m.Submit("t", key(3), 64, nil); errors.Is(err, ErrClosed) {
+		if _, err := m.Submit(context.Background(), "t", key(3), 64, nil); errors.Is(err, ErrClosed) {
 			break
 		}
 		time.Sleep(time.Millisecond)
@@ -579,7 +579,7 @@ func TestCloseFailsQueuedJobs(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := m.Submit("t", key(4), 64, nil); !errors.Is(err, ErrClosed) {
+	if _, err := m.Submit(context.Background(), "t", key(4), 64, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after Close: err = %v, want ErrClosed", err)
 	}
 }
@@ -598,7 +598,7 @@ func TestExecTimeout(t *testing.T) {
 		Timeout:    20 * time.Millisecond,
 	})
 	defer m.Close()
-	j, err := m.Submit("t", key(1), 64, nil)
+	j, err := m.Submit(context.Background(), "t", key(1), 64, nil)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -621,7 +621,7 @@ func TestChaosFaultJobsStore(t *testing.T) {
 		PoolSubmit: asyncPool,
 	})
 	defer m.Close()
-	if _, err := m.Submit("t", key(1), 64, nil); !faults.IsInjected(err) {
+	if _, err := m.Submit(context.Background(), "t", key(1), 64, nil); !faults.IsInjected(err) {
 		t.Fatalf("submit err = %v, want injected", err)
 	}
 	if c := m.Counters(); c.Submitted != 0 {
@@ -644,7 +644,7 @@ func TestChaosFaultJobsExec(t *testing.T) {
 		OnDone:     done.add,
 	})
 	defer m.Close()
-	j, err := m.Submit("t", key(1), 64, nil)
+	j, err := m.Submit(context.Background(), "t", key(1), 64, nil)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -670,7 +670,7 @@ func TestChaosFaultJobsExecPanic(t *testing.T) {
 		OnDone:     done.add,
 	})
 	defer m.Close()
-	j, err := m.Submit("t", key(1), 64, nil)
+	j, err := m.Submit(context.Background(), "t", key(1), 64, nil)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -680,7 +680,7 @@ func TestChaosFaultJobsExecPanic(t *testing.T) {
 		t.Fatalf("job under exec panic = %+v, want failed", got)
 	}
 	// The tier keeps working after the panic (times=1 disarms it).
-	j2, err := m.Submit("t", key(2), 64, nil)
+	j2, err := m.Submit(context.Background(), "t", key(2), 64, nil)
 	if err != nil {
 		t.Fatalf("submit after panic: %v", err)
 	}

@@ -210,13 +210,13 @@ func (m *Manager) WALStats() WALStats {
 // at worst a restart replays the flight one transition behind
 // (re-running a queued flight, or losing a finished result to a
 // resubmit) — never inventing a job.
-func (m *Manager) logAppendLocked(rec *walRecord) error {
+func (m *Manager) logAppendLocked(rec *walRecord) (time.Duration, error) {
 	b, err := json.Marshal(rec)
 	if err != nil {
 		m.walEncodeErrs++
-		return fmt.Errorf("jobs: encode WAL record: %w", err)
+		return 0, fmt.Errorf("jobs: encode WAL record: %w", err)
 	}
-	return m.wlog.Append(b)
+	return m.wlog.AppendTimed(b)
 }
 
 func (m *Manager) logStartLocked(key Key, now time.Time) {

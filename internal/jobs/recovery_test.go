@@ -81,11 +81,11 @@ func TestRecoveryFinishedJobsSurviveRestart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	j1, err := m1.Submit("tenant-a", key(1), 64, "p1")
+	j1, err := m1.Submit(context.Background(), "tenant-a", key(1), 64, "p1")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	j2, err := m1.Submit("tenant-b", key(2), 64, "p2")
+	j2, err := m1.Submit(context.Background(), "tenant-b", key(2), 64, "p2")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -149,18 +149,18 @@ func TestRecoveryRequeuesQueuedJobs(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	leader, err := m1.Submit("tenant-a", key(1), 64, "p1")
+	leader, err := m1.Submit(context.Background(), "tenant-a", key(1), 64, "p1")
 	if err != nil {
 		t.Fatalf("Submit leader: %v", err)
 	}
-	follower, err := m1.Submit("tenant-b", key(1), 64, "p1")
+	follower, err := m1.Submit(context.Background(), "tenant-b", key(1), 64, "p1")
 	if err != nil {
 		t.Fatalf("Submit follower: %v", err)
 	}
 	if !follower.Coalesced {
 		t.Fatal("second submission of one key did not coalesce")
 	}
-	other, err := m1.Submit("tenant-a", key(2), 64, "p2")
+	other, err := m1.Submit(context.Background(), "tenant-a", key(2), 64, "p2")
 	if err != nil {
 		t.Fatalf("Submit other: %v", err)
 	}
@@ -211,13 +211,13 @@ func TestRecoveryRunningJobLostToRestart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	leader, err := m1.Submit("tenant-a", key(1), 64, "p1")
+	leader, err := m1.Submit(context.Background(), "tenant-a", key(1), 64, "p1")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
 	waitJobState(t, m1, leader.ID, StateRunning)
 	// A follower attaching to the running flight shares its fate.
-	follower, err := m1.Submit("tenant-b", key(1), 64, "p1")
+	follower, err := m1.Submit(context.Background(), "tenant-b", key(1), 64, "p1")
 	if err != nil {
 		t.Fatalf("Submit follower: %v", err)
 	}
@@ -265,7 +265,7 @@ func TestChaosWALAppendAndFsyncFaultsRejectSubmit(t *testing.T) {
 	}
 	for _, spec := range []string{"wal/append:error", "wal/fsync:error"} {
 		faults.Enable(faults.MustParse(spec))
-		if _, err := m1.Submit("tenant-a", key(1), 64, "p1"); err == nil || !faults.IsInjected(err) {
+		if _, err := m1.Submit(context.Background(), "tenant-a", key(1), 64, "p1"); err == nil || !faults.IsInjected(err) {
 			t.Fatalf("%s armed: Submit err = %v, want injected", spec, err)
 		}
 		faults.Disable()
@@ -279,7 +279,7 @@ func TestChaosWALAppendAndFsyncFaultsRejectSubmit(t *testing.T) {
 	}
 	// Disarmed, the same submission goes through and survives a
 	// restart — the failed attempts never wrote a resurrectable record.
-	j, err := m1.Submit("tenant-a", key(1), 64, "p1")
+	j, err := m1.Submit(context.Background(), "tenant-a", key(1), 64, "p1")
 	if err != nil {
 		t.Fatalf("Submit after disarm: %v", err)
 	}
@@ -310,7 +310,7 @@ func TestChaosWALReplayFaultFailsOpen(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	if _, err := m1.Submit("tenant-a", key(1), 64, "p1"); err != nil {
+	if _, err := m1.Submit(context.Background(), "tenant-a", key(1), 64, "p1"); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
 	m1.Close()
@@ -340,7 +340,7 @@ func TestRecoveryTornLogTail(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	j1, err := m1.Submit("tenant-a", key(1), 64, "p1")
+	j1, err := m1.Submit(context.Background(), "tenant-a", key(1), 64, "p1")
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}

@@ -30,7 +30,7 @@ func TestTTLZeroUsesDefault(t *testing.T) {
 		Now:        clk.Now,
 	})
 	defer m.Close()
-	j, err := m.Submit("t", key(1), 64, nil)
+	j, err := m.Submit(context.Background(), "t", key(1), 64, nil)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -69,7 +69,7 @@ func TestChaosTTLExpiryRacesClose(t *testing.T) {
 	})
 	ids := make([]obs.ID, 0, jobs)
 	for i := 0; i < jobs; i++ {
-		j, err := m.Submit("t", key(i), 64, nil)
+		j, err := m.Submit(context.Background(), "t", key(i), 64, nil)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}

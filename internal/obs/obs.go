@@ -110,6 +110,7 @@ type Scope struct {
 	// Request annotations for the flight-recorder record, filled in by
 	// the serving layer as the request progresses.
 	Endpoint      string
+	Tenant        string // cardinality-capped tenant label (X-API-Key)
 	Start         time.Time
 	SeriesLen     int    // points of the series (detect)
 	BatchSize     int    // series count (batch)
@@ -120,6 +121,7 @@ type Scope struct {
 	ItemErrors    int // failed items inside a batch
 	Degraded      any // e.g. []core.Degradation; set only when non-empty
 	Trace         any // e.g. *trace.Summary of the detection
+	Spans         any // e.g. *trace.Recording when the request is sampled
 
 	faultMu     sync.Mutex
 	FaultPoints []string

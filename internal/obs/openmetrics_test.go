@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestOpenMetricsWriterRoundTrip drives the writer in OpenMetrics
+// mode — counter family on the base name, bucket exemplars, terminal
+// EOF — and feeds the output back through the OM conformance checker.
+func TestOpenMetricsWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewOpenMetricsWriter(&buf)
+	if !p.OpenMetrics() {
+		t.Fatal("mode flag lost")
+	}
+	p.Family("rp_requests_total", "Requests by endpoint.", "counter")
+	p.Sample("rp_requests_total", []Label{{"endpoint", "detect"}}, 42)
+	p.Family("rp_latency_seconds", "Latency.", "histogram")
+	p.HistogramExemplars("rp_latency_seconds", []Label{{"endpoint", "detect"}},
+		[]float64{0.001, 0.01, 0.1}, []uint64{5, 3, 1, 2}, 0.345,
+		[]Exemplar{
+			{},
+			{Labels: []Label{{"trace_id", "4bf92f3577b34da6a3ce929d0e0e4736"}}, Value: 0.004, Ts: 1712000000.123},
+			{},
+			{Labels: []Label{{"trace_id", "00f067aa0ba902b7aabbccddeeff0011"}}, Value: 2.5},
+		})
+	p.EOF()
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	data := buf.Bytes()
+
+	if !strings.Contains(buf.String(), "# TYPE rp_requests counter") {
+		t.Fatalf("counter TYPE keeps _total suffix in OM mode:\n%s", data)
+	}
+	if !strings.HasSuffix(strings.TrimRight(buf.String(), "\n"), "# EOF") {
+		t.Fatalf("no terminal # EOF:\n%s", data)
+	}
+	if err := CheckOpenMetrics(data); err != nil {
+		t.Fatalf("OM writer output fails OM conformance: %v\n%s", err, data)
+	}
+	// The same bytes stay acceptable to the plain checker.
+	if err := CheckExposition(data); err != nil {
+		t.Fatalf("OM writer output fails base conformance: %v\n%s", err, data)
+	}
+
+	fams, err := ParseExposition(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := FindFamily(fams, "rp_requests")
+	if c == nil || c.Type != "counter" || len(c.Samples) != 1 || c.Samples[0].Name != "rp_requests_total" {
+		t.Fatalf("OM counter family: %+v", c)
+	}
+	h := FindFamily(fams, "rp_latency_seconds")
+	if h == nil || len(h.Samples) != 6 {
+		t.Fatalf("histogram family: %+v", h)
+	}
+	ex := h.Samples[1].Exemplar
+	if ex == nil || ex.Labels["trace_id"] != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("bucket 2 exemplar lost: %+v", h.Samples[1])
+	}
+	if ex.Value != 0.004 || !ex.HasTs || ex.Ts != 1712000000.123 {
+		t.Fatalf("exemplar value/ts: %+v", ex)
+	}
+	if h.Samples[0].Exemplar != nil || h.Samples[2].Exemplar != nil {
+		t.Fatal("zero exemplars emitted")
+	}
+	inf := h.Samples[3].Exemplar
+	if inf == nil || inf.HasTs || inf.Value != 2.5 {
+		t.Fatalf("+Inf bucket exemplar: %+v", inf)
+	}
+}
+
+// TestExemplarsSuppressedIn004Mode pins that one metrics pipeline can
+// serve both formats: in 0.0.4 mode exemplars vanish and the counter
+// TYPE keeps its full name.
+func TestExemplarsSuppressedIn004Mode(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("rp_requests_total", "Requests.", "counter")
+	p.HistogramExemplars("rp_h", nil, []float64{1}, []uint64{1, 0}, 0.5,
+		[]Exemplar{{Labels: []Label{{"trace_id", "abc"}}, Value: 0.5}})
+	p.EOF()
+	out := buf.String()
+	if strings.Contains(out, "trace_id") || strings.Contains(out, "# EOF") {
+		t.Fatalf("OM constructs leaked into 0.0.4 output:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE rp_requests_total counter") {
+		t.Fatalf("0.0.4 counter TYPE rewritten:\n%s", out)
+	}
+}
+
+// TestOpenMetricsConformanceRejections enumerates the OM-specific
+// reject cases.
+func TestOpenMetricsConformanceRejections(t *testing.T) {
+	histo := func(bucketLine string) string {
+		return "# TYPE rp_h histogram\n" + bucketLine + "\n" +
+			"rp_h_bucket{le=\"+Inf\"} 5\nrp_h_sum 3\nrp_h_count 5\n# EOF\n"
+	}
+	longLabel := strings.Repeat("x", 129)
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing EOF", "# TYPE rp_x counter\nrp_x_total 1\n"},
+		{"content after EOF", "# TYPE rp_x counter\nrp_x_total 1\n# EOF\nrp_y 2\n"},
+		{"malformed EOF", "# EOFF\n"},
+		{"exemplar on gauge", "# TYPE rp_g gauge\nrp_g 1 # {trace_id=\"a\"} 1\n# EOF\n"},
+		{"exemplar on _sum", "# TYPE rp_h histogram\nrp_h_bucket{le=\"+Inf\"} 1\n" +
+			"rp_h_sum 1 # {trace_id=\"a\"} 1\nrp_h_count 1\n# EOF\n"},
+		{"exemplar above bucket bound", histo(`rp_h_bucket{le="1"} 2 # {trace_id="a"} 4.0`)},
+		{"overlong exemplar labelset", histo(`rp_h_bucket{le="1"} 2 # {trace_id="` + longLabel + `"} 0.5`)},
+		{"bad exemplar label name", histo(`rp_h_bucket{le="1"} 2 # {1bad="a"} 0.5`)},
+		{"exemplar without labelset", histo(`rp_h_bucket{le="1"} 2 # 0.5`)},
+		{"bad exemplar timestamp", histo(`rp_h_bucket{le="1"} 2 # {trace_id="a"} 0.5 NaN`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := CheckOpenMetrics([]byte(tc.src)); err == nil {
+				t.Fatalf("accepted invalid OM exposition:\n%s", tc.src)
+			}
+		})
+	}
+
+	// Valid exemplar within its bucket passes.
+	ok := histo(`rp_h_bucket{le="1"} 2 # {trace_id="a"} 0.5 1712000000.5`)
+	if err := CheckOpenMetrics([]byte(ok)); err != nil {
+		t.Fatalf("valid exemplar rejected: %v", err)
+	}
+}
+
+// TestNegotiateContentType pins the Accept-header negotiation.
+func TestNegotiateContentType(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   string
+	}{
+		{"", PromContentType},
+		{"text/plain", PromContentType},
+		{"application/openmetrics-text; version=1.0.0", OpenMetricsContentType},
+		{"application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5", OpenMetricsContentType},
+	}
+	for _, tc := range cases {
+		if got := NegotiateContentType(tc.accept); got != tc.want {
+			t.Errorf("NegotiateContentType(%q) = %q, want %q", tc.accept, got, tc.want)
+		}
+	}
+}

@@ -9,18 +9,29 @@ import (
 )
 
 // This file is the consumer side of the exposition format: a strict
-// parser for the Prometheus text format (version 0.0.4) and a
+// parser for the Prometheus text format (version 0.0.4) and its
+// OpenMetrics 1.0 sibling (counter families declared on the base
+// name, histogram-bucket exemplars, the terminal `# EOF`), plus a
 // conformance checker over the parsed families. The serve tests and
-// the e2e job scrape /metrics through CheckExposition, so any
-// malformed line, misdeclared type, non-monotonic histogram or
-// inconsistent _sum/_count fails in CI rather than in a production
-// Prometheus.
+// the e2e job scrape /metrics through CheckExposition and
+// CheckOpenMetrics, so any malformed line, misdeclared type,
+// non-monotonic histogram, inconsistent _sum/_count or overlong
+// exemplar fails in CI rather than in a production Prometheus.
+
+// PromExemplar is one parsed OpenMetrics exemplar riding on a sample.
+type PromExemplar struct {
+	Labels map[string]string
+	Value  float64
+	Ts     float64
+	HasTs  bool
+}
 
 // PromSample is one parsed sample line.
 type PromSample struct {
-	Name   string
-	Labels map[string]string
-	Value  float64
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *PromExemplar // OpenMetrics only; nil when absent
 }
 
 // Label returns a label value ("" when absent).
@@ -80,7 +91,9 @@ func validLabelName(s string) bool {
 
 // familyOf maps a sample name to the family it belongs to under the
 // declared type: histogram samples attach their _bucket/_sum/_count
-// suffixes, summaries _sum/_count.
+// suffixes, summaries _sum/_count, and — in the OpenMetrics form,
+// where the TYPE line carries the base name — counters their _total
+// samples.
 func familyOf(sampleName, declaredFamily, declaredType string) bool {
 	if sampleName == declaredFamily {
 		return true
@@ -93,6 +106,8 @@ func familyOf(sampleName, declaredFamily, declaredType string) bool {
 	case "summary":
 		return sampleName == declaredFamily+"_sum" ||
 			sampleName == declaredFamily+"_count"
+	case "counter":
+		return sampleName == declaredFamily+"_total"
 	}
 	return false
 }
@@ -113,44 +128,24 @@ func parseSampleLine(line string) (PromSample, error) {
 	rest = rest[end:]
 
 	if rest[0] == '{' {
-		rest = rest[1:]
-		s.Labels = map[string]string{}
-		for {
-			rest = strings.TrimLeft(rest, " \t")
-			if rest == "" {
-				return s, fmt.Errorf("unterminated label set in %q", line)
-			}
-			if rest[0] == '}' {
-				rest = rest[1:]
-				break
-			}
-			eq := strings.IndexByte(rest, '=')
-			if eq < 0 {
-				return s, fmt.Errorf("label without '=' in %q", line)
-			}
-			name := strings.TrimSpace(rest[:eq])
-			if !validLabelName(name) {
-				return s, fmt.Errorf("invalid label name %q in %q", name, line)
-			}
-			rest = strings.TrimLeft(rest[eq+1:], " \t")
-			if rest == "" || rest[0] != '"' {
-				return s, fmt.Errorf("unquoted label value for %q in %q", name, line)
-			}
-			val, remainder, err := parseQuoted(rest)
-			if err != nil {
-				return s, fmt.Errorf("%w in %q", err, line)
-			}
-			if _, dup := s.Labels[name]; dup {
-				return s, fmt.Errorf("duplicate label %q in %q", name, line)
-			}
-			s.Labels[name] = val
-			rest = strings.TrimLeft(remainder, " \t")
-			if strings.HasPrefix(rest, ",") {
-				rest = rest[1:]
-			} else if !strings.HasPrefix(rest, "}") {
-				return s, fmt.Errorf("expected ',' or '}' after label %q in %q", name, line)
-			}
+		labels, remainder, err := parseLabelSet(rest, line)
+		if err != nil {
+			return s, err
 		}
+		s.Labels = labels
+		rest = remainder
+	}
+
+	// An OpenMetrics exemplar follows the value (and optional
+	// timestamp) after a '#'. Label values were consumed above, so an
+	// unquoted '#' here can only be the exemplar separator.
+	if hash := strings.IndexByte(rest, '#'); hash >= 0 {
+		ex, err := parseExemplar(rest[hash+1:], line)
+		if err != nil {
+			return s, err
+		}
+		s.Exemplar = ex
+		rest = rest[:hash]
 	}
 
 	fields := strings.Fields(rest)
@@ -163,11 +158,84 @@ func parseSampleLine(line string) (PromSample, error) {
 	}
 	s.Value = v
 	if len(fields) == 2 {
-		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
 			return s, fmt.Errorf("bad timestamp %q in %q", fields[1], line)
 		}
 	}
 	return s, nil
+}
+
+// parseLabelSet consumes a `{name="value",...}` labelset (rest must
+// start at the '{'), returning the labels and the remainder after the
+// closing brace.
+func parseLabelSet(rest, line string) (map[string]string, string, error) {
+	rest = rest[1:]
+	labels := map[string]string{}
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' in %q", line)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q in %q", name, line)
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " \t")
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value for %q in %q", name, line)
+		}
+		val, remainder, err := parseQuoted(rest)
+		if err != nil {
+			return nil, "", fmt.Errorf("%w in %q", err, line)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q in %q", name, line)
+		}
+		labels[name] = val
+		rest = strings.TrimLeft(remainder, " \t")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		} else if !strings.HasPrefix(rest, "}") {
+			return nil, "", fmt.Errorf("expected ',' or '}' after label %q in %q", name, line)
+		}
+	}
+}
+
+// parseExemplar parses the exemplar clause after the '#' separator:
+// `{labels} value [timestamp]`, the timestamp in unix seconds.
+func parseExemplar(s, line string) (*PromExemplar, error) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" || s[0] != '{' {
+		return nil, fmt.Errorf("exemplar without labelset in %q", line)
+	}
+	labels, rest, err := parseLabelSet(s, line)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("want 'value [timestamp]' in exemplar, got %q in %q", rest, line)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q in %q", fields[0], line)
+	}
+	ex := &PromExemplar{Labels: labels, Value: v}
+	if len(fields) == 2 {
+		ts, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || math.IsNaN(ts) || math.IsInf(ts, 0) {
+			return nil, fmt.Errorf("bad exemplar timestamp %q in %q", fields[1], line)
+		}
+		ex.Ts, ex.HasTs = ts, true
+	}
+	return ex, nil
 }
 
 // parseQuoted consumes a double-quoted label value with \\ \" \n
@@ -221,13 +289,21 @@ func parsePromValue(s string) (float64, error) {
 // ParseExposition parses a complete text exposition into families,
 // enforcing the line grammar and the family structure: a TYPE line
 // (at most one per family) must precede that family's samples, all of
-// one family's samples are contiguous, and no family recurs.
+// one family's samples are contiguous, and no family recurs. Both the
+// 0.0.4 and the OpenMetrics form parse; an `# EOF` terminator is
+// accepted (and must then be last).
 func ParseExposition(data []byte) ([]PromFamily, error) {
+	families, _, err := parseExposition(data)
+	return families, err
+}
+
+func parseExposition(data []byte) ([]PromFamily, bool, error) {
 	var (
 		families []PromFamily
 		byName   = map[string]*PromFamily{}
 		current  *PromFamily
 		closed   = map[string]bool{} // families whose sample block has ended
+		eof      bool
 	)
 	family := func(name string) *PromFamily {
 		if f, ok := byName[name]; ok {
@@ -244,28 +320,37 @@ func ParseExposition(data []byte) ([]PromFamily, error) {
 			continue
 		}
 		lineNo := ln + 1
+		if eof {
+			return nil, false, fmt.Errorf("line %d: content after # EOF", lineNo)
+		}
 		if strings.HasPrefix(line, "#") {
 			fields := strings.SplitN(line, " ", 4)
 			if len(fields) < 2 {
 				continue // bare comment
 			}
 			switch fields[1] {
+			case "EOF":
+				if len(fields) != 2 || line != "# EOF" {
+					return nil, false, fmt.Errorf("line %d: malformed EOF line %q", lineNo, line)
+				}
+				eof = true
+				continue
 			case "TYPE":
 				if len(fields) != 4 {
-					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+					return nil, false, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
 				}
 				name, typ := fields[2], strings.TrimSpace(fields[3])
 				if !validMetricName(name) {
-					return nil, fmt.Errorf("line %d: invalid family name %q", lineNo, name)
+					return nil, false, fmt.Errorf("line %d: invalid family name %q", lineNo, name)
 				}
 				if !validPromTypes[typ] {
-					return nil, fmt.Errorf("line %d: invalid TYPE %q for %q", lineNo, typ, name)
+					return nil, false, fmt.Errorf("line %d: invalid TYPE %q for %q", lineNo, typ, name)
 				}
 				if f, seen := byName[name]; seen && (len(f.Samples) > 0 || f.Type != "untyped") {
-					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+					return nil, false, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
 				}
 				if closed[name] {
-					return nil, fmt.Errorf("line %d: family %q reopened after other samples", lineNo, name)
+					return nil, false, fmt.Errorf("line %d: family %q reopened after other samples", lineNo, name)
 				}
 				if current != nil && current.Name != name {
 					closed[current.Name] = true
@@ -275,14 +360,14 @@ func ParseExposition(data []byte) ([]PromFamily, error) {
 				current = f
 			case "HELP":
 				if len(fields) < 3 {
-					return nil, fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+					return nil, false, fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
 				}
 				name := fields[2]
 				if !validMetricName(name) {
-					return nil, fmt.Errorf("line %d: invalid family name %q", lineNo, name)
+					return nil, false, fmt.Errorf("line %d: invalid family name %q", lineNo, name)
 				}
 				if f, seen := byName[name]; seen && f.Help != "" {
-					return nil, fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+					return nil, false, fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
 				}
 				f := family(name)
 				if len(fields) == 4 {
@@ -295,7 +380,7 @@ func ParseExposition(data []byte) ([]PromFamily, error) {
 		}
 		s, err := parseSampleLine(line)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			return nil, false, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		// Attach to the family owning this sample name.
 		owner := current
@@ -304,25 +389,42 @@ func ParseExposition(data []byte) ([]PromFamily, error) {
 				closed[owner.Name] = true
 			}
 			if !validMetricName(s.Name) {
-				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, s.Name)
+				return nil, false, fmt.Errorf("line %d: invalid metric name %q", lineNo, s.Name)
 			}
 			if closed[s.Name] {
-				return nil, fmt.Errorf("line %d: family %q samples are not contiguous", lineNo, s.Name)
+				return nil, false, fmt.Errorf("line %d: family %q samples are not contiguous", lineNo, s.Name)
 			}
 			owner = family(s.Name)
 			current = owner
 		}
 		owner.Samples = append(owner.Samples, s)
 	}
-	return families, nil
+	return families, eof, nil
 }
 
 // CheckExposition parses data and verifies the semantic invariants a
 // Prometheus scraper relies on: counters are finite and non-negative,
 // histograms have monotone cumulative buckets ending in le="+Inf",
-// and _count equals the +Inf bucket for every label set.
+// and _count equals the +Inf bucket for every label set. Exemplars,
+// when present, must ride on histogram buckets or counters only and
+// satisfy the OpenMetrics bounds (labelset within 128 characters, the
+// value inside its bucket).
 func CheckExposition(data []byte) error {
 	families, err := ParseExposition(data)
+	return checkFamilies(families, err)
+}
+
+// CheckOpenMetrics is CheckExposition under the stricter OpenMetrics
+// contract: the exposition must terminate with `# EOF`.
+func CheckOpenMetrics(data []byte) error {
+	families, eof, err := parseExposition(data)
+	if err == nil && !eof {
+		return fmt.Errorf("OpenMetrics exposition does not end with # EOF")
+	}
+	return checkFamilies(families, err)
+}
+
+func checkFamilies(families []PromFamily, err error) error {
 	if err != nil {
 		return err
 	}
@@ -331,18 +433,54 @@ func CheckExposition(data []byte) error {
 		switch f.Type {
 		case "counter":
 			for _, s := range f.Samples {
-				if s.Name != f.Name {
+				// The 0.0.4 form declares the family on the full _total
+				// name, the OpenMetrics form on the base name.
+				if s.Name != f.Name && s.Name != f.Name+"_total" {
 					return fmt.Errorf("family %s: stray sample %s", f.Name, s.Name)
 				}
 				if math.IsNaN(s.Value) || s.Value < 0 {
 					return fmt.Errorf("family %s: counter value %v", f.Name, s.Value)
+				}
+				if err := checkExemplar(f.Name, s.Exemplar, math.Inf(1)); err != nil {
+					return err
 				}
 			}
 		case "histogram":
 			if err := checkHistogram(f); err != nil {
 				return err
 			}
+		default:
+			for _, s := range f.Samples {
+				if s.Exemplar != nil {
+					return fmt.Errorf("family %s: exemplar on %s sample %s (only counters and histogram buckets may carry exemplars)",
+						f.Name, f.Type, s.Name)
+				}
+			}
 		}
+	}
+	return nil
+}
+
+// checkExemplar validates one exemplar against the OpenMetrics rules:
+// the combined label names and values stay within 128 UTF-8
+// characters, names are valid, and the value lies within the bucket
+// it annotates (maxValue is +Inf for counters).
+func checkExemplar(family string, ex *PromExemplar, maxValue float64) error {
+	if ex == nil {
+		return nil
+	}
+	runes := 0
+	for k, v := range ex.Labels {
+		if !validLabelName(k) {
+			return fmt.Errorf("family %s: invalid exemplar label name %q", family, k)
+		}
+		runes += len([]rune(k)) + len([]rune(v))
+	}
+	if runes > 128 {
+		return fmt.Errorf("family %s: exemplar labelset is %d characters, limit 128", family, runes)
+	}
+	if math.IsNaN(ex.Value) || ex.Value > maxValue {
+		return fmt.Errorf("family %s: exemplar value %v outside its bucket (le=%v)", family, ex.Value, maxValue)
 	}
 	return nil
 }
@@ -403,15 +541,24 @@ func checkHistogram(f *PromFamily) error {
 			if err != nil {
 				return fmt.Errorf("family %s: unparsable le=%q", f.Name, le)
 			}
+			if err := checkExemplar(f.Name, s.Exemplar, bound); err != nil {
+				return err
+			}
 			g := at(s.Labels)
 			g.buckets = append(g.buckets, s)
 			if math.IsInf(bound, 1) {
 				g.hasInf, g.infCount = true, s.Value
 			}
 		case f.Name + "_sum":
+			if s.Exemplar != nil {
+				return fmt.Errorf("family %s: exemplar on _sum sample", f.Name)
+			}
 			v := s.Value
 			at(s.Labels).sum = &v
 		case f.Name + "_count":
+			if s.Exemplar != nil {
+				return fmt.Errorf("family %s: exemplar on _count sample", f.Name)
+			}
 			v := s.Value
 			at(s.Labels).count = &v
 		default:

@@ -13,7 +13,8 @@ type Record struct {
 	ID            ID
 	Time          time.Time // admission time
 	Endpoint      string
-	Status        int // HTTP status written
+	Tenant        string // cardinality-capped tenant label
+	Status        int    // HTTP status written
 	Duration      time.Duration
 	SeriesLen     int
 	BatchSize     int

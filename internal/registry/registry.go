@@ -74,6 +74,25 @@ func TraceCounters() []string {
 	return []string{CounterSolverIters, CounterSolverWarmHits, CounterPrefilterSkips}
 }
 
+// Span names of the serving layer (internal/trace span recordings).
+// Pipeline-stage spans reuse the Stage* constants above; the names
+// here cover everything around the pipeline: the request root span,
+// queue wait, async-job execution, coalesced-flight attachment, and
+// the durability syscalls.
+const (
+	SpanRequest   = "request"         // root span: admission to response
+	SpanQueueWait = "queue_wait"      // submit-to-start wait in the worker or fair-share queue
+	SpanJobExec   = "job_exec"        // async job execution (dequeue to terminal state)
+	SpanCoalesce  = "coalesce_attach" // follower attaching to an identical in-flight execution
+	SpanWALAppend = "wal_append"      // write-ahead-log record append (encode + write)
+	SpanWALFsync  = "wal_fsync"       // write-ahead-log fsync before admission is acknowledged
+)
+
+// SpanNames lists the canonical non-stage span names.
+func SpanNames() []string {
+	return []string{SpanRequest, SpanQueueWait, SpanJobExec, SpanCoalesce, SpanWALAppend, SpanWALFsync}
+}
+
 // Prometheus metric family names exposed on GET /metrics. Every
 // family emitted anywhere in the tree must be declared here and
 // documented in the README metric table (rplint enforces both).
@@ -119,6 +138,16 @@ const (
 	MetricRequestLatencyQuantile = "rp_request_latency_seconds_quantile"
 	MetricStageLatencyQuantile   = "rp_stage_latency_seconds_quantile"
 
+	MetricTracesSampledTotal  = "rp_traces_sampled_total"
+	MetricTraceSpansTotal     = "rp_trace_spans_total"
+	MetricTenantRequestsTotal = "rp_tenant_requests_total"
+
+	MetricSLOObjective            = "rp_slo_objective"
+	MetricSLOBurnRate             = "rp_slo_burn_rate"
+	MetricSLOErrorBudgetRemaining = "rp_slo_error_budget_remaining"
+	MetricSLOAlert                = "rp_slo_alert"
+	MetricSLOProfileCapturesTotal = "rp_slo_profile_captures_total"
+
 	MetricGoGoroutines          = "rp_go_goroutines"
 	MetricGoHeapObjectsBytes    = "rp_go_heap_objects_bytes"
 	MetricGoMemoryTotalBytes    = "rp_go_memory_total_bytes"
@@ -131,63 +160,77 @@ const (
 // Metric describes one Prometheus family: its name, exposition type
 // (counter, gauge, histogram) and HELP docstring. The help text lives
 // here, next to the name, so the exposition and the README table
-// cannot drift apart silently.
+// cannot drift apart silently. Exemplars marks the histogram families
+// whose buckets may carry OpenMetrics trace-ID exemplars; the rplint
+// registry analyzer rejects exemplar-attaching writer calls against
+// any other family.
 type Metric struct {
-	Name string
-	Type string
-	Help string
+	Name      string
+	Type      string
+	Help      string
+	Exemplars bool
 }
 
 // metrics is the full catalog, in exposition order.
 var metrics = []Metric{
-	{MetricBuildInfo, "gauge", "Build metadata of the running binary (value is always 1)."},
+	{MetricBuildInfo, "gauge", "Build metadata of the running binary (value is always 1).", false},
 
-	{MetricRequestsTotal, "counter", "HTTP requests served, by endpoint."},
-	{MetricRequestErrorsTotal, "counter", "Requests answered with status >= 400, by endpoint."},
-	{MetricRequestsShedTotal, "counter", "Requests shed before compute (429 or 503), by endpoint."},
-	{MetricRequestsInFlight, "gauge", "Requests currently inside a handler."},
-	{MetricWorkerQueueDepth, "gauge", "Detection jobs waiting in the worker queue."},
+	{MetricRequestsTotal, "counter", "HTTP requests served, by endpoint.", false},
+	{MetricRequestErrorsTotal, "counter", "Requests answered with status >= 400, by endpoint.", false},
+	{MetricRequestsShedTotal, "counter", "Requests shed before compute (429 or 503), by endpoint.", false},
+	{MetricRequestsInFlight, "gauge", "Requests currently inside a handler.", false},
+	{MetricWorkerQueueDepth, "gauge", "Detection jobs waiting in the worker queue.", false},
 
-	{MetricCacheEntries, "gauge", "Entries currently in the result cache."},
-	{MetricCacheHitsTotal, "counter", "Result-cache hits."},
-	{MetricCacheMissesTotal, "counter", "Result-cache misses."},
-	{MetricCacheCorruptionsTotal, "counter", "Cache entries dropped by the integrity check on read."},
+	{MetricCacheEntries, "gauge", "Entries currently in the result cache.", false},
+	{MetricCacheHitsTotal, "counter", "Result-cache hits.", false},
+	{MetricCacheMissesTotal, "counter", "Result-cache misses.", false},
+	{MetricCacheCorruptionsTotal, "counter", "Cache entries dropped by the integrity check on read.", false},
 
-	{MetricPanicsRecoveredTotal, "counter", "Panics recovered in handlers and detection workers."},
-	{MetricDegradedTotal, "counter", "Detections that returned graceful-degradation annotations."},
-	{MetricBreakerState, "gauge", "Circuit-breaker state by endpoint: 0 closed, 1 open, 2 half-open."},
-	{MetricBreakerOpensTotal, "counter", "Circuit-breaker open transitions by endpoint."},
+	{MetricPanicsRecoveredTotal, "counter", "Panics recovered in handlers and detection workers.", false},
+	{MetricDegradedTotal, "counter", "Detections that returned graceful-degradation annotations.", false},
+	{MetricBreakerState, "gauge", "Circuit-breaker state by endpoint: 0 closed, 1 open, 2 half-open.", false},
+	{MetricBreakerOpensTotal, "counter", "Circuit-breaker open transitions by endpoint.", false},
 
-	{MetricAdmissionJobTime, "gauge", "EWMA estimate of one detection's service time feeding the admission controller's Retry-After values."},
+	{MetricAdmissionJobTime, "gauge", "EWMA estimate of one detection's service time feeding the admission controller's Retry-After values.", false},
 
-	{MetricJobsSubmittedTotal, "counter", "Async job submissions accepted (coalesced followers included)."},
-	{MetricJobsCoalescedTotal, "counter", "Async jobs that coalesced onto an identical in-flight execution."},
-	{MetricJobsCompletedTotal, "counter", "Async jobs reaching a terminal state, by outcome (ok or failed)."},
-	{MetricJobsExpiredTotal, "counter", "Terminal async jobs reaped from the store after their TTL."},
-	{MetricJobsShedTotal, "counter", "Async job submissions rejected by the fair-share admission bounds."},
-	{MetricJobsQueueDepth, "gauge", "Async job executions waiting in the fair-share queues."},
-	{MetricJobsState, "gauge", "Async jobs currently retained, by state (queued, running, done, failed)."},
-	{MetricJobLatencyQuantile, "gauge", "Streaming submit-to-completion job-latency quantile estimates (P2 algorithm)."},
+	{MetricJobsSubmittedTotal, "counter", "Async job submissions accepted (coalesced followers included).", false},
+	{MetricJobsCoalescedTotal, "counter", "Async jobs that coalesced onto an identical in-flight execution.", false},
+	{MetricJobsCompletedTotal, "counter", "Async jobs reaching a terminal state, by outcome (ok or failed).", false},
+	{MetricJobsExpiredTotal, "counter", "Terminal async jobs reaped from the store after their TTL.", false},
+	{MetricJobsShedTotal, "counter", "Async job submissions rejected by the fair-share admission bounds.", false},
+	{MetricJobsQueueDepth, "gauge", "Async job executions waiting in the fair-share queues.", false},
+	{MetricJobsState, "gauge", "Async jobs currently retained, by state (queued, running, done, failed).", false},
+	{MetricJobLatencyQuantile, "gauge", "Streaming submit-to-completion job-latency quantile estimates (P2 algorithm).", false},
 
-	{MetricWALAppendsTotal, "counter", "Records appended to the jobs write-ahead log."},
-	{MetricWALFsyncsTotal, "counter", "Fsyncs issued by the jobs write-ahead log."},
-	{MetricWALBytes, "gauge", "Size of the current jobs write-ahead-log segment in bytes."},
-	{MetricWALReplayRecordsTotal, "counter", "Log records decoded during startup replay."},
-	{MetricJobsRecoveredTotal, "counter", "Jobs restored to a pollable state by crash recovery (finished results plus re-enqueued submissions)."},
-	{MetricJobsLostTotal, "counter", "Jobs that were mid-execution at a crash and failed as lost to restart."},
+	{MetricWALAppendsTotal, "counter", "Records appended to the jobs write-ahead log.", false},
+	{MetricWALFsyncsTotal, "counter", "Fsyncs issued by the jobs write-ahead log.", false},
+	{MetricWALBytes, "gauge", "Size of the current jobs write-ahead-log segment in bytes.", false},
+	{MetricWALReplayRecordsTotal, "counter", "Log records decoded during startup replay.", false},
+	{MetricJobsRecoveredTotal, "counter", "Jobs restored to a pollable state by crash recovery (finished results plus re-enqueued submissions).", false},
+	{MetricJobsLostTotal, "counter", "Jobs that were mid-execution at a crash and failed as lost to restart.", false},
 
-	{MetricRequestDuration, "histogram", "Request latency by endpoint."},
-	{MetricStageDuration, "histogram", "Pipeline stage latency by stage (microsecond-resolution low buckets)."},
-	{MetricRequestLatencyQuantile, "gauge", "Streaming request-latency quantile estimates (P2 algorithm) by endpoint."},
-	{MetricStageLatencyQuantile, "gauge", "Streaming stage-latency quantile estimates (P2 algorithm) by stage."},
+	{Name: MetricRequestDuration, Type: "histogram", Help: "Request latency by endpoint.", Exemplars: true},
+	{Name: MetricStageDuration, Type: "histogram", Help: "Pipeline stage latency by stage (microsecond-resolution low buckets).", Exemplars: true},
+	{MetricRequestLatencyQuantile, "gauge", "Streaming request-latency quantile estimates (P2 algorithm) by endpoint.", false},
+	{MetricStageLatencyQuantile, "gauge", "Streaming stage-latency quantile estimates (P2 algorithm) by stage.", false},
 
-	{MetricGoGoroutines, "gauge", "Current number of live goroutines."},
-	{MetricGoHeapObjectsBytes, "gauge", "Bytes of memory occupied by live heap objects."},
-	{MetricGoMemoryTotalBytes, "gauge", "All memory mapped by the Go runtime."},
-	{MetricGoGCCyclesTotal, "gauge", "Completed GC cycles since process start."},
-	{MetricGoHeapAllocsBytes, "gauge", "Cumulative bytes allocated on the heap."},
-	{MetricGoGCPauseSeconds, "gauge", "Distribution of stop-the-world GC pause latencies (quantiles)."},
-	{MetricGoSchedLatencySeconds, "gauge", "Distribution of goroutine scheduling latencies (quantiles)."},
+	{MetricTracesSampledTotal, "counter", "Requests whose span tree was sampled into the trace flight recorder.", false},
+	{MetricTraceSpansTotal, "counter", "Spans recorded into the trace flight recorder.", false},
+	{MetricTenantRequestsTotal, "counter", "Requests by tenant; unknown API keys beyond the tracked set fold into the other label.", false},
+
+	{MetricSLOObjective, "gauge", "Configured SLO objective (target good-event fraction), by SLO.", false},
+	{MetricSLOBurnRate, "gauge", "Error-budget burn rate by SLO and window (1 means burning exactly the budget).", false},
+	{MetricSLOErrorBudgetRemaining, "gauge", "Fraction of the SLO error budget remaining over the long window, by SLO.", false},
+	{MetricSLOAlert, "gauge", "SLO alert state by SLO and severity: 1 while the multi-window burn-rate condition holds.", false},
+	{MetricSLOProfileCapturesTotal, "counter", "pprof profile captures triggered by fast-burn SLO alerts.", false},
+
+	{MetricGoGoroutines, "gauge", "Current number of live goroutines.", false},
+	{MetricGoHeapObjectsBytes, "gauge", "Bytes of memory occupied by live heap objects.", false},
+	{MetricGoMemoryTotalBytes, "gauge", "All memory mapped by the Go runtime.", false},
+	{MetricGoGCCyclesTotal, "gauge", "Completed GC cycles since process start.", false},
+	{MetricGoHeapAllocsBytes, "gauge", "Cumulative bytes allocated on the heap.", false},
+	{MetricGoGCPauseSeconds, "gauge", "Distribution of stop-the-world GC pause latencies (quantiles).", false},
+	{MetricGoSchedLatencySeconds, "gauge", "Distribution of goroutine scheduling latencies (quantiles).", false},
 }
 
 // Metrics returns the full metric catalog, in exposition order. The

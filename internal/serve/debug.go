@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"robustperiod"
 	"robustperiod/internal/obs"
+	"robustperiod/internal/trace"
 )
 
 // RequestRecord is the JSON form of one flight-recorder entry, as
@@ -20,6 +22,7 @@ type RequestRecord struct {
 	ID            string                     `json:"id"`
 	Time          time.Time                  `json:"time"`
 	Endpoint      string                     `json:"endpoint"`
+	Tenant        string                     `json:"tenant,omitempty"`
 	Status        int                        `json:"status"`
 	Outcome       string                     `json:"outcome"` // ok | degraded | error
 	DurationMs    float64                    `json:"durationMs"`
@@ -42,6 +45,7 @@ func toRequestRecord(rec obs.Record, full bool) RequestRecord {
 		ID:            rec.ID.String(),
 		Time:          rec.Time,
 		Endpoint:      rec.Endpoint,
+		Tenant:        rec.Tenant,
 		Status:        rec.Status,
 		Outcome:       rec.Outcome(),
 		DurationMs:    float64(rec.Duration) / float64(time.Millisecond),
@@ -68,16 +72,33 @@ func toRequestRecord(rec obs.Record, full bool) RequestRecord {
 
 // handleRequestList serves GET /debug/requests: the flight recorder's
 // retained records, newest first, without the bulky per-record trace
-// (fetch one record by ID for that).
+// (fetch one record by ID for that). Query parameters narrow the
+// listing: ?limit= (alias ?max=) caps the result, ?outcome= keeps
+// only ok/degraded/error records, ?tenant= keeps one tenant.
 func (s *Server) handleRequestList(w http.ResponseWriter, r *http.Request) {
-	max := 0
-	if v := r.URL.Query().Get("max"); v != "" {
-		fmt.Sscanf(v, "%d", &max)
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		limit, _ = strconv.Atoi(v)
+	} else if v := q.Get("max"); v != "" {
+		limit, _ = strconv.Atoi(v)
 	}
-	recs := s.recorder.Snapshot(max)
-	out := make([]RequestRecord, len(recs))
-	for i, rec := range recs {
-		out[i] = toRequestRecord(rec, false)
+	outcome, tenant := q.Get("outcome"), q.Get("tenant")
+	// Filter over the full snapshot, then cut: limit bounds the
+	// matches returned, not the records scanned.
+	recs := s.recorder.Snapshot(0)
+	out := make([]RequestRecord, 0, len(recs))
+	for _, rec := range recs {
+		if outcome != "" && rec.Outcome() != outcome {
+			continue
+		}
+		if tenant != "" && rec.Tenant != tenant {
+			continue
+		}
+		out = append(out, toRequestRecord(rec, false))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"requests": out})
 }
@@ -102,6 +123,126 @@ func (s *Server) handleRequestByID(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toRequestRecord(rec, true))
 }
 
+// TraceSpan is the JSON form of one span of a retained trace.
+type TraceSpan struct {
+	Name       string       `json:"name"`
+	ID         string       `json:"id"`
+	Parent     string       `json:"parent,omitempty"` // absent on the trace root
+	Start      time.Time    `json:"start"`
+	DurationMs float64      `json:"durationMs"`
+	Attrs      []trace.Attr `json:"attrs,omitempty"`
+}
+
+// TraceEntry is the JSON form of one retained trace: listing facts on
+// /debug/traces, plus the span tree on /debug/traces/{traceid}.
+type TraceEntry struct {
+	TraceID    string      `json:"traceId"`
+	Time       time.Time   `json:"time"`
+	DurationMs float64     `json:"durationMs"`
+	Endpoint   string      `json:"endpoint"`
+	Tenant     string      `json:"tenant"`
+	Status     int         `json:"status"`
+	Outcome    string      `json:"outcome"`
+	SpanCount  int         `json:"spanCount"`
+	Dropped    int         `json:"dropped,omitempty"`
+	Spans      []TraceSpan `json:"spans,omitempty"`
+}
+
+// toTraceEntry converts a retained trace to wire form; withSpans
+// inlines the span tree.
+func toTraceEntry(rec trace.TraceRecord, withSpans bool) TraceEntry {
+	out := TraceEntry{
+		TraceID:    trace.SpanContext{TraceID: rec.TraceID}.TraceIDString(),
+		Time:       rec.Time,
+		DurationMs: float64(rec.Duration) / float64(time.Millisecond),
+		Endpoint:   rec.Endpoint,
+		Tenant:     rec.Tenant,
+		Status:     rec.Status,
+		Outcome:    rec.Outcome,
+		SpanCount:  len(rec.Spans),
+		Dropped:    rec.Dropped,
+	}
+	if !withSpans {
+		return out
+	}
+	out.Spans = make([]TraceSpan, len(rec.Spans))
+	for i, sp := range rec.Spans {
+		ts := TraceSpan{
+			Name:       sp.Name,
+			ID:         sp.ID.String(),
+			Start:      sp.Start,
+			DurationMs: float64(sp.Duration) / float64(time.Millisecond),
+			Attrs:      sp.Attrs,
+		}
+		if !sp.Parent.IsZero() {
+			ts.Parent = sp.Parent.String()
+		}
+		out.Spans[i] = ts
+	}
+	return out
+}
+
+// handleTraceList serves GET /debug/traces: the trace flight
+// recorder's retained traces, newest first, without span trees.
+// Query parameters narrow the listing: ?limit=, ?outcome=
+// (ok/degraded/error), ?tenant=, and ?min_ms= (keep only traces at
+// least this slow).
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var f trace.Filter
+	if v := q.Get("limit"); v != "" {
+		f.Limit, _ = strconv.Atoi(v)
+	}
+	f.Outcome = q.Get("outcome")
+	f.Tenant = q.Get("tenant")
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_min_ms",
+				"%q is not a millisecond duration", v)
+			return
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	recs := s.spans.Snapshot(f)
+	out := make([]TraceEntry, len(recs))
+	for i, rec := range recs {
+		out[i] = toTraceEntry(rec, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+// handleTraceByID serves GET /debug/traces/{traceid}: the full span
+// tree of one trace, addressed by the 32-hex trace ID the request's
+// traceparent response header carried.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("traceid")
+	id, ok := obs.ParseID(raw)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad_trace_id",
+			"%q is not a trace ID (32 hex characters)", raw)
+		return
+	}
+	rec, ok := s.spans.Lookup([16]byte(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_trace_id",
+			"trace %s is not in the trace flight recorder (evicted or never sampled)", raw)
+		return
+	}
+	writeJSON(w, http.StatusOK, toTraceEntry(rec, true))
+}
+
+// handleSLO serves GET /debug/slo: every objective's evaluated
+// multi-window burn-rate state, the rollup, and the post-mortem
+// profile captures retained on disk.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"objectives":      s.sloEng.Status(),
+		"firing":          s.sloEng.Firing(),
+		"profileCaptures": s.profiles.Captures(),
+	})
+}
+
 // DebugHandler returns the handler served on Config.DebugAddr:
 //
 //	GET /debug/pprof/          pprof index (profile, heap, goroutine,
@@ -111,8 +252,15 @@ func (s *Server) handleRequestByID(w http.ResponseWriter, r *http.Request) {
 //	                           /metrics view)
 //	GET /debug/requests        flight recorder: recent + pinned
 //	                           request records, newest first
+//	                           (?limit= ?outcome= ?tenant=)
 //	GET /debug/requests/{id}   one record by X-Request-ID, with the
 //	                           per-stage trace and degradations
+//	GET /debug/traces          trace flight recorder: sampled span
+//	                           trees, newest first
+//	                           (?limit= ?outcome= ?tenant= ?min_ms=)
+//	GET /debug/traces/{id}     one span tree by 32-hex trace ID
+//	GET /debug/slo             evaluated SLO burn rates and retained
+//	                           profile captures
 //
 // The pprof handlers are mounted explicitly on a private mux — the
 // net/http/pprof side-effect registration on http.DefaultServeMux is
@@ -131,6 +279,9 @@ func (s *Server) DebugHandler() http.Handler {
 	})
 	mux.HandleFunc("GET /debug/requests", s.handleRequestList)
 	mux.HandleFunc("GET /debug/requests/{id}", s.handleRequestByID)
+	mux.HandleFunc("GET /debug/traces", s.handleTraceList)
+	mux.HandleFunc("GET /debug/traces/{traceid}", s.handleTraceByID)
+	mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -142,6 +293,9 @@ func (s *Server) DebugHandler() http.Handler {
 		fmt.Fprintln(w, "  /debug/vars           expvar metrics (JSON)")
 		fmt.Fprintln(w, "  /debug/requests       flight recorder (recent requests)")
 		fmt.Fprintln(w, "  /debug/requests/{id}  one request by X-Request-ID")
+		fmt.Fprintln(w, "  /debug/traces         trace flight recorder (sampled span trees)")
+		fmt.Fprintln(w, "  /debug/traces/{id}    one span tree by trace ID")
+		fmt.Fprintln(w, "  /debug/slo            SLO burn rates and profile captures")
 	})
 	return mux
 }

@@ -24,6 +24,8 @@ import (
 	"robustperiod/internal/faults"
 	"robustperiod/internal/jobs"
 	"robustperiod/internal/obs"
+	"robustperiod/internal/registry"
+	"robustperiod/internal/trace"
 )
 
 // APIOptions is the JSON surface of robustperiod.Options. Every field
@@ -357,9 +359,29 @@ func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *AP
 		opts = &robustperiod.Options{}
 	}
 	opts.Trace = robustperiod.NewTrace()
+	// When the request is sampled, attach its span recording to the
+	// stage trace — every pipeline stage timer then also emits a span,
+	// with zero changes at the core/spectrum call sites — and time the
+	// queue wait and the execution as spans of their own.
+	var spanRec *trace.Recording
+	var rootID trace.SpanID
+	if scope := obs.FromContext(ctx); scope != nil {
+		if rec, ok := scope.Spans.(*trace.Recording); ok && rec != nil {
+			spanRec = rec
+			rootID = rec.Context().SpanID
+			opts.Trace.AttachSpans(rec, rootID)
+		}
+	}
+	var submitted time.Time
+	if spanRec != nil {
+		submitted = time.Now()
+	}
 
 	out := make(chan detOut, 1)
 	job := func() {
+		if spanRec != nil {
+			spanRec.AddSpan(registry.SpanQueueWait, rootID, submitted, time.Since(submitted))
+		}
 		// A panic inside the detection must not kill the worker
 		// goroutine — that would permanently shrink the pool. It is
 		// converted to an error the handler maps to a structured 500.
@@ -378,6 +400,9 @@ func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *AP
 		}
 		jobStart := time.Now()
 		res, err := robustperiod.DetectDetailsContext(ctx, series, opts)
+		if spanRec != nil {
+			spanRec.AddSpan(registry.SpanJobExec, rootID, jobStart, time.Since(jobStart))
+		}
 		if err == nil {
 			s.observeJobTime(time.Since(jobStart))
 		}
@@ -393,7 +418,11 @@ func (s *Server) runDetection(ctx context.Context, series []float64, apiOpts *AP
 	if len(o.res.Degraded) > 0 {
 		s.metrics.degradedTotal.Add(1)
 	}
-	s.metrics.observeStages(o.res.Trace)
+	exTrace := ""
+	if spanRec != nil {
+		exTrace = spanRec.Context().TraceIDString()
+	}
+	s.metrics.observeStages(o.res.Trace, exTrace)
 	if !bypassCache {
 		s.cache.add(key, o.res)
 	}
@@ -640,15 +669,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz serves GET /healthz.
+// handleHealthz serves GET /healthz. While an SLO burn-rate alert is
+// firing the service reports degraded-but-up: still 200 (the process
+// serves traffic; flapping a load balancer on a burn alert would turn
+// a partial outage into a full one), but with the evaluated SLO state
+// inlined so probes and humans see what is burning.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.sloEng.Firing() {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "degraded",
+			"slo":    s.sloEng.Status(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleMetrics serves GET /metrics: the Prometheus text exposition
-// (format 0.0.4). The expvar JSON view of the same counters stays
-// available on the debug listener at /debug/vars.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", obs.PromContentType)
-	_ = s.metrics.writeProm(w)
+// handleMetrics serves GET /metrics, content-negotiated: OpenMetrics
+// 1.0 with trace-ID bucket exemplars when the scraper asks for it
+// (Accept: application/openmetrics-text), the classic Prometheus
+// 0.0.4 text format otherwise. The expvar JSON view of the same
+// counters stays available on the debug listener at /debug/vars.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ct := obs.NegotiateContentType(r.Header.Get("Accept"))
+	w.Header().Set("Content-Type", ct)
+	_ = s.metrics.writeProm(w, ct == obs.OpenMetricsContentType)
 }

@@ -90,7 +90,9 @@ func (s *Server) execJob(ctx context.Context, payload any) (any, bool, error) {
 	if len(res.Degraded) > 0 {
 		s.metrics.degradedTotal.Add(1)
 	}
-	s.metrics.observeStages(res.Trace)
+	// Async executions run after their submitting request finished, so
+	// there is no live span recording to pin exemplars from.
+	s.metrics.observeStages(res.Trace, "")
 	s.cache.add(jp.key, res)
 	return res, len(res.Degraded) > 0, nil
 }
@@ -142,7 +144,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	key := requestKey(req.Series, req.Options.canonicalTag())
 	payload := &jobPayload{series: req.Series, apiOpts: req.Options, key: key, details: req.Details}
-	j, err := s.jobs.Submit(tenant, jobKey(key), len(req.Series), payload)
+	j, err := s.jobs.Submit(r.Context(), tenant, jobKey(key), len(req.Series), payload)
 	if err != nil {
 		status, apiErr := toJobSubmitError(err)
 		if scope != nil {

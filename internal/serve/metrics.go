@@ -12,6 +12,7 @@ import (
 	"robustperiod/internal/jobs"
 	"robustperiod/internal/obs"
 	"robustperiod/internal/registry"
+	"robustperiod/internal/slo"
 	"robustperiod/internal/trace"
 )
 
@@ -39,6 +40,19 @@ type histogram struct {
 	counts []uint64 // one per bucket, plus a final +Inf bucket
 	total  uint64
 	sumMS  float64
+	// ex holds the latest exemplar per bucket (seconds), lazily
+	// allocated on the first traced observation so histograms that
+	// never see a sampled request stay exemplar-free.
+	ex []bucketExemplar
+}
+
+// bucketExemplar is the newest sampled observation of one bucket: the
+// trace to look at when asking "what does a request in this latency
+// band look like".
+type bucketExemplar struct {
+	traceID string
+	value   float64 // seconds, <= the bucket bound by construction
+	ts      float64 // unix seconds
 }
 
 func newHistogram(bounds []float64) *histogram {
@@ -47,22 +61,66 @@ func newHistogram(bounds []float64) *histogram {
 
 // Observe records one request duration.
 func (h *histogram) Observe(d time.Duration) {
+	h.ObserveTraced(d, "", time.Time{})
+}
+
+// ObserveTraced records one duration and, when the observation came
+// from a sampled request, pins its trace ID as the bucket's exemplar.
+func (h *histogram) ObserveTraced(d time.Duration, traceID string, now time.Time) {
 	ms := float64(d) / float64(time.Millisecond)
 	i := sort.SearchFloat64s(h.bounds, ms)
 	h.mu.Lock()
 	h.counts[i]++
 	h.total++
 	h.sumMS += ms
+	if traceID != "" {
+		if h.ex == nil {
+			h.ex = make([]bucketExemplar, len(h.counts))
+		}
+		h.ex[i] = bucketExemplar{
+			traceID: traceID,
+			value:   ms / 1000,
+			ts:      float64(now.UnixMilli()) / 1000,
+		}
+	}
 	h.mu.Unlock()
 }
 
-// snapshot copies the counts for rendering outside the lock.
-func (h *histogram) snapshot() (counts []uint64, total uint64, sumMS float64) {
+// countUnder reports how many observations landed in buckets bounded
+// at or under boundMS, and the total observation count — the latency
+// SLO's good/total pair.
+func (h *histogram) countUnder(boundMS float64) (under, total float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, b := range h.bounds {
+		if b <= boundMS {
+			under += float64(h.counts[i])
+		}
+	}
+	return under, float64(h.total)
+}
+
+// snapshot copies the counts and per-bucket exemplars for rendering
+// outside the lock; ex is nil when no traced observation ever landed.
+func (h *histogram) snapshot() (counts []uint64, total uint64, sumMS float64, ex []obs.Exemplar) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	counts = make([]uint64, len(h.counts))
 	copy(counts, h.counts)
-	return counts, h.total, h.sumMS
+	if h.ex != nil {
+		ex = make([]obs.Exemplar, len(h.counts))
+		for i, e := range h.ex {
+			if e.traceID == "" {
+				continue
+			}
+			ex[i] = obs.Exemplar{
+				Labels: []obs.Label{{Name: "trace_id", Value: e.traceID}},
+				Value:  e.value,
+				Ts:     e.ts,
+			}
+		}
+	}
+	return counts, h.total, h.sumMS, ex
 }
 
 // String renders the histogram as a JSON object with cumulative
@@ -125,6 +183,15 @@ type metrics struct {
 	jobLatQ *obs.Quantiles
 	jobEWMA func() float64
 
+	// Span tracing and tenant accounting (registerTracing).
+	tracesSampled *expvar.Int
+	traceSpans    *expvar.Int
+	tenants       *tenantCounts
+
+	// SLO engine hooks (registerSLO).
+	sloStatus       func() []slo.Status
+	profileCaptures *expvar.Int
+
 	runtime *obs.RuntimeSampler
 }
 
@@ -139,6 +206,9 @@ func newMetrics(endpoints []string, queueDepth, cacheLen func() int) *metrics {
 		cacheMisses:     new(expvar.Int),
 		panicsRecovered: new(expvar.Int),
 		degradedTotal:   new(expvar.Int),
+		tracesSampled:   new(expvar.Int),
+		traceSpans:      new(expvar.Int),
+		profileCaptures: new(expvar.Int),
 		latency:         make(map[string]*histogram, len(endpoints)),
 		latQ:            make(map[string]*obs.Quantiles, len(endpoints)),
 		stageQ:          make(map[string]*obs.Quantiles),
@@ -254,17 +324,47 @@ func (m *metrics) registerJobs(mgr *jobs.Manager, latQ *obs.Quantiles, ewma func
 	m.vars.Set("admission_job_time_seconds", expvar.Func(func() any { return ewma() }))
 }
 
+// registerTracing exposes the span-tracing counters and the capped
+// per-tenant request counts on /debug/vars and, via writeProm, the
+// exposition.
+func (m *metrics) registerTracing(t *tenantCounts) {
+	m.tenants = t
+	m.vars.Set("traces_sampled_total", m.tracesSampled)
+	m.vars.Set("trace_spans_total", m.traceSpans)
+	m.vars.Set("tenant_requests", expvar.Func(func() any {
+		labels, counts := t.snapshot()
+		out := make(map[string]uint64, len(labels))
+		for i, l := range labels {
+			out[l] = counts[i]
+		}
+		return out
+	}))
+}
+
+// registerSLO exposes the burn-rate engine's evaluated objectives and
+// the post-mortem capture counter.
+func (m *metrics) registerSLO(eng *slo.Engine) {
+	m.sloStatus = eng.Status
+	m.vars.Set("slo", expvar.Func(func() any { return eng.Status() }))
+	m.vars.Set("slo_profile_captures_total", m.profileCaptures)
+}
+
 // observeStages folds one detection's per-stage wall times into the
-// stage latency histograms and quantile estimators. Stages outside
-// the canonical pipeline set are ignored (the histogram keys are
-// fixed at construction).
-func (m *metrics) observeStages(s *trace.Summary) {
+// stage latency histograms and quantile estimators, pinning the
+// sampled request's trace ID as each stage bucket's exemplar. Stages
+// outside the canonical pipeline set are ignored (the histogram keys
+// are fixed at construction).
+func (m *metrics) observeStages(s *trace.Summary, traceID string) {
 	if s == nil {
 		return
 	}
+	now := time.Time{}
+	if traceID != "" {
+		now = time.Now()
+	}
 	for _, st := range s.Stages {
 		if h, ok := m.stageLat[st.Name]; ok {
-			h.Observe(st.Duration)
+			h.ObserveTraced(st.Duration, traceID, now)
 		}
 		m.stageQ[st.Name].Observe(st.Duration.Seconds())
 	}
@@ -289,14 +389,20 @@ func (m *metrics) annotateStageQuantiles(ts *TraceSummary) {
 	}
 }
 
-// observe records one finished request on endpoint ep.
-func (m *metrics) observe(ep string, d time.Duration, status int) {
+// observe records one finished request on endpoint ep. traceID is the
+// sampled request's trace ID (empty when unsampled) and becomes the
+// latency bucket's exemplar.
+func (m *metrics) observe(ep string, d time.Duration, status int, traceID string) {
 	m.requests.Add(ep, 1)
 	if status >= 400 {
 		m.errors.Add(ep, 1)
 	}
 	if h, ok := m.latency[ep]; ok {
-		h.Observe(d)
+		now := time.Time{}
+		if traceID != "" {
+			now = time.Now()
+		}
+		h.ObserveTraced(d, traceID, now)
 	}
 	m.latQ[ep].Observe(d.Seconds())
 }
@@ -324,23 +430,30 @@ func breakerStateCode(state string) float64 {
 }
 
 // promHistogram renders one histogram series, converting the
-// millisecond-denominated buckets to base-unit seconds.
+// millisecond-denominated buckets to base-unit seconds and attaching
+// the per-bucket trace-ID exemplars (emitted only in OpenMetrics
+// mode; the writer drops them in 0.0.4 output).
 func promHistogram(p *obs.PromWriter, name string, labels []obs.Label, h *histogram) {
-	counts, _, sumMS := h.snapshot()
+	counts, _, sumMS, ex := h.snapshot()
 	boundsSec := make([]float64, len(h.bounds))
 	for i, b := range h.bounds {
 		boundsSec[i] = b / 1000
 	}
-	p.Histogram(name, labels, boundsSec, counts, sumMS/1000)
+	p.HistogramExemplars(name, labels, boundsSec, counts, sumMS/1000, ex)
 }
 
-// writeProm renders the full Prometheus text exposition: build info,
-// request/error/shed counters, gauges, breaker states, latency and
-// stage histograms (seconds), streaming quantiles, and the runtime
-// gauges. Families and series are emitted in sorted label order so
-// scrapes are diffable.
-func (m *metrics) writeProm(w io.Writer) error {
+// writeProm renders the full text exposition — Prometheus 0.0.4, or
+// OpenMetrics 1.0 with bucket exemplars and the terminal # EOF when
+// openMetrics is set: build info, request/error/shed counters,
+// gauges, breaker states, tenant and tracing counters, SLO burn
+// rates, latency and stage histograms (seconds), streaming quantiles,
+// and the runtime gauges. Families and series are emitted in sorted
+// label order so scrapes are diffable.
+func (m *metrics) writeProm(w io.Writer, openMetrics bool) error {
 	p := obs.NewPromWriter(w)
+	if openMetrics {
+		p = obs.NewOpenMetricsWriter(w)
+	}
 	obs.GetBuildInfo().WriteProm(p)
 
 	p.Family(registry.MetricRequestsTotal, "HTTP requests served, by endpoint.", "counter")
@@ -436,6 +549,52 @@ func (m *metrics) writeProm(w io.Writer) error {
 		}
 	}
 
+	if m.tenants != nil {
+		p.Family(registry.MetricTenantRequestsTotal, "Requests by tenant; unknown API keys beyond the tracked set fold into the other label.", "counter")
+		labels, counts := m.tenants.snapshot()
+		for i, l := range labels {
+			p.Sample(registry.MetricTenantRequestsTotal, []obs.Label{{Name: "tenant", Value: l}}, float64(counts[i]))
+		}
+	}
+	p.Family(registry.MetricTracesSampledTotal, "Requests whose span tree was sampled into the trace flight recorder.", "counter")
+	p.Sample(registry.MetricTracesSampledTotal, nil, float64(m.tracesSampled.Value()))
+	p.Family(registry.MetricTraceSpansTotal, "Spans recorded into the trace flight recorder.", "counter")
+	p.Sample(registry.MetricTraceSpansTotal, nil, float64(m.traceSpans.Value()))
+
+	if m.sloStatus != nil {
+		sts := m.sloStatus()
+		p.Family(registry.MetricSLOObjective, "Configured SLO objective (target good-event fraction), by SLO.", "gauge")
+		for _, st := range sts {
+			p.Sample(registry.MetricSLOObjective, []obs.Label{{Name: "slo", Value: st.Name}}, st.Target)
+		}
+		p.Family(registry.MetricSLOBurnRate, "Error-budget burn rate by SLO and window (1 means burning exactly the budget).", "gauge")
+		for _, st := range sts {
+			for _, ws := range st.Windows {
+				p.Sample(registry.MetricSLOBurnRate,
+					[]obs.Label{{Name: "slo", Value: st.Name}, {Name: "window", Value: ws.ShortStr}}, ws.ShortBurn)
+				p.Sample(registry.MetricSLOBurnRate,
+					[]obs.Label{{Name: "slo", Value: st.Name}, {Name: "window", Value: ws.LongStr}}, ws.LongBurn)
+			}
+		}
+		p.Family(registry.MetricSLOErrorBudgetRemaining, "Fraction of the SLO error budget remaining over the long window, by SLO.", "gauge")
+		for _, st := range sts {
+			p.Sample(registry.MetricSLOErrorBudgetRemaining, []obs.Label{{Name: "slo", Value: st.Name}}, st.BudgetRemaining)
+		}
+		p.Family(registry.MetricSLOAlert, "SLO alert state by SLO and severity: 1 while the multi-window burn-rate condition holds.", "gauge")
+		for _, st := range sts {
+			for _, ws := range st.Windows {
+				v := 0.0
+				if ws.Firing {
+					v = 1
+				}
+				p.Sample(registry.MetricSLOAlert,
+					[]obs.Label{{Name: "severity", Value: ws.Severity}, {Name: "slo", Value: st.Name}}, v)
+			}
+		}
+		p.Family(registry.MetricSLOProfileCapturesTotal, "pprof profile captures triggered by fast-burn SLO alerts.", "counter")
+		p.Sample(registry.MetricSLOProfileCapturesTotal, nil, float64(m.profileCaptures.Value()))
+	}
+
 	p.Family(registry.MetricRequestDuration, "Request latency by endpoint.", "histogram")
 	for _, ep := range m.endpoints {
 		promHistogram(p, registry.MetricRequestDuration, []obs.Label{{Name: "endpoint", Value: ep}}, m.latency[ep])
@@ -455,5 +614,6 @@ func (m *metrics) writeProm(w io.Writer) error {
 	}
 
 	m.runtime.WriteProm(p)
+	p.EOF()
 	return p.Err()
 }

@@ -16,12 +16,16 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"robustperiod/internal/faults"
 	"robustperiod/internal/jobs"
 	"robustperiod/internal/obs"
+	"robustperiod/internal/registry"
+	"robustperiod/internal/slo"
+	"robustperiod/internal/trace"
 	"robustperiod/internal/wal"
 )
 
@@ -99,6 +103,34 @@ type Config struct {
 	// "always" (default), "never", or a positive Go duration for
 	// interval fsync (e.g. "100ms").
 	JobsFsync string
+	// TraceSampleEvery head-samples every Nth compute request into the
+	// span flight recorder; 0 means 16, 1 samples every request,
+	// negative disables head sampling. A request arriving with a
+	// sampled W3C traceparent header is always recorded regardless.
+	TraceSampleEvery int
+	// TraceStoreSize bounds the trace flight recorder (recent ring plus
+	// as many pinned error/degraded traces); 0 means 256.
+	TraceStoreSize int
+	// SLOInterval is the burn-rate engine's sampling cadence; 0 means 10s.
+	SLOInterval time.Duration
+	// SLOLatencyTarget is the latency objective's threshold: the
+	// latency SLO counts a request good when it finished under this
+	// bound; 0 means 500ms.
+	SLOLatencyTarget time.Duration
+	// SLOWindows overrides the burn-rate alerting windows; nil selects
+	// the SRE-workbook defaults (5m/1h at 14.4x, 30m/6h at 6x).
+	SLOWindows []slo.Window
+	// ProfileDir enables post-mortem profile capture: a fast-burn SLO
+	// alert writes CPU and heap profiles into a bounded ring of capture
+	// directories under this path. Empty disables capture.
+	ProfileDir string
+	// ProfileMax bounds retained capture directories; 0 means 8.
+	ProfileMax int
+	// ProfileCPU is the CPU-profile window of one capture; 0 means 2s.
+	ProfileCPU time.Duration
+	// TenantMaxLabels caps the distinct tenant labels tracked from
+	// X-API-Key before unknown keys fold into "other"; 0 means 64.
+	TenantMaxLabels int
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +160,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecorderSize <= 0 {
 		c.RecorderSize = 256
+	}
+	if c.TraceSampleEvery == 0 {
+		c.TraceSampleEvery = 16
+	}
+	if c.TraceStoreSize <= 0 {
+		c.TraceStoreSize = 256
+	}
+	if c.SLOInterval <= 0 {
+		c.SLOInterval = 10 * time.Second
+	}
+	if c.SLOLatencyTarget <= 0 {
+		c.SLOLatencyTarget = 500 * time.Millisecond
+	}
+	if c.TenantMaxLabels <= 0 {
+		c.TenantMaxLabels = 64
 	}
 	return c
 }
@@ -164,6 +211,20 @@ type Server struct {
 	jobs    *jobs.Manager
 	jobLatQ *obs.Quantiles
 
+	// Span tracing: the trace flight recorder behind /debug/traces,
+	// the head-sampling counter, and the tenant-label cap shared by
+	// metrics and recorders.
+	spans    *trace.SpanStore
+	traceCtr atomic.Uint64
+	tenants  *tenantCounts
+
+	// SLO burn-rate engine, its ticker-stop channel, and the
+	// post-mortem profile ring its fast-burn edge hook writes into.
+	sloEng   *slo.Engine
+	sloDone  chan struct{}
+	sloStop  sync.Once
+	profiles *slo.ProfileRing
+
 	// breakers guard the compute endpoints (nil entries never trip).
 	breakers map[string]*breaker
 	// draining flips once shutdown begins: compute requests arriving
@@ -188,6 +249,11 @@ func New(cfg Config) (*Server, error) {
 		logger:   cfg.Logger,
 		recorder: obs.NewRecorder(cfg.RecorderSize),
 		jobLatQ:  obs.NewQuantiles(),
+		spans:    trace.NewSpanStore(cfg.TraceStoreSize),
+		tenants:  newTenantCounts(cfg.TenantMaxLabels),
+	}
+	if cfg.ProfileDir != "" {
+		s.profiles = slo.NewProfileRing(cfg.ProfileDir, cfg.ProfileMax, cfg.ProfileCPU)
 	}
 	var durability *jobs.Durability
 	if cfg.JobsDataDir != "" {
@@ -243,6 +309,23 @@ func New(cfg Config) (*Server, error) {
 	s.metrics.registerJobs(s.jobs, s.jobLatQ, func() float64 {
 		return math.Float64frombits(s.jobEWMA.Load()) / float64(time.Second)
 	})
+	s.metrics.registerTracing(s.tenants)
+	// The SLO engine samples the metrics counters just registered:
+	// availability counts every compute request not answered with an
+	// error or shed status, latency counts requests finishing under the
+	// configured bound. A fast-burn rising edge captures profiles.
+	s.sloEng = slo.New(slo.Config{
+		Objectives: []slo.Objective{
+			{Name: "availability", Target: 0.999, Source: s.availabilitySource},
+			{Name: "latency", Target: 0.99, Source: s.latencySource},
+		},
+		Windows:    cfg.SLOWindows,
+		Interval:   cfg.SLOInterval,
+		OnFastBurn: s.onFastBurn,
+	})
+	s.metrics.registerSLO(s.sloEng)
+	s.sloDone = make(chan struct{})
+	go s.sloEng.Run(s.sloDone)
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/detect", s.instrument(epDetect, s.handleDetect))
 	s.mux.Handle("POST /v1/detect/batch", s.instrument(epBatch, s.handleBatch))
@@ -262,11 +345,94 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // the HTTP listener has stopped accepting requests. Idempotent.
 func (s *Server) Close() {
 	s.draining.Store(true)
+	s.sloStop.Do(func() { close(s.sloDone) })
 	// Order matters: the job manager must stop dispatching before the
 	// pool closes (its dispatcher blocks in pool.submit under load);
 	// executions already on the pool finish inside the pool drain.
 	s.jobs.Close()
 	s.pool.close()
+}
+
+// availabilitySource feeds the availability SLO: good is every
+// compute-endpoint request that was not answered with an error status
+// (shed 429/503 responses land in the error counters too, so a shed
+// request burns budget — overload is an availability failure from the
+// client's side of the wire).
+func (s *Server) availabilitySource() (good, total float64) {
+	for _, ep := range []string{epDetect, epBatch, epJobs} {
+		req := expvarInt(s.metrics.requests, ep)
+		errs := expvarInt(s.metrics.errors, ep)
+		total += req
+		good += req - errs
+	}
+	return good, total
+}
+
+// latencySource feeds the latency SLO from the compute endpoints'
+// latency histograms: good is every request that finished within the
+// configured target.
+func (s *Server) latencySource() (good, total float64) {
+	targetMS := float64(s.cfg.SLOLatencyTarget) / float64(time.Millisecond)
+	for _, ep := range []string{epDetect, epBatch, epJobs} {
+		g, t := s.metrics.latency[ep].countUnder(targetMS)
+		good += g
+		total += t
+	}
+	return good, total
+}
+
+// onFastBurn is the SLO engine's rising-edge hook: log the page-worthy
+// event and capture post-mortem profiles. The capture blocks for the
+// CPU-profile window, so it runs off the engine's tick goroutine.
+func (s *Server) onFastBurn(objective string) {
+	if s.logger != nil {
+		s.logger.Warn("slo fast burn", slog.String("objective", objective))
+	}
+	if s.profiles == nil {
+		return
+	}
+	go func() {
+		dir, err := s.profiles.Capture("fast_burn-" + objective)
+		switch {
+		case err != nil:
+			if s.logger != nil {
+				s.logger.Error("profile capture failed",
+					slog.String("objective", objective), slog.Any("error", err))
+			}
+		case dir != "":
+			s.metrics.profileCaptures.Add(1)
+			if s.logger != nil {
+				s.logger.Warn("captured post-mortem profiles",
+					slog.String("objective", objective), slog.String("dir", dir))
+			}
+		}
+	}()
+}
+
+// mintSpanID derives a fresh span ID from the server's request-ID
+// mint (the low half of a 128-bit splitmix64 ID is itself uniformly
+// distributed).
+func (s *Server) mintSpanID() trace.SpanID {
+	id := s.idGen.Next()
+	var sp trace.SpanID
+	copy(sp[:], id[8:])
+	if sp.IsZero() { // the all-zero span ID is invalid on the wire
+		sp[7] = 1
+	}
+	return sp
+}
+
+// sampleTrace is the head-sampling decision for a request without an
+// incoming sampled trace context.
+func (s *Server) sampleTrace() bool {
+	n := s.cfg.TraceSampleEvery
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
+		return true
+	}
+	return s.traceCtr.Add(1)%uint64(n) == 1
 }
 
 // statusRecorder captures the response status for metrics.
@@ -307,7 +473,8 @@ func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		defer func() { s.metrics.observe(ep, time.Since(start), rec.status) }()
+		exemplarTrace := "" // trace ID riding the latency histogram, sampled requests only
+		defer func() { s.metrics.observe(ep, time.Since(start), rec.status, exemplarTrace) }()
 
 		if computeEndpoint(ep) {
 			// Mint the correlation ID at admission — before any gate can
@@ -319,9 +486,41 @@ func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
 				Endpoint: ep,
 				Start:    start,
 			}
+			scope.Tenant = s.tenants.observe(r.Header.Get(TenantHeader))
+			// W3C trace context: continue an incoming traceparent (same
+			// trace ID, fresh span ID, remote span as the root's parent)
+			// or mint a context from the request ID. An incoming sampled
+			// flag forces recording; otherwise head sampling decides. The
+			// sampled-out path allocates nothing: the nil *Recording is
+			// carried through the whole pipeline by pointer compares.
+			tp, hasTP := trace.ParseTraceparent(r.Header.Get("traceparent"))
+			sc := trace.SpanContext{SpanID: s.mintSpanID()}
+			if hasTP {
+				sc.TraceID = tp.TraceID
+			} else {
+				sc.TraceID = [16]byte(scope.ID)
+			}
+			sc.Sampled = (hasTP && tp.Sampled) || s.sampleTrace()
+			var spanRec *trace.Recording
+			var remoteParent trace.SpanID
+			if hasTP {
+				remoteParent = tp.SpanID
+			}
+			if sc.Sampled {
+				spanRec = trace.NewRecording(sc, 0)
+				scope.Spans = spanRec
+				s.metrics.tracesSampled.Add(1)
+				exemplarTrace = sc.TraceIDString()
+			}
+			// Echo the (possibly minted) context so the caller can fetch
+			// /debug/traces/{traceid}; requests that neither carried nor
+			// sampled a trace stay header-free and allocation-free.
+			if hasTP || sc.Sampled {
+				rec.Header().Set("traceparent", sc.Traceparent())
+			}
 			rec.Header().Set("X-Request-ID", scope.ID.String())
 			r = r.WithContext(obs.NewContext(r.Context(), scope))
-			defer s.finishRequest(scope, rec, start)
+			defer s.finishRequest(scope, spanRec, remoteParent, rec, start)
 
 			if s.draining.Load() {
 				s.metrics.shed.Add(ep, 1)
@@ -369,14 +568,16 @@ func (s *Server) instrument(ep string, h http.HandlerFunc) http.Handler {
 }
 
 // finishRequest commits one completed compute request to the flight
-// recorder and emits the sampled access log. Runs deferred from
-// instrument, after the handler (and the panic-recovery net) finished
-// annotating the scope.
-func (s *Server) finishRequest(scope *obs.Scope, rec *statusRecorder, start time.Time) {
+// recorders — the request record always, the span tree when the
+// request was sampled — and emits the sampled access log. Runs
+// deferred from instrument, after the handler (and the panic-recovery
+// net) finished annotating the scope.
+func (s *Server) finishRequest(scope *obs.Scope, spanRec *trace.Recording, remoteParent trace.SpanID, rec *statusRecorder, start time.Time) {
 	record := obs.Record{
 		ID:            scope.ID,
 		Time:          start,
 		Endpoint:      scope.Endpoint,
+		Tenant:        scope.Tenant,
 		Status:        rec.status,
 		Duration:      time.Since(start),
 		SeriesLen:     scope.SeriesLen,
@@ -391,6 +592,27 @@ func (s *Server) finishRequest(scope *obs.Scope, rec *statusRecorder, start time
 		Trace:         scope.Trace,
 	}
 	s.recorder.Record(&record)
+	if spanRec != nil {
+		spanRec.FinishRoot(registry.SpanRequest, remoteParent, start, record.Duration,
+			trace.Attr{Key: "endpoint", Value: scope.Endpoint},
+			trace.Attr{Key: "status", Value: strconv.Itoa(rec.status)},
+			trace.Attr{Key: "tenant", Value: scope.Tenant},
+			trace.Attr{Key: "request_id", Value: scope.ID.String()},
+		)
+		tr := trace.TraceRecord{
+			TraceID:  spanRec.Context().TraceID,
+			Time:     start,
+			Duration: record.Duration,
+			Endpoint: scope.Endpoint,
+			Tenant:   scope.Tenant,
+			Status:   rec.status,
+			Outcome:  record.Outcome(),
+			Spans:    spanRec.Spans(),
+			Dropped:  spanRec.Dropped(),
+		}
+		s.spans.Add(&tr)
+		s.metrics.traceSpans.Add(int64(len(tr.Spans)))
+	}
 	if s.logger == nil {
 		return
 	}

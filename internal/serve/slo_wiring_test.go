@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSLOFastBurnDegradesHealthAndCapturesProfile drives the SLO
+// pipeline end to end inside the server: a burst of failing requests
+// burns the availability budget, a manual engine tick (the background
+// ticker is parked on a one-hour interval to keep the test
+// deterministic) trips the fast-burn alert, /healthz flips to
+// degraded-but-up, /debug/slo reports the firing objective, the
+// rp_slo_* families show it on the scrape, and the alert's pprof
+// capture lands in the on-disk ring.
+func TestSLOFastBurnDegradesHealthAndCapturesProfile(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		SLOInterval: time.Hour,
+		ProfileDir:  dir,
+		ProfileCPU:  10 * time.Millisecond,
+	})
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	// Healthy first: /healthz is plain ok before any burn.
+	res, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("pre-burn health = %v", health["status"])
+	}
+
+	// 100% error traffic: empty series fails validation with a 400,
+	// which lands in the per-endpoint error counter the availability
+	// SLO reads.
+	for i := 0; i < 20; i++ {
+		r, err := http.Post(ts.URL+"/v1/detect", "application/json",
+			strings.NewReader(`{"series":[]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("expected 400, got %d", r.StatusCode)
+		}
+	}
+
+	// Two ticks: the first seeds the counter series, the second
+	// computes window rates (the short-history fallback uses the
+	// oldest sample, so an all-error series fires immediately).
+	s.sloEng.Tick()
+	s.sloEng.Tick()
+	if !s.sloEng.Firing() {
+		t.Fatalf("availability fast burn did not fire: %+v", s.sloEng.Status())
+	}
+
+	// /healthz degrades but stays 200: load balancers keep routing,
+	// operators see the objective that is burning.
+	res, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health = map[string]any{}
+	if err := json.NewDecoder(res.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("degraded /healthz must stay 200, got %d", res.StatusCode)
+	}
+	if health["status"] != "degraded" {
+		t.Fatalf("post-burn health = %v", health["status"])
+	}
+
+	// /debug/slo mirrors the engine.
+	res, err = http.Get(dbg.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sloBody struct {
+		Firing     bool `json:"firing"`
+		Objectives []struct {
+			Name    string `json:"name"`
+			Windows []struct {
+				Firing bool `json:"firing"`
+			} `json:"windows"`
+		} `json:"objectives"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&sloBody); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if !sloBody.Firing {
+		t.Fatalf("/debug/slo firing=false while engine fires")
+	}
+
+	// Scrape: the alert gauge is 1 for availability.
+	scrape, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 1<<20)
+	n, _ := scrape.Body.Read(raw)
+	for {
+		m, err := scrape.Body.Read(raw[n:])
+		n += m
+		if err != nil || n == len(raw) {
+			break
+		}
+	}
+	scrape.Body.Close()
+	text := string(raw[:n])
+	if !strings.Contains(text, `rp_slo_alert{severity="fast",slo="availability"} 1`) {
+		t.Fatalf("rp_slo_alert not firing on the scrape:\n%s", grepLines(text, "rp_slo_"))
+	}
+	if !strings.Contains(text, `rp_slo_burn_rate{slo="availability"`) {
+		t.Fatalf("rp_slo_burn_rate missing:\n%s", grepLines(text, "rp_slo_"))
+	}
+
+	// The rising edge captured a profile bundle into the ring
+	// (asynchronously — the CPU window blocks ~ProfileCPU).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, _ := os.ReadDir(dir)
+		found := false
+		for _, e := range entries {
+			if !e.IsDir() || !strings.Contains(e.Name(), "fast_burn-availability") {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, e.Name(), "cpu.pprof")); err == nil {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no fast-burn profile capture landed in %s", dir)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A second tick while still firing must not capture again (the
+	// trigger is edge-, not level-, sensitive).
+	before := len(s.profiles.Captures())
+	s.sloEng.Tick()
+	time.Sleep(50 * time.Millisecond)
+	if after := len(s.profiles.Captures()); after != before {
+		t.Fatalf("level-triggered recapture: %d -> %d", before, after)
+	}
+}
+
+// grepLines filters text to lines containing substr, for test
+// failure output.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, ln := range strings.Split(text, "\n") {
+		if strings.Contains(ln, substr) {
+			out = append(out, ln)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,74 @@
+// Tenant-label cardinality cap. The tenant label on
+// rp_tenant_requests_total comes straight from the X-API-Key header,
+// which an abusive (or merely buggy) client can vary per request; an
+// unbounded label would let one client grow the scrape by a series
+// per request until the metrics pipeline falls over. The cap tracks
+// the first max distinct keys it sees and folds every key beyond
+// them into the reserved "other" label, so the exposition stays
+// bounded no matter what arrives on the wire.
+package serve
+
+import (
+	"sort"
+	"sync"
+)
+
+// tenantOther is the fold-in label for unknown API keys beyond the
+// tracked set.
+const tenantOther = "other"
+
+// tenantCounts is the capped per-tenant request counter behind
+// rp_tenant_requests_total and the tenant fields of the request and
+// trace flight recorders.
+type tenantCounts struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+	max    int
+}
+
+// newTenantCounts builds a counter tracking up to max distinct tenant
+// labels (plus "other"); max <= 0 selects 64. The default tenant is
+// pre-seeded so keyless traffic never competes for a slot.
+func newTenantCounts(max int) *tenantCounts {
+	if max <= 0 {
+		max = 64
+	}
+	t := &tenantCounts{counts: make(map[string]uint64, max+1), max: max}
+	t.counts[defaultTenant] = 0
+	return t
+}
+
+// observe canonicalizes one request's tenant: the empty key maps to
+// the default tenant, a key already tracked (or arriving while slots
+// remain) counts under itself, and anything else folds into "other".
+// Returns the canonical label the request should carry everywhere —
+// metrics, flight recorder, spans. Allocation-free for known keys.
+func (t *tenantCounts) observe(key string) string {
+	if key == "" {
+		key = defaultTenant
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.counts[key]; !ok && len(t.counts) >= t.max {
+		key = tenantOther
+	}
+	t.counts[key]++
+	return key
+}
+
+// snapshot returns the tracked labels in sorted order with their
+// counts, for the exposition and /debug/vars.
+func (t *tenantCounts) snapshot() ([]string, []uint64) {
+	t.mu.Lock()
+	labels := make([]string, 0, len(t.counts))
+	for k := range t.counts {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	counts := make([]uint64, len(labels))
+	for i, l := range labels {
+		counts[i] = t.counts[l]
+	}
+	t.mu.Unlock()
+	return labels, counts
+}

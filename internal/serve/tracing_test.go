@@ -1,0 +1,426 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"robustperiod/internal/obs"
+	"robustperiod/internal/registry"
+	"robustperiod/internal/trace"
+)
+
+// tracedBody is a small valid detect request reused by the tracing
+// tests.
+const tracedBody = `{"series":[1,2,3,4,1,2,3,4,1,2,3,4,1,2,3,4,1,2,3,4,1,2,3,4,1,2,3,4,1,2,3,4]}`
+
+// postTraced posts a detect request carrying the given traceparent
+// (empty skips the header) and returns the response.
+func postTraced(t *testing.T, url, traceparent string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/detect", strings.NewReader(tracedBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// fetchTrace polls /debug/traces/{id} until the trace is committed
+// (the span store commit runs in a deferred hook after the response
+// bytes are already on the wire).
+func fetchTrace(t *testing.T, debugURL, traceID string) TraceEntry {
+	t.Helper()
+	var entry TraceEntry
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res, err := http.Get(debugURL + "/debug/traces/" + traceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := res.StatusCode == http.StatusOK
+		if ok {
+			if err := json.NewDecoder(res.Body).Decode(&entry); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res.Body.Close()
+		if ok {
+			return entry
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never appeared in the span store", traceID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTraceparentRoundTrip drives the whole correlation chain: an
+// incoming sampled W3C traceparent is continued (same trace ID, fresh
+// span ID, echoed in the response), and /debug/traces/{traceid}
+// returns a span tree whose root is parented under the remote span
+// and which contains the queue-wait, execution, and pipeline-stage
+// spans.
+func TestTraceparentRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, Config{TraceSampleEvery: -1})
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const remoteSpan = "00f067aa0ba902b7"
+	resp := postTraced(t, ts.URL, "00-"+traceID+"-"+remoteSpan+"-01")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect status = %d", resp.StatusCode)
+	}
+	echo := resp.Header.Get("traceparent")
+	tp, ok := trace.ParseTraceparent(echo)
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", echo)
+	}
+	if got := fmt.Sprintf("%x", tp.TraceID); got != traceID {
+		t.Fatalf("response trace ID = %s, want the incoming %s", got, traceID)
+	}
+	if got := tp.SpanID.String(); got == remoteSpan {
+		t.Fatal("server echoed the remote span ID instead of minting its own")
+	}
+	if !tp.Sampled {
+		t.Fatal("sampled flag lost on the echo")
+	}
+
+	entry := fetchTrace(t, dbg.URL, traceID)
+	if entry.Endpoint != epDetect || entry.Status != http.StatusOK || entry.Outcome != "ok" {
+		t.Fatalf("trace listing facts wrong: %+v", entry)
+	}
+	byName := map[string]TraceSpan{}
+	for _, sp := range entry.Spans {
+		byName[sp.Name] = sp
+	}
+	root, ok := byName[registry.SpanRequest]
+	if !ok {
+		t.Fatalf("no root %q span: %v", registry.SpanRequest, names(entry.Spans))
+	}
+	if root.Parent != remoteSpan {
+		t.Fatalf("root span parent = %q, want the remote caller's span %q", root.Parent, remoteSpan)
+	}
+	if root.ID != tp.SpanID.String() {
+		t.Fatalf("root span ID %q differs from the echoed traceparent span %q", root.ID, tp.SpanID)
+	}
+	for _, name := range []string{registry.SpanQueueWait, registry.SpanJobExec} {
+		sp, ok := byName[name]
+		if !ok {
+			t.Fatalf("no %q span: %v", name, names(entry.Spans))
+		}
+		if sp.Parent != root.ID {
+			t.Fatalf("%q span parented under %q, want root %q", name, sp.Parent, root.ID)
+		}
+	}
+	// The pipeline stage timers emit spans with zero call-site changes
+	// via Trace.AttachSpans; a detection has at least a periodogram.
+	stages := 0
+	for name := range byName {
+		switch name {
+		case registry.SpanRequest, registry.SpanQueueWait, registry.SpanJobExec:
+		default:
+			stages++
+		}
+	}
+	if stages == 0 {
+		t.Fatalf("no pipeline stage spans in the trace: %v", names(entry.Spans))
+	}
+}
+
+func names(spans []TraceSpan) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// TestHeadSamplingMintsTrace pins the no-incoming-header path: with
+// head sampling on every request the server mints a trace context,
+// echoes it, and retains the trace.
+func TestHeadSamplingMintsTrace(t *testing.T) {
+	s, ts := newTestServer(t, Config{TraceSampleEvery: 1})
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	resp := postTraced(t, ts.URL, "")
+	tp, ok := trace.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok || !tp.Sampled {
+		t.Fatalf("minted traceparent missing or unsampled: %q", resp.Header.Get("traceparent"))
+	}
+	entry := fetchTrace(t, dbg.URL, tp.TraceIDString())
+	if entry.SpanCount == 0 {
+		t.Fatal("retained trace has no spans")
+	}
+
+	// An unsampled request must stay header-free.
+	s2, ts2 := newTestServer(t, Config{TraceSampleEvery: -1})
+	_ = s2
+	resp2 := postTraced(t, ts2.URL, "")
+	if h := resp2.Header.Get("traceparent"); h != "" {
+		t.Fatalf("sampled-out request echoed a traceparent: %q", h)
+	}
+}
+
+// TestOpenMetricsExemplars drives content negotiation and the
+// exemplar path end to end: after a sampled request, an OpenMetrics
+// scrape is conformant and carries the request's trace ID as a bucket
+// exemplar on the latency histogram, while a plain 0.0.4 scrape of
+// the same state carries none.
+func TestOpenMetricsExemplars(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceSampleEvery: 1})
+
+	resp := postTraced(t, ts.URL, "")
+	tp, ok := trace.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatal("request was not sampled")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != obs.OpenMetricsContentType {
+		t.Fatalf("negotiated Content-Type = %q", ct)
+	}
+	if err := obs.CheckOpenMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("OM scrape not conformant: %v", err)
+	}
+	if !strings.Contains(buf.String(), `trace_id="`+tp.TraceIDString()+`"`) {
+		t.Fatalf("sampled request's trace ID %s not present as an exemplar", tp.TraceIDString())
+	}
+
+	// Plain scrape: 0.0.4 content type, no exemplars, no EOF.
+	res2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if _, err := buf2.ReadFrom(res2.Body); err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if ct := res2.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	if strings.Contains(buf2.String(), "trace_id") || strings.Contains(buf2.String(), "# EOF") {
+		t.Fatal("OpenMetrics constructs leaked into the 0.0.4 scrape")
+	}
+	if err := obs.CheckExposition(buf2.Bytes()); err != nil {
+		t.Fatalf("0.0.4 scrape not conformant: %v", err)
+	}
+}
+
+// TestTenantCardinalityCap floods the tenant counter with 10k
+// distinct API keys and pins that the scrape stays bounded: the
+// overflow folds into the "other" label instead of minting 10k
+// series. The HTTP path is exercised with a handful of keys; the
+// flood goes through the same observe method directly.
+func TestTenantCardinalityCap(t *testing.T) {
+	s, ts := newTestServer(t, Config{TenantMaxLabels: 8})
+
+	// HTTP path: a known key lands under itself.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/detect", strings.NewReader(tracedBody))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TenantHeader, "team-a")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+
+	for i := 0; i < 10_000; i++ {
+		s.tenants.observe(fmt.Sprintf("key-%d", i))
+	}
+
+	fams := metricsSnapshot(t, ts.URL)
+	fam := obs.FindFamily(fams, "rp_tenant_requests_total")
+	if fam == nil {
+		t.Fatal("rp_tenant_requests_total missing from the scrape")
+	}
+	if len(fam.Samples) > 10 { // max 8 tracked + default pre-seed counts toward max; + other
+		t.Fatalf("tenant series unbounded after 10k keys: %d series", len(fam.Samples))
+	}
+	var other, teamA float64
+	foundOther := false
+	for _, smp := range fam.Samples {
+		switch smp.Labels["tenant"] {
+		case tenantOther:
+			other, foundOther = smp.Value, true
+		case "team-a":
+			teamA = smp.Value
+		}
+	}
+	if !foundOther || other < 9000 {
+		t.Fatalf("overflow keys did not fold into %q: %v", tenantOther, fam.Samples)
+	}
+	if teamA != 1 {
+		t.Fatalf("tracked tenant team-a count = %v, want 1", teamA)
+	}
+}
+
+// TestDebugRequestFilters pins the /debug/requests query parameters:
+// outcome and tenant narrow the listing, limit caps it.
+func TestDebugRequestFilters(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	send := func(tenant, body string) {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/detect", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(TenantHeader, tenant)
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+	}
+	send("team-a", tracedBody)
+	send("team-a", `{"series":[]}`) // error outcome
+	send("team-b", tracedBody)
+
+	list := func(query string) []RequestRecord {
+		res, err := http.Get(dbg.URL + "/debug/requests" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var out struct {
+			Requests []RequestRecord `json:"requests"`
+		}
+		if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Requests
+	}
+
+	if got := list("?outcome=error"); len(got) != 1 || got[0].Tenant != "team-a" || got[0].Outcome != "error" {
+		t.Fatalf("outcome=error filter: %+v", got)
+	}
+	if got := list("?tenant=team-b"); len(got) != 1 || got[0].Tenant != "team-b" {
+		t.Fatalf("tenant=team-b filter: %+v", got)
+	}
+	if got := list("?tenant=team-a&outcome=ok"); len(got) != 1 || got[0].Outcome != "ok" {
+		t.Fatalf("combined filter: %+v", got)
+	}
+	if got := list("?limit=2"); len(got) != 2 {
+		t.Fatalf("limit=2 returned %d records", len(got))
+	}
+	// Trace listing filters ride the same snapshot machinery.
+	res, err := http.Get(dbg.URL + "/debug/traces?outcome=error&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces with filters = %d", res.StatusCode)
+	}
+}
+
+// TestSampledOutPathAllocationFree pins the zero-alloc contract of
+// the tracing hot path: for an unsampled request, traceparent
+// parsing, span-ID minting, the sampling decision, tenant
+// canonicalization, and every nil-recording span call must allocate
+// nothing.
+func TestSampledOutPathAllocationFree(t *testing.T) {
+	s, err := New(Config{TraceSampleEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.tenants.observe("team-a") // pre-track so the steady state is a map hit
+
+	header := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+	var nilRec *trace.Recording
+	start := time.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		tp, ok := trace.ParseTraceparent(header)
+		if !ok || tp.Sampled {
+			t.Fatal("parse failed")
+		}
+		_ = s.mintSpanID()
+		if s.sampleTrace() {
+			t.Fatal("sampling disabled yet sampled")
+		}
+		if got := s.tenants.observe("team-a"); got != "team-a" {
+			t.Fatal("tenant canonicalization changed")
+		}
+		id := nilRec.AddSpan(registry.SpanQueueWait, trace.SpanID{}, start, time.Millisecond)
+		nilRec.Annotate(id)
+		nilRec.FinishRoot(registry.SpanRequest, tp.SpanID, start, time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("sampled-out tracing path allocates %v times per request, want 0", allocs)
+	}
+}
+
+// TestWALSpansInAsyncSubmitTrace submits a durable async job under a
+// sampled trace and pins that the WAL append and fsync show up as
+// spans: the fsync latency a client pays at admission is attributable
+// in the span tree.
+func TestWALSpansInAsyncSubmitTrace(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		TraceSampleEvery: 1,
+		JobsDataDir:      t.TempDir(),
+	})
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(tracedBody))
+	req.Header.Set("Content-Type", "application/json")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submit = %d", res.StatusCode)
+	}
+	tp, ok := trace.ParseTraceparent(res.Header.Get("traceparent"))
+	if !ok {
+		t.Fatal("job submit was not sampled")
+	}
+	entry := fetchTrace(t, dbg.URL, tp.TraceIDString())
+	found := map[string]bool{}
+	var appendID, fsyncParent string
+	for _, sp := range entry.Spans {
+		found[sp.Name] = true
+		if sp.Name == registry.SpanWALAppend {
+			appendID = sp.ID
+		}
+		if sp.Name == registry.SpanWALFsync {
+			fsyncParent = sp.Parent
+		}
+	}
+	if !found[registry.SpanWALAppend] || !found[registry.SpanWALFsync] {
+		t.Fatalf("WAL spans missing from async submit trace: %v", names(entry.Spans))
+	}
+	if fsyncParent != appendID {
+		t.Fatalf("wal_fsync parented under %q, want the wal_append span %q", fsyncParent, appendID)
+	}
+	_ = context.Background()
+}

@@ -1,0 +1,145 @@
+// Post-mortem profile capture: when a fast-burn alert fires, the
+// serving layer grabs a CPU and a heap profile into a bounded on-disk
+// ring so the offending interval can be analyzed after the fact with
+// `go tool pprof`, even if nobody was watching the debug port when it
+// happened. The ring is directory-per-capture; past the retention
+// bound the oldest capture directory is deleted.
+package slo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProfileRing writes capture sets under dir, retaining the newest max
+// of them.
+type ProfileRing struct {
+	dir    string
+	max    int
+	cpuDur time.Duration
+
+	busy atomic.Bool // one capture at a time; overlapping triggers skip
+	mu   sync.Mutex  // serializes pruning
+}
+
+// NewProfileRing builds a ring rooted at dir. max <= 0 selects 8
+// retained captures; cpuDur <= 0 selects a 2-second CPU profile.
+func NewProfileRing(dir string, max int, cpuDur time.Duration) *ProfileRing {
+	if max <= 0 {
+		max = 8
+	}
+	if cpuDur <= 0 {
+		cpuDur = 2 * time.Second
+	}
+	return &ProfileRing{dir: dir, max: max, cpuDur: cpuDur}
+}
+
+// Capture writes one capture set — cpu.pprof (profiled over the
+// ring's CPU window, so this call blocks for that long) and
+// heap.pprof — into a fresh timestamped directory named after reason,
+// then prunes the ring. Returns the capture directory. A capture
+// already in flight (or a CPU profile started elsewhere, e.g. via the
+// pprof debug endpoint) makes it a no-op returning "". Nil-safe.
+func (r *ProfileRing) Capture(reason string) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	if !r.busy.CompareAndSwap(false, true) {
+		return "", nil
+	}
+	defer r.busy.Store(false)
+
+	name := fmt.Sprintf("%d-%s", time.Now().UnixMilli(), sanitizeReason(reason))
+	dir := filepath.Join(r.dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return "", err
+	}
+	// StartCPUProfile fails if profiling is already active (the pprof
+	// HTTP handler could own it); treat that as a skip, keep the heap.
+	if err := pprof.StartCPUProfile(cpu); err == nil {
+		time.Sleep(r.cpuDur)
+		pprof.StopCPUProfile()
+	}
+	if err := cpu.Close(); err != nil {
+		return "", err
+	}
+
+	heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+	if err != nil {
+		return "", err
+	}
+	if err := pprof.WriteHeapProfile(heap); err != nil {
+		heap.Close()
+		return "", err
+	}
+	if err := heap.Close(); err != nil {
+		return "", err
+	}
+
+	return dir, r.prune()
+}
+
+// Captures lists the retained capture directories, oldest first.
+func (r *ProfileRing) Captures() []string {
+	if r == nil {
+		return nil
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	// Millisecond-timestamp prefixes of equal digit count sort
+	// chronologically as strings.
+	sort.Strings(out)
+	return out
+}
+
+// prune deletes the oldest capture directories beyond the bound.
+func (r *ProfileRing) prune() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	caps := r.Captures()
+	for len(caps) > r.max {
+		if err := os.RemoveAll(filepath.Join(r.dir, caps[0])); err != nil {
+			return err
+		}
+		caps = caps[1:]
+	}
+	return nil
+}
+
+// sanitizeReason restricts the reason to filename-safe characters.
+func sanitizeReason(s string) string {
+	if s == "" {
+		return "capture"
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '-', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,339 @@
+// Package slo is the error-budget engine of the serving stack: it
+// periodically samples cumulative good/total event counters supplied
+// by the serving layer, retains a bounded ring of timestamped
+// snapshots per objective, and computes multi-window multi-burn-rate
+// alerting the way the SRE workbook prescribes — a fast-burn pair
+// (5m/1h at 14.4x the budget rate) that pages on sharp regressions
+// and a slow-burn pair (30m/6h at 6x) that catches sustained leaks.
+//
+// Burn rate is the ratio of the observed error rate in a window to
+// the rate the objective allows: burn = errRate / (1 - target). A
+// burn of 1 consumes exactly the error budget; 14.4 empties a 30-day
+// budget in ~2 days. An alert fires only when BOTH windows of a pair
+// exceed the factor: the long window proves the problem is real, the
+// short window proves it is still happening.
+//
+// Like the rest of the repository the package is pure standard
+// library; the clock and the sampling cadence are injectable so tests
+// can replay hours of traffic in microseconds.
+package slo
+
+import (
+	"sync"
+	"time"
+)
+
+// Source supplies one objective's cumulative event counts: good
+// events and total events since process start. Monotone by contract;
+// the engine works on deltas between snapshots.
+type Source func() (good, total float64)
+
+// Objective is one SLO: a name, a target good-fraction, and the
+// counter source measuring it.
+type Objective struct {
+	Name   string  // e.g. "availability", "latency"
+	Target float64 // e.g. 0.999
+	Source Source
+}
+
+// Window is one burn-rate alerting pair.
+type Window struct {
+	Severity string        // "fast" or "slow"
+	Short    time.Duration // still-happening window
+	Long     time.Duration // is-it-real window
+	Factor   float64       // burn-rate threshold for both windows
+}
+
+// DefaultWindows is the SRE-workbook multiwindow configuration.
+func DefaultWindows() []Window {
+	return []Window{
+		{Severity: "fast", Short: 5 * time.Minute, Long: time.Hour, Factor: 14.4},
+		{Severity: "slow", Short: 30 * time.Minute, Long: 6 * time.Hour, Factor: 6},
+	}
+}
+
+// Config assembles an Engine.
+type Config struct {
+	Objectives []Objective
+	Windows    []Window         // nil selects DefaultWindows
+	Interval   time.Duration    // sampling cadence; <= 0 selects 10s
+	Now        func() time.Time // injectable clock; nil selects time.Now
+	// OnFastBurn is invoked once per rising edge of a fast-severity
+	// alert (not on every tick it stays firing), from the Tick
+	// goroutine — the serving layer hooks post-mortem profile capture
+	// here. May be nil.
+	OnFastBurn func(objective string)
+}
+
+// sample is one snapshot of a source.
+type sample struct {
+	t           time.Time
+	good, total float64
+}
+
+// series is the bounded snapshot history of one objective.
+type series struct {
+	obj     Objective
+	ring    []sample
+	head    int // next slot
+	n       int
+	firing  map[string]bool // by window severity
+	current Status
+}
+
+// WindowStatus is the evaluated state of one alerting pair for one
+// objective.
+type WindowStatus struct {
+	Severity  string        `json:"severity"`
+	Short     time.Duration `json:"-"`
+	Long      time.Duration `json:"-"`
+	ShortStr  string        `json:"shortWindow"`
+	LongStr   string        `json:"longWindow"`
+	Factor    float64       `json:"factor"`
+	ShortBurn float64       `json:"shortBurn"`
+	LongBurn  float64       `json:"longBurn"`
+	Firing    bool          `json:"firing"`
+}
+
+// Status is the evaluated state of one objective, as served on
+// GET /debug/slo and exported as rp_slo_* families.
+type Status struct {
+	Name            string         `json:"name"`
+	Target          float64        `json:"target"`
+	Good            float64        `json:"good"`
+	Total           float64        `json:"total"`
+	BudgetRemaining float64        `json:"budgetRemaining"`
+	Windows         []WindowStatus `json:"windows"`
+	Firing          bool           `json:"firing"`
+	FastBurn        bool           `json:"fastBurn"`
+}
+
+// Engine samples the objectives and evaluates the windows. Create
+// with New; drive with Tick (the serving layer runs a ticker
+// goroutine, tests call it directly).
+type Engine struct {
+	windows  []Window
+	interval time.Duration
+	now      func() time.Time
+	onFast   func(string)
+
+	mu     sync.Mutex
+	series []*series
+}
+
+// New builds an engine and takes the first sample of every objective
+// so burn rates have a baseline from the very first tick.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		windows:  cfg.Windows,
+		interval: cfg.Interval,
+		now:      cfg.Now,
+		onFast:   cfg.OnFastBurn,
+	}
+	if e.windows == nil {
+		e.windows = DefaultWindows()
+	}
+	if e.interval <= 0 {
+		e.interval = 10 * time.Second
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	var longest time.Duration
+	for _, w := range e.windows {
+		if w.Long > longest {
+			longest = w.Long
+		}
+	}
+	// Ring capacity: enough samples to span the longest window at the
+	// sampling cadence, plus one baseline slot beyond it.
+	capSlots := int(longest/e.interval) + 2
+	for _, obj := range cfg.Objectives {
+		s := &series{
+			obj:    obj,
+			ring:   make([]sample, capSlots),
+			firing: make(map[string]bool, len(e.windows)),
+		}
+		e.series = append(e.series, s)
+	}
+	e.Tick()
+	return e
+}
+
+// Interval reports the sampling cadence the engine was built with.
+func (e *Engine) Interval() time.Duration { return e.interval }
+
+// Tick takes one snapshot of every objective and re-evaluates all
+// windows. Safe for concurrent use with Status/Firing.
+func (e *Engine) Tick() {
+	if e == nil {
+		return
+	}
+	now := e.now()
+	// Read the sources outside the lock: they reach into the serving
+	// layer's counters and must not nest under e.mu.
+	type reading struct{ good, total float64 }
+	readings := make([]reading, len(e.series))
+	for i, s := range e.series {
+		g, t := s.obj.Source()
+		readings[i] = reading{g, t}
+	}
+	var fastEdges []string
+	e.mu.Lock()
+	for i, s := range e.series {
+		s.push(sample{t: now, good: readings[i].good, total: readings[i].total})
+		st, edge := s.evaluate(now, e.windows)
+		s.current = st
+		if edge {
+			fastEdges = append(fastEdges, s.obj.Name)
+		}
+	}
+	e.mu.Unlock()
+	if e.onFast != nil {
+		for _, name := range fastEdges {
+			e.onFast(name)
+		}
+	}
+}
+
+func (s *series) push(sm sample) {
+	s.ring[s.head] = sm
+	s.head = (s.head + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+}
+
+// at returns the retained sample closest to (and no newer than)
+// cutoff, falling back to the oldest retained sample when history is
+// still shorter than the window.
+func (s *series) at(cutoff time.Time) sample {
+	best := sample{}
+	found := false
+	for i := 1; i <= s.n; i++ {
+		idx := (s.head - i + len(s.ring)) % len(s.ring)
+		sm := s.ring[idx]
+		if !sm.t.After(cutoff) {
+			return sm
+		}
+		best, found = sm, true
+	}
+	if found {
+		return best
+	}
+	return sample{}
+}
+
+// burn computes the burn rate over the window ending now.
+func (s *series) burn(now time.Time, window time.Duration, target float64) float64 {
+	latest := s.ring[(s.head-1+len(s.ring))%len(s.ring)]
+	then := s.at(now.Add(-window))
+	dTotal := latest.total - then.total
+	if dTotal <= 0 {
+		return 0
+	}
+	dBad := (latest.total - latest.good) - (then.total - then.good)
+	errRate := dBad / dTotal
+	budget := 1 - target
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return errRate / budget
+}
+
+// evaluate recomputes the objective's status; the returned edge flag
+// is true when a fast-severity window transitioned into firing on
+// this tick. Caller holds e.mu.
+func (s *series) evaluate(now time.Time, windows []Window) (Status, bool) {
+	latest := s.ring[(s.head-1+len(s.ring))%len(s.ring)]
+	st := Status{
+		Name:   s.obj.Name,
+		Target: s.obj.Target,
+		Good:   latest.good,
+		Total:  latest.total,
+	}
+	edge := false
+	var longest time.Duration
+	for _, w := range windows {
+		ws := WindowStatus{
+			Severity: w.Severity,
+			Short:    w.Short, Long: w.Long,
+			ShortStr: w.Short.String(), LongStr: w.Long.String(),
+			Factor:    w.Factor,
+			ShortBurn: s.burn(now, w.Short, s.obj.Target),
+			LongBurn:  s.burn(now, w.Long, s.obj.Target),
+		}
+		ws.Firing = ws.ShortBurn >= w.Factor && ws.LongBurn >= w.Factor
+		if ws.Firing {
+			st.Firing = true
+			if w.Severity == "fast" {
+				st.FastBurn = true
+				if !s.firing[w.Severity] {
+					edge = true
+				}
+			}
+		}
+		s.firing[w.Severity] = ws.Firing
+		st.Windows = append(st.Windows, ws)
+		if w.Long > longest {
+			longest = w.Long
+		}
+	}
+	// Budget remaining over the longest window, as if that window were
+	// the whole SLO period: 1 at zero errors, 0 when the window alone
+	// would have consumed the budget, floored at 0.
+	remaining := 1 - s.burn(now, longest, s.obj.Target)
+	if remaining < 0 {
+		remaining = 0
+	}
+	st.BudgetRemaining = remaining
+	return st, edge
+}
+
+// Status snapshots every objective's evaluated state, in
+// configuration order.
+func (e *Engine) Status() []Status {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, 0, len(e.series))
+	for _, s := range e.series {
+		st := s.current
+		st.Windows = append([]WindowStatus(nil), s.current.Windows...)
+		out = append(out, st)
+	}
+	return out
+}
+
+// Firing reports whether any objective has any window firing —
+// the /healthz degraded-but-up condition.
+func (e *Engine) Firing() bool {
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.series {
+		if s.current.Firing {
+			return true
+		}
+	}
+	return false
+}
+
+// Run drives Tick on the engine's interval until ctx is done. The
+// serving layer calls this on its own goroutine.
+func (e *Engine) Run(done <-chan struct{}) {
+	t := time.NewTicker(e.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			e.Tick()
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package slo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeCounters is a controllable Source.
+type fakeCounters struct {
+	good, total float64
+}
+
+func (f *fakeCounters) source() (float64, float64) { return f.good, f.total }
+
+// engine with a fake clock at 1s cadence.
+func testEngine(t *testing.T, f *fakeCounters, onFast func(string)) (*Engine, *time.Time) {
+	t.Helper()
+	now := time.Unix(1_700_000_000, 0)
+	e := New(Config{
+		Objectives: []Objective{{Name: "availability", Target: 0.999, Source: f.source}},
+		Windows: []Window{
+			{Severity: "fast", Short: 5 * time.Second, Long: 60 * time.Second, Factor: 14.4},
+			{Severity: "slow", Short: 30 * time.Second, Long: 360 * time.Second, Factor: 6},
+		},
+		Interval:   time.Second,
+		Now:        func() time.Time { return now },
+		OnFastBurn: onFast,
+	})
+	return e, &now
+}
+
+// step advances the clock and ticks once.
+func step(e *Engine, now *time.Time, d time.Duration) {
+	*now = now.Add(d)
+	e.Tick()
+}
+
+// TestHealthyTrafficDoesNotFire: at the objective's exact error rate
+// the burn is ~1, far under both factors.
+func TestHealthyTrafficDoesNotFire(t *testing.T) {
+	f := &fakeCounters{}
+	e, now := testEngine(t, f, nil)
+	for i := 0; i < 120; i++ {
+		f.total += 1000
+		f.good += 999 // 0.1% errors = burn 1 at a 99.9% target
+		step(e, now, time.Second)
+	}
+	if e.Firing() {
+		t.Fatalf("firing at burn ~1: %+v", e.Status())
+	}
+	st := e.Status()[0]
+	ws := st.Windows[0]
+	if ws.ShortBurn < 0.5 || ws.ShortBurn > 1.5 {
+		t.Fatalf("short burn = %v, want ~1", ws.ShortBurn)
+	}
+	if st.BudgetRemaining > 0.5 {
+		t.Fatalf("budget remaining %v at exactly-budget burn, want ~0", st.BudgetRemaining)
+	}
+}
+
+// TestFastBurnFiresOnceOnEdge: a hard error spike trips the fast pair
+// and the capture hook runs exactly once while it keeps firing.
+func TestFastBurnFiresOnceOnEdge(t *testing.T) {
+	var edges []string
+	f := &fakeCounters{}
+	e, now := testEngine(t, f, func(name string) { edges = append(edges, name) })
+
+	// One minute of clean traffic to fill the long window.
+	for i := 0; i < 60; i++ {
+		f.total += 1000
+		f.good += 1000
+		step(e, now, time.Second)
+	}
+	if e.Firing() {
+		t.Fatal("firing on clean traffic")
+	}
+
+	// 100% errors: short (5s) and long (60s) windows both blow past
+	// 14.4x within a few seconds.
+	for i := 0; i < 20; i++ {
+		f.total += 1000
+		step(e, now, time.Second)
+	}
+	st := e.Status()[0]
+	if !st.Firing || !st.FastBurn {
+		t.Fatalf("fast burn not firing: %+v", st)
+	}
+	if len(edges) != 1 || edges[0] != "availability" {
+		t.Fatalf("fast-burn edge callback fired %d times (%v), want exactly 1", len(edges), edges)
+	}
+	if st.BudgetRemaining != 0 {
+		t.Fatalf("budget remaining = %v under total outage, want 0", st.BudgetRemaining)
+	}
+
+	// Recovery: clean traffic ages the errors out of both windows; the
+	// alert clears and a second spike re-arms the edge.
+	for i := 0; i < 120; i++ {
+		f.total += 1000
+		f.good += 1000
+		step(e, now, time.Second)
+	}
+	if e.Firing() {
+		t.Fatalf("still firing after recovery: %+v", e.Status())
+	}
+	for i := 0; i < 20; i++ {
+		f.total += 1000
+		step(e, now, time.Second)
+	}
+	if len(edges) != 2 {
+		t.Fatalf("edge callback after recovery fired %d times total, want 2", len(edges))
+	}
+}
+
+// TestSlowBurnNeedsSustainedErrors: an error rate that trips the
+// 6x slow factor but not the 14.4x fast factor fires only the slow
+// pair, and only once the 30s short window fills.
+func TestSlowBurnNeedsSustainedErrors(t *testing.T) {
+	f := &fakeCounters{}
+	e, now := testEngine(t, f, nil)
+	for i := 0; i < 360; i++ {
+		f.total += 1000
+		f.good += 990 // 1% errors = burn 10: above 6, below 14.4
+		step(e, now, time.Second)
+	}
+	st := e.Status()[0]
+	var fast, slow WindowStatus
+	for _, w := range st.Windows {
+		if w.Severity == "fast" {
+			fast = w
+		} else {
+			slow = w
+		}
+	}
+	if fast.Firing {
+		t.Fatalf("fast pair firing at burn 10: %+v", fast)
+	}
+	if !slow.Firing {
+		t.Fatalf("slow pair not firing at sustained burn 10: %+v", slow)
+	}
+	if !st.Firing || st.FastBurn {
+		t.Fatalf("status rollup wrong: %+v", st)
+	}
+}
+
+// TestIdleServiceStaysQuiet: zero traffic must read as burn 0, not
+// NaN or firing.
+func TestIdleServiceStaysQuiet(t *testing.T) {
+	f := &fakeCounters{}
+	e, now := testEngine(t, f, nil)
+	for i := 0; i < 30; i++ {
+		step(e, now, time.Second)
+	}
+	st := e.Status()[0]
+	if st.Firing || st.Windows[0].ShortBurn != 0 || st.BudgetRemaining != 1 {
+		t.Fatalf("idle service not quiet: %+v", st)
+	}
+	var nilEngine *Engine
+	if nilEngine.Firing() || nilEngine.Status() != nil {
+		t.Fatal("nil engine not inert")
+	}
+	nilEngine.Tick()
+}
+
+// TestProfileRingCaptureAndPrune drills the on-disk ring: captures
+// land with both profiles, the bound evicts oldest-first, and
+// overlapping captures are skipped (busy flag) rather than queued.
+func TestProfileRingCaptureAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	r := NewProfileRing(filepath.Join(dir, "profiles"), 2, time.Millisecond)
+
+	var dirs []string
+	for i := 0; i < 3; i++ {
+		d, err := r.Capture("fast_burn-availability")
+		if err != nil {
+			t.Fatalf("capture %d: %v", i, err)
+		}
+		if d == "" {
+			t.Fatalf("capture %d skipped unexpectedly", i)
+		}
+		dirs = append(dirs, d)
+		time.Sleep(2 * time.Millisecond) // distinct UnixMilli prefixes
+	}
+
+	for _, f := range []string{"cpu.pprof", "heap.pprof"} {
+		if fi, err := os.Stat(filepath.Join(dirs[2], f)); err != nil || fi.Size() == 0 {
+			t.Fatalf("capture missing %s: %v", f, err)
+		}
+	}
+
+	caps := r.Captures()
+	if len(caps) != 2 {
+		t.Fatalf("retained %d captures, want 2 (bound): %v", len(caps), caps)
+	}
+	if got := filepath.Join(filepath.Join(dir, "profiles"), caps[0]); got == dirs[0] {
+		t.Fatalf("oldest capture %s not pruned: %v", dirs[0], caps)
+	}
+
+	var nilRing *ProfileRing
+	if d, err := nilRing.Capture("x"); d != "" || err != nil {
+		t.Fatal("nil ring not inert")
+	}
+}

@@ -1,0 +1,313 @@
+// Span tracing: the correlation layer over the per-stage accumulators.
+// A Recording collects the span tree of one request — admission to
+// response, queue wait, every pipeline stage, WAL syscalls — under a
+// W3C trace context ingested from an incoming `traceparent` header or
+// minted at admission. Like the rest of the package every method is
+// nil-safe and the nil (sampled-out) path is allocation-free, so span
+// plumbing can be threaded unconditionally through hot code.
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// SpanID is an 8-byte span identifier, rendered as 16 lowercase hex
+// characters in the `traceparent` header.
+type SpanID [8]byte
+
+// IsZero reports whether the span ID is unset. The all-zero ID is
+// invalid on the wire (W3C trace context §3.2.2.8).
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the span ID as 16 hex characters.
+func (id SpanID) String() string {
+	var b [16]byte
+	hex.Encode(b[:], id[:])
+	return string(b[:])
+}
+
+// SpanContext is the W3C trace-context triple a request carries: the
+// 16-byte trace ID shared by every span of the trace, the current
+// span ID, and the sampled flag (bit 0 of trace-flags).
+type SpanContext struct {
+	TraceID [16]byte
+	SpanID  SpanID
+	Sampled bool
+}
+
+// IsZero reports whether the context is unset.
+func (sc SpanContext) IsZero() bool { return sc.TraceID == [16]byte{} }
+
+// TraceIDString renders the trace ID as 32 hex characters.
+func (sc SpanContext) TraceIDString() string {
+	var b [32]byte
+	hex.Encode(b[:], sc.TraceID[:])
+	return string(b[:])
+}
+
+// Traceparent renders the context in the W3C wire form
+// `00-<trace-id>-<span-id>-<flags>`.
+func (sc SpanContext) Traceparent() string {
+	var b [55]byte
+	return string(sc.appendTraceparent(b[:0]))
+}
+
+func (sc SpanContext) appendTraceparent(dst []byte) []byte {
+	dst = append(dst, '0', '0', '-')
+	var tb [32]byte
+	hex.Encode(tb[:], sc.TraceID[:])
+	dst = append(dst, tb[:]...)
+	dst = append(dst, '-')
+	var sb [16]byte
+	hex.Encode(sb[:], sc.SpanID[:])
+	dst = append(dst, sb[:]...)
+	if sc.Sampled {
+		return append(dst, '-', '0', '1')
+	}
+	return append(dst, '-', '0', '0')
+}
+
+// ParseTraceparent decodes a W3C `traceparent` header value. Only
+// version 00 is accepted; the all-zero trace ID and span ID are
+// rejected per spec, so a false return means "mint a fresh context".
+// Allocation-free.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' ||
+		s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if !hexDecode(sc.TraceID[:], s[3:35]) || !hexDecode(sc.SpanID[:], s[36:52]) {
+		return SpanContext{}, false
+	}
+	if sc.TraceID == [16]byte{} || sc.SpanID.IsZero() {
+		return SpanContext{}, false
+	}
+	f1, ok1 := hexNibble(s[53])
+	f2, ok2 := hexNibble(s[54])
+	if !ok1 || !ok2 {
+		return SpanContext{}, false
+	}
+	sc.Sampled = (f1<<4|f2)&0x01 != 0
+	return sc, true
+}
+
+// hexDecode fills dst from the lowercase/uppercase hex string src
+// without allocating (hex.Decode needs a []byte and string conversion
+// would allocate on this per-request path).
+func hexDecode(dst []byte, src string) bool {
+	for i := range dst {
+		hi, ok1 := hexNibble(src[2*i])
+		lo, ok2 := hexNibble(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// Attr is one span attribute. Values are pre-rendered strings: spans
+// are cold storage for the debug endpoints, not a typed data model.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one finished timed operation of a trace: a pipeline stage,
+// the queue wait, a WAL fsync, the request root. Parent is the zero
+// SpanID for the trace root (or when the root continues a remote
+// trace, the remote caller's span).
+type Span struct {
+	Name     string
+	ID       SpanID
+	Parent   SpanID
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// Recording collects the spans of one sampled request under a shared
+// trace context. The per-request span count is bounded; past the
+// bound spans are counted as dropped rather than retained, so a
+// pathological request cannot balloon the trace store. All methods
+// are safe for concurrent use and nil-safe, and every nil-receiver
+// path is allocation-free — an unsampled request carries a nil
+// *Recording everywhere and pays only pointer comparisons.
+type Recording struct {
+	tc SpanContext
+
+	mu      sync.Mutex
+	ctr     uint64
+	spans   []Span
+	limit   int
+	dropped int
+}
+
+// DefaultSpanLimit bounds the spans retained per recording unless the
+// caller chooses otherwise.
+const DefaultSpanLimit = 128
+
+// NewRecording opens a span recording under tc; tc.SpanID is the root
+// span every top-level child should use as Parent. limit <= 0 selects
+// DefaultSpanLimit.
+func NewRecording(tc SpanContext, limit int) *Recording {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Recording{tc: tc, limit: limit}
+}
+
+// Context returns the recording's trace context (zero for nil).
+func (r *Recording) Context() SpanContext {
+	if r == nil {
+		return SpanContext{}
+	}
+	return r.tc
+}
+
+// AddSpan appends one finished span, minting its ID. Returns the span
+// ID so callers can parent further spans under it; the zero SpanID on
+// a nil recording or when the span was dropped by the bound.
+func (r *Recording) AddSpan(name string, parent SpanID, start time.Time, d time.Duration, attrs ...Attr) SpanID {
+	if r == nil {
+		return SpanID{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.limit {
+		r.dropped++
+		return SpanID{}
+	}
+	id := r.nextSpanIDLocked()
+	r.spans = append(r.spans, Span{
+		Name: name, ID: id, Parent: parent,
+		Start: start, Duration: d, Attrs: attrs,
+	})
+	return id
+}
+
+// FinishRoot appends the trace's root span — the one whose ID the
+// recording's own SpanContext (and the echoed `traceparent` header)
+// carries. parent is the remote caller's span when the trace was
+// ingested from an incoming header, or the zero SpanID for a trace
+// minted at admission. The root is exempt from the span bound: a
+// trace without its root is unreadable.
+func (r *Recording) FinishRoot(name string, parent SpanID, start time.Time, d time.Duration, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = append(r.spans, Span{
+		Name: name, ID: r.tc.SpanID, Parent: parent,
+		Start: start, Duration: d, Attrs: attrs,
+	})
+}
+
+// Annotate attaches attributes to an already-recorded span (matched
+// by ID). Used for facts learned after the span closed, e.g. the
+// outcome of a coalesced flight.
+func (r *Recording) Annotate(id SpanID, attrs ...Attr) {
+	if r == nil || id.IsZero() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.spans {
+		if r.spans[i].ID == id {
+			r.spans[i].Attrs = append(r.spans[i].Attrs, attrs...)
+			return
+		}
+	}
+}
+
+// nextSpanIDLocked mints a span ID unique within the recording: a
+// splitmix64 mix of the trace ID and a counter. Caller holds r.mu.
+func (r *Recording) nextSpanIDLocked() SpanID {
+	hi := binary.BigEndian.Uint64(r.tc.TraceID[:8])
+	for {
+		r.ctr++
+		v := splitmix64(hi + r.ctr)
+		if v == 0 {
+			continue
+		}
+		var id SpanID
+		binary.BigEndian.PutUint64(id[:], v)
+		if id != r.tc.SpanID {
+			return id
+		}
+	}
+}
+
+// splitmix64 is a bijection on uint64 (Steele et al.), also used by
+// the obs ID generator; duplicated here so trace keeps its single
+// registry-only import edge.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Spans snapshots the recorded spans in recording order.
+func (r *Recording) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Dropped reports how many spans the bound discarded.
+func (r *Recording) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len reports the retained span count.
+func (r *Recording) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// AttachSpans connects the trace's stage accumulators to a span
+// recording: every timed section closed after this call is also
+// emitted as a span parented under parent. A nil Trace or nil
+// Recording keeps the path inert. The pipeline itself never calls
+// this — the serving layer attaches the recording it minted at
+// admission, and the core/spectrum stage timers gain spans with zero
+// changes at their call sites.
+func (t *Trace) AttachSpans(r *Recording, parent SpanID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.rec = r
+	t.recParent = parent
+	t.mu.Unlock()
+}

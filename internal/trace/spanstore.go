@@ -1,0 +1,159 @@
+// The trace flight recorder: a bounded dual-ring store of finished
+// request traces, mirroring the obs request recorder's design — a
+// ring of the most recent traces plus a ring where error/degraded
+// traces are pinned so a burst of healthy traffic cannot flush the
+// one trace worth debugging. Serves GET /debug/traces[/{traceid}].
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRecord is one finished request's span tree as retained by the
+// store: the identity and outcome facts the listing filters on, plus
+// the spans themselves.
+type TraceRecord struct {
+	TraceID  [16]byte
+	Time     time.Time // root span start (admission)
+	Duration time.Duration
+	Endpoint string
+	Tenant   string
+	Status   int    // HTTP status written
+	Outcome  string // "ok", "degraded" or "error"
+	Spans    []Span
+	Dropped  int // spans discarded by the per-request bound
+}
+
+// Interesting reports whether the trace should be pinned: anything
+// that did not complete cleanly.
+func (r *TraceRecord) Interesting() bool { return r.Outcome != "ok" }
+
+// Filter selects traces out of a store snapshot. The zero value
+// matches everything.
+type Filter struct {
+	Limit       int           // max records returned; <= 0 means all
+	Outcome     string        // exact match when non-empty
+	Tenant      string        // exact match when non-empty
+	MinDuration time.Duration // keep only traces at least this slow
+}
+
+func (f Filter) match(r *TraceRecord) bool {
+	if f.Outcome != "" && r.Outcome != f.Outcome {
+		return false
+	}
+	if f.Tenant != "" && r.Tenant != f.Tenant {
+		return false
+	}
+	return r.Duration >= f.MinDuration
+}
+
+// SpanStore is the bounded trace flight recorder. Commit is a single
+// mutex-guarded struct copy into a preallocated slot; the span slice
+// is shared with the finished recording, never mutated after commit.
+type SpanStore struct {
+	mu     sync.Mutex
+	recent []TraceRecord
+	pinned []TraceRecord
+	rHead  int
+	rLen   int
+	pHead  int
+	pLen   int
+}
+
+// NewSpanStore builds a store retaining the last size traces (and up
+// to size pinned error/degraded traces on top). size <= 0 selects the
+// default of 256.
+func NewSpanStore(size int) *SpanStore {
+	if size <= 0 {
+		size = 256
+	}
+	return &SpanStore{
+		recent: make([]TraceRecord, size),
+		pinned: make([]TraceRecord, size),
+	}
+}
+
+// Add retains rec, overwriting the oldest entry when the ring is
+// full. Interesting traces are additionally copied into the pinned
+// ring. Nil-safe.
+func (s *SpanStore) Add(rec *TraceRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.recent[s.rHead] = *rec
+	s.rHead = (s.rHead + 1) % len(s.recent)
+	if s.rLen < len(s.recent) {
+		s.rLen++
+	}
+	if rec.Interesting() {
+		s.pinned[s.pHead] = *rec
+		s.pHead = (s.pHead + 1) % len(s.pinned)
+		if s.pLen < len(s.pinned) {
+			s.pLen++
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Lookup returns the trace with the given ID, scanning newest-first;
+// the pinned ring first, since an error trace may have already been
+// flushed from the recent ring.
+func (s *SpanStore) Lookup(id [16]byte) (TraceRecord, bool) {
+	if s == nil {
+		return TraceRecord{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := scanTraceRing(s.pinned, s.pHead, s.pLen, id); ok {
+		return rec, true
+	}
+	return scanTraceRing(s.recent, s.rHead, s.rLen, id)
+}
+
+func scanTraceRing(ring []TraceRecord, head, n int, id [16]byte) (TraceRecord, bool) {
+	for i := 1; i <= n; i++ {
+		idx := (head - i + len(ring)) % len(ring)
+		if ring[idx].TraceID == id {
+			return ring[idx], true
+		}
+	}
+	return TraceRecord{}, false
+}
+
+// Snapshot returns the traces matching f newest-first: the union of
+// both rings with pinned-ring duplicates removed, filtered, then cut
+// to f.Limit.
+func (s *SpanStore) Snapshot(f Filter) []TraceRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[[16]byte]bool, s.rLen+s.pLen)
+	out := make([]TraceRecord, 0, s.rLen+s.pLen)
+	collect := func(ring []TraceRecord, head, n int) {
+		for i := 1; i <= n; i++ {
+			idx := (head - i + len(ring)) % len(ring)
+			if seen[ring[idx].TraceID] {
+				continue
+			}
+			seen[ring[idx].TraceID] = true
+			if f.match(&ring[idx]) {
+				out = append(out, ring[idx])
+			}
+		}
+	}
+	collect(s.recent, s.rHead, s.rLen)
+	collect(s.pinned, s.pHead, s.pLen)
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// Len reports how many distinct traces the store currently holds.
+func (s *SpanStore) Len() int {
+	return len(s.Snapshot(Filter{}))
+}

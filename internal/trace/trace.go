@@ -115,6 +115,13 @@ type Trace struct {
 	order  []string
 	stages map[string]*stageAcc
 	levels []LevelOutcome
+
+	// Span recording attached by the serving layer (AttachSpans); when
+	// non-nil every closed stage section is also emitted as a span
+	// parented under recParent. Nil on unsampled requests — the stage
+	// path then costs exactly what it did before spans existed.
+	rec       *Recording
+	recParent SpanID
 }
 
 // New returns an empty Trace; its Total clock starts now.
@@ -151,16 +158,21 @@ func (s StageTimer) End() {
 	if s.t == nil {
 		return
 	}
-	s.t.record(s.name, time.Since(s.start), heapAllocs()-s.allocs)
+	s.t.record(s.name, s.start, time.Since(s.start), heapAllocs()-s.allocs)
 }
 
-func (t *Trace) record(name string, d time.Duration, allocs uint64) {
+func (t *Trace) record(name string, start time.Time, d time.Duration, allocs uint64) {
 	t.mu.Lock()
 	acc := t.acc(name)
 	acc.calls++
 	acc.duration += d
 	acc.allocs += allocs
+	rec, parent := t.rec, t.recParent
 	t.mu.Unlock()
+	// Span emission happens outside t.mu (the recording has its own
+	// lock) so concurrent per-level sections never pile up on the
+	// trace mutex waiting for span bookkeeping.
+	rec.AddSpan(name, parent, start, d)
 }
 
 // acc returns (creating if needed) the accumulator for name.

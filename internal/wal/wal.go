@@ -349,43 +349,55 @@ func (l *Log) Replay(snapshotFn func(payload []byte) error, recordFn func(payloa
 // pre-append length so a half-written frame cannot linger mid-log,
 // and the record must be treated as not durable.
 func (l *Log) Append(payload []byte) error {
+	_, err := l.AppendTimed(payload)
+	return err
+}
+
+// AppendTimed is Append, additionally reporting how long the
+// SyncAlways fsync took (zero under the other policies, where the
+// append returns without waiting on the disk). Callers use it to
+// attribute WAL latency in request span traces.
+func (l *Log) AppendTimed(payload []byte) (time.Duration, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.appendLocked(payload)
 }
 
-func (l *Log) appendLocked(payload []byte) error {
+func (l *Log) appendLocked(payload []byte) (time.Duration, error) {
 	if l.closed {
-		return errors.New("wal: append on closed log")
+		return 0, errors.New("wal: append on closed log")
 	}
 	if len(payload) > l.opts.MaxRecord {
 		l.stats.AppendErrs++
-		return fmt.Errorf("%w (%d > %d bytes)", ErrRecordTooLarge, len(payload), l.opts.MaxRecord)
+		return 0, fmt.Errorf("%w (%d > %d bytes)", ErrRecordTooLarge, len(payload), l.opts.MaxRecord)
 	}
 	if err := faults.Check(faults.PointWALAppend); err != nil {
 		l.stats.AppendErrs++
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	frame := appendFrame(make([]byte, 0, frameHdrLen+len(payload)), payload)
 	pre := l.size
 	if _, err := l.f.Write(frame); err != nil {
 		l.rollbackTo(pre)
 		l.stats.AppendErrs++
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.size = pre + int64(len(frame))
 	l.stats.Bytes = l.size
+	var syncDur time.Duration
 	if l.opts.Policy == SyncAlways {
+		syncStart := time.Now()
 		if err := l.syncLocked(); err != nil {
 			l.rollbackTo(pre)
 			l.stats.AppendErrs++
-			return fmt.Errorf("wal: append: %w", err)
+			return 0, fmt.Errorf("wal: append: %w", err)
 		}
+		syncDur = time.Since(syncStart)
 	} else {
 		l.dirty = true
 	}
 	l.stats.Appends++
-	return nil
+	return syncDur, nil
 }
 
 // rollbackTo restores the log file to a pre-append length after a
