@@ -1,17 +1,25 @@
-// Command rplint runs the repository's static-analysis suite: six
+// Command rplint runs the repository's static-analysis suite: eleven
 // analyzers (see internal/analysis and the README "Static analysis"
 // section) that enforce the pipeline's correctness invariants over
-// every package matched by the given patterns (default ./...).
+// every package matched by the given patterns (default ./...). Six are
+// per-file checks; five are flow-aware, built on an intra-procedural
+// CFG and a module-wide call-summary layer, and marked [flow] in
+// -list output.
 //
 // Usage:
 //
-//	go run ./cmd/rplint [-json] [-list] [-listcache file] [-only names] [patterns...]
+//	go run ./cmd/rplint [-json] [-list] [-listcache file] [-facts file] [-only names] [patterns...]
 //
 // Exit status: 0 clean, 1 findings reported, 2 load/usage error.
-// Findings print as "file:line: [analyzer] message"; -json emits the
-// same findings as a JSON array for machine consumption. -listcache
-// names a file that caches the `go list -json` answers so repeated CI
-// steps skip the module scan.
+// Findings print as "file:line: [analyzer] message"; -json emits an
+// object {"findings": [...], "timing": [...]} with per-analyzer
+// wall-clock milliseconds for machine consumption. -listcache names a
+// file that caches the `go list -json` answers so repeated CI steps
+// skip the module scan. -facts names a cache file for the compiler's
+// escape-analysis verdicts (`go build -gcflags=-m` under a throwaway
+// GOCACHE, keyed by a source hash); when given, the hotalloc analyzer
+// cross-checks its AST heuristics against the compiler's ground
+// truth.
 package main
 
 import (
@@ -28,12 +36,19 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonReport is the -json output shape.
+type jsonReport struct {
+	Findings []analysis.Finding `json:"findings"`
+	Timing   []analysis.Timing  `json:"timing"`
+}
+
 func run(argv []string) int {
 	fs := flag.NewFlagSet("rplint", flag.ContinueOnError)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
-	listOnly := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings and per-analyzer timing as a JSON object")
+	listOnly := fs.Bool("list", false, "list analyzers and exit; flow-aware analyzers are marked [flow]")
 	listCache := fs.String("listcache", "", "cache file for go list output (read if present, written otherwise)")
 	writeCache := fs.Bool("writecache", false, "only resolve patterns and write the -listcache file, then exit")
+	factsCache := fs.String("facts", "", "cache file for compiler escape facts; enables hotalloc's escape cross-check")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -41,7 +56,11 @@ func run(argv []string) int {
 
 	if *listOnly {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			kind := ""
+			if a.Flow {
+				kind = " [flow]"
+			}
+			fmt.Printf("%-16s %s%s\n", a.Name, a.Doc, kind)
 		}
 		return 0
 	}
@@ -98,16 +117,24 @@ func run(argv []string) int {
 		fmt.Fprintf(os.Stderr, "rplint: %v\n", err)
 		return 2
 	}
+	if *factsCache != "" {
+		ef, err := analysis.LoadEscape(moduleDir, patterns, *factsCache)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rplint: %v\n", err)
+			return 2
+		}
+		cfg.Escape = ef.Notes
+	}
 
-	findings := analysis.Run(pkgs, cfg, analyzers)
+	findings, timing := analysis.RunTimed(pkgs, cfg, analyzers)
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "\t")
 		if findings == nil {
 			findings = []analysis.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(jsonReport{Findings: findings, Timing: timing}); err != nil {
 			fmt.Fprintf(os.Stderr, "rplint: %v\n", err)
 			return 2
 		}

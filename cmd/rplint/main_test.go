@@ -44,31 +44,82 @@ func TestListFlag(t *testing.T) {
 		}
 	})
 	for _, a := range analysis.Analyzers() {
-		if !strings.Contains(out, a.Name) {
+		line := ""
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, a.Name+" ") {
+				line = l
+				break
+			}
+		}
+		if line == "" {
 			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out)
+			continue
+		}
+		if a.Flow != strings.Contains(line, "[flow]") {
+			t.Errorf("-list flow marker wrong for %q (Flow=%v): %s", a.Name, a.Flow, line)
 		}
 	}
 }
 
 func TestJSONOutputClean(t *testing.T) {
 	// The registry package is lint-clean by construction; -json must
-	// still emit a well-formed (empty) array for it.
+	// still emit a well-formed report object with empty findings and a
+	// timing entry per analyzer plus the shared facts pass.
 	out := capture(t, func() {
 		if code := run([]string{"-json", "./internal/registry"}); code != 0 {
 			t.Errorf("run = %d, want 0", code)
 		}
 	})
-	var findings []analysis.Finding
-	if err := json.Unmarshal([]byte(out), &findings); err != nil {
-		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out)
+	var report struct {
+		Findings []analysis.Finding `json:"findings"`
+		Timing   []analysis.Timing  `json:"timing"`
 	}
-	if len(findings) != 0 {
-		t.Errorf("expected no findings, got %+v", findings)
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("output is not a JSON report object: %v\n%s", err, out)
+	}
+	if len(report.Findings) != 0 {
+		t.Errorf("expected no findings, got %+v", report.Findings)
+	}
+	if want := len(analysis.Analyzers()) + 1; len(report.Timing) != want {
+		t.Errorf("want %d timing entries (analyzers + facts), got %d", want, len(report.Timing))
+	}
+	if len(report.Timing) == 0 || report.Timing[0].Analyzer != "facts" {
+		t.Errorf("timing must lead with the shared facts pass, got %+v", report.Timing)
 	}
 }
 
 func TestUnknownAnalyzer(t *testing.T) {
 	if code := run([]string{"-only", "nosuch"}); code != 2 {
 		t.Errorf("run(-only nosuch) = %d, want 2", code)
+	}
+}
+
+func TestOnlyCommaSeparated(t *testing.T) {
+	// A comma-separated -only list runs exactly the named analyzers;
+	// timing in the report proves which ones ran.
+	out := capture(t, func() {
+		if code := run([]string{"-json", "-only", "floateq, lockdiscipline", "./internal/registry"}); code != 0 {
+			t.Errorf("run = %d, want 0", code)
+		}
+	})
+	var report struct {
+		Timing []analysis.Timing `json:"timing"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("output is not a JSON report object: %v\n%s", err, out)
+	}
+	var names []string
+	for _, entry := range report.Timing {
+		names = append(names, entry.Analyzer)
+	}
+	if got := strings.Join(names, ","); got != "facts,floateq,lockdiscipline" {
+		t.Errorf("-only ran %q, want facts,floateq,lockdiscipline", got)
+	}
+}
+
+func TestOnlyUnknownAmongValid(t *testing.T) {
+	// One bad name in the list is still a usage error.
+	if code := run([]string{"-only", "floateq,nosuch"}); code != 2 {
+		t.Errorf("run(-only floateq,nosuch) = %d, want 2", code)
 	}
 }

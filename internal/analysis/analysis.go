@@ -15,6 +15,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one reported violation.
@@ -35,6 +36,7 @@ func (f Finding) String() string {
 type Analyzer struct {
 	Name string // short name, e.g. "floateq"; suppressions use rplint/<name>
 	Doc  string // one-line description for -list and the README
+	Flow bool   // true for flow-aware analyzers (CFG / call-summary / escape layer)
 	Run  func(*Pass)
 }
 
@@ -44,6 +46,7 @@ type Pass struct {
 	Fset     *token.FileSet
 	Pkg      *Package
 	Cfg      *Config
+	Facts    *Facts // module-wide call summaries; nil only in focused unit tests
 
 	report func(Finding)
 }
@@ -69,7 +72,9 @@ func relFile(moduleDir, filename string) string {
 	return filepath.ToSlash(filename)
 }
 
-// Analyzers returns the full rplint suite, in reporting order.
+// Analyzers returns the full rplint suite, in reporting order: the
+// six per-file analyzers, then the five flow-aware ones built on the
+// CFG and call-summary layers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		StdlibOnly,
@@ -78,6 +83,11 @@ func Analyzers() []*Analyzer {
 		Registry,
 		ErrWrap,
 		MutexHeld,
+		LockDiscipline,
+		AtomicMix,
+		GoroLeak,
+		WaitGroupCheck,
+		HotAlloc,
 	}
 }
 
@@ -147,14 +157,36 @@ func collectSuppressions(fset *token.FileSet, pkg *Package, moduleDir string, re
 // Run executes the analyzers over every package, applies suppressions,
 // and returns the surviving findings sorted by position.
 func Run(pkgs []*Package, cfg *Config, analyzers []*Analyzer) []Finding {
+	findings, _ := RunTimed(pkgs, cfg, analyzers)
+	return findings
+}
+
+// Timing is one entry of the per-analyzer wall-clock breakdown.
+type Timing struct {
+	Analyzer string  `json:"analyzer"` // analyzer name, or "facts" for the shared summary pass
+	Millis   float64 `json:"millis"`
+}
+
+// RunTimed is Run plus a per-analyzer wall-clock breakdown (summed
+// across packages), led by a "facts" entry for the shared
+// CFG/call-summary computation the flow-aware analyzers consume.
+func RunTimed(pkgs []*Package, cfg *Config, analyzers []*Analyzer) ([]Finding, []Timing) {
+	elapsed := make(map[string]time.Duration)
+
+	factsStart := time.Now()
+	facts := ComputeFacts(pkgs)
+	elapsed["facts"] = time.Since(factsStart)
+
 	var out []Finding
 	for _, pkg := range pkgs {
 		var raw []Finding
 		report := func(f Finding) { raw = append(raw, f) }
 		sup := collectSuppressions(cfg.Fset, pkg, cfg.ModuleDir, func(f Finding) { out = append(out, f) })
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: cfg.Fset, Pkg: pkg, Cfg: cfg, report: report}
+			pass := &Pass{Analyzer: a, Fset: cfg.Fset, Pkg: pkg, Cfg: cfg, Facts: facts, report: report}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
 		for _, f := range raw {
 			if sup[f.File] != nil && sup[f.File][f.Line] != nil && sup[f.File][f.Line][f.Analyzer] {
@@ -180,7 +212,12 @@ func Run(pkgs []*Package, cfg *Config, analyzers []*Analyzer) []Finding {
 		}
 		return a.Message < b.Message
 	})
-	return out
+
+	timings := []Timing{{Analyzer: "facts", Millis: float64(elapsed["facts"]) / float64(time.Millisecond)}}
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name, Millis: float64(elapsed[a.Name]) / float64(time.Millisecond)})
+	}
+	return out, timings
 }
 
 // GlobalFindings reports the whole-repo invariants that are not tied

@@ -56,6 +56,30 @@ func fixtureConfig(l *Loader, fixtureDir, importPath string) *Config {
 	for _, m := range registry.Metrics() {
 		cfg.Metrics[m.Name] = m
 	}
+	// Flow-analyzer catalogs, scoped to the fixture packages: the
+	// lockdiscipline fixture's classes in nesting order (plus the
+	// generics fixture's mutex, so its coverage check stays quiet), and
+	// the hotalloc fixture's catalog including one deliberately
+	// dangling entry.
+	cfg.LockOrder = map[string]int{
+		"lockdiscipline.Outer.mu": 0,
+		"lockdiscipline.Inner.mu": 1,
+		"lockdiscipline.globalMu": 2,
+		"generics.Cache.mu":       3,
+	}
+	cfg.LockCatalogPackages = map[string]bool{importPath: true}
+	cfg.GoroutinePackages = map[string]bool{importPath: true}
+	cfg.HotPaths = stringSet([]string{
+		"hotalloc.HotFmt",
+		"hotalloc.HotAppend",
+		"hotalloc.HotPrealloc",
+		"hotalloc.(*Buf).Record",
+		"hotalloc.HotBox",
+		"hotalloc.HotNoBox",
+		"hotalloc.HotClosure",
+		"hotalloc.HotInvoked",
+		"hotalloc.Missing",
+	})
 	return cfg
 }
 
@@ -74,6 +98,11 @@ func TestFixtures(t *testing.T) {
 		{"errwrap", "errwrap"},
 		{"mutexheld", "mutexheld"},
 		{"suppress", "floateq"},
+		{"lockdiscipline", "lockdiscipline"},
+		{"atomicmix", "atomicmix"},
+		{"goroleak", "goroleak"},
+		{"waitgroup", "waitgroup"},
+		{"hotalloc", "hotalloc"},
 	}
 	l := fixtureLoader(t)
 	for _, tc := range cases {
@@ -113,6 +142,28 @@ func TestFixtures(t *testing.T) {
 				t.Errorf("findings mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
 			}
 		})
+	}
+}
+
+// TestGenericsFixture runs the ENTIRE suite — flow-aware analyzers
+// included — over a type-parameterized package: zero findings, zero
+// panics. Generic receivers, instantiation expressions, and closures
+// over type parameters must flow through the CFG, summary, and class
+// resolution layers untouched.
+func TestGenericsFixture(t *testing.T) {
+	l := fixtureLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "generics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	importPath := "fixture/generics"
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading generics fixture: %v", err)
+	}
+	cfg := fixtureConfig(l, dir, importPath)
+	for _, f := range Run([]*Package{pkg}, cfg, Analyzers()) {
+		t.Errorf("unexpected finding on generic code: %s", f)
 	}
 }
 

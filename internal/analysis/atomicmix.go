@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix enforces the sync/atomic all-or-nothing rule: once any
+// code path touches a struct field through sync/atomic, every access
+// to that field must go through sync/atomic — a plain read races with
+// the atomic writers, and a plain write tears under them. The field
+// catalog is module-wide (facts layer), so a plain access in one
+// package is caught even when the atomic access lives in another.
+//
+// It also checks the 64-bit alignment contract: atomic.*Int64/*Uint64
+// on a struct field is only safe if the field is 64-bit aligned, which
+// the Go memory model guarantees only for the first word — on 32-bit
+// targets a field at an odd 4-byte offset panics at runtime. The check
+// computes offsets with 32-bit (GOARCH=386) sizes, where the hazard
+// actually manifests.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic are never read or written plainly; 64-bit atomics are alignment-safe",
+	Flow: true,
+	Run:  runAtomicMix,
+}
+
+// sizes32 computes struct layout under the most restrictive supported
+// target (32-bit x86, 4-byte word alignment) for the 64-bit atomic
+// alignment check.
+var sizes32 = types.SizesFor("gc", "386")
+
+func runAtomicMix(p *Pass) {
+	if p.Facts == nil || len(p.Facts.AtomicFields) == 0 {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		checkAtomicFile(p, info, f)
+	}
+}
+
+func checkAtomicFile(p *Pass, info *types.Info, file *ast.File) {
+	// Walk with an explicit parent stack so a selector inside
+	// `atomic.AddUint64(&x.f, 1)` can be recognized as the atomic
+	// access itself rather than a plain one.
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if field, owner, wide, ok := atomicCallField(info, n); ok && wide {
+				name := field.Name()
+				if un, isUnary := ast.Unparen(n.Args[0]).(*ast.UnaryExpr); isUnary {
+					if sel, isSel := ast.Unparen(un.X).(*ast.SelectorExpr); isSel {
+						if key := FieldKey(info, sel); key != "" {
+							name = key
+						}
+					}
+				}
+				checkAtomicAlignment(p, n, field, owner, name)
+			}
+		case *ast.SelectorExpr:
+			key := FieldKey(info, n)
+			if key == "" || !p.Facts.AtomicFields[key] {
+				return true
+			}
+			if insideAtomicArg(info, stack) {
+				return true
+			}
+			p.Reportf(n.Sel.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere; use the matching atomic.Load/Store/Add call (plain reads race, plain writes tear)", key)
+		}
+		return true
+	})
+}
+
+// insideAtomicArg reports whether the innermost selector on the stack
+// sits under an `&...` argument of a sync/atomic call — i.e. it IS the
+// atomic access, not a plain one. Address-taking for other purposes
+// (e.g. passing &x.f to a helper) is still flagged: that pointer can
+// be dereferenced plainly downstream, which is exactly the mixing the
+// analyzer exists to stop.
+func insideAtomicArg(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if _, _, _, ok := atomicCallField(info, call); !ok {
+			f := calleeFunc(info, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+				continue
+			}
+		}
+		// Inside any argument of a sync/atomic call: the access is the
+		// atomic operation (covers &x.f and the value operands).
+		return true
+	}
+	return false
+}
+
+// checkAtomicAlignment reports 64-bit atomic operations on fields that
+// a 32-bit target would place at a non-8-byte-aligned offset.
+func checkAtomicAlignment(p *Pass, call *ast.CallExpr, field *types.Var, owner *types.Struct, name string) {
+	if sizes32 == nil {
+		return
+	}
+	fields := make([]*types.Var, owner.NumFields())
+	idx := -1
+	for i := 0; i < owner.NumFields(); i++ {
+		fields[i] = owner.Field(i)
+		if fields[i] == field || (fields[i].Name() == field.Name() && fields[i].Pos() == field.Pos()) {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	defer func() { recover() }() // Offsetsof panics on exotic types; treat as unknown
+	offsets := sizes32.Offsetsof(fields)
+	if offsets[idx]%8 != 0 {
+		p.Reportf(call.Pos(), "64-bit atomic on %s: field offset %d is not 8-byte aligned on 32-bit targets; move it to the front of the struct or pad (sync/atomic alignment contract)", name, offsets[idx])
+	}
+}

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseBody parses src as the body of a single function declaration
+// and returns it with its fileset.
+func parseBody(t *testing.T, body string) (*ast.BlockStmt, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body, fset
+}
+
+// findCall locates the statement containing a call to name and returns
+// its block and index in the CFG.
+func findCall(t *testing.T, g *CFG, body *ast.BlockStmt, name string) (*Block, int) {
+	t.Helper()
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				pos = call.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	if !pos.IsValid() {
+		t.Fatalf("no call to %s in fixture body", name)
+	}
+	blk, idx := g.FindStmt(pos)
+	if blk == nil {
+		t.Fatalf("FindStmt found no block for the call to %s", name)
+	}
+	return blk, idx
+}
+
+// callsInStmt reports whether s (scanned shallowly, so compound-
+// statement bodies don't leak through their header block) contains a
+// call to name on this goroutine's own path — function literals and
+// go statements are skipped, mirroring how the analyzers scan.
+func callsInStmt(s ast.Stmt, name string) bool {
+	found := false
+	for _, node := range ShallowNodes(s) {
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+func TestEveryPath(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool // every path from acquire() reaches release()
+	}{
+		{"straight line", `
+			acquire()
+			work()
+			release()`, true},
+		{"early return misses release", `
+			acquire()
+			if cond() {
+				return
+			}
+			release()`, false},
+		{"release on both branches", `
+			acquire()
+			if cond() {
+				release()
+				return
+			}
+			release()`, true},
+		{"release only in one switch case", `
+			acquire()
+			switch pick() {
+			case 1:
+				release()
+			case 2:
+				work()
+			}`, false},
+		{"release in every switch case and default", `
+			acquire()
+			switch pick() {
+			case 1:
+				release()
+			case 2:
+				release()
+			default:
+				release()
+			}`, true},
+		{"switch without default leaks past the cases", `
+			acquire()
+			switch pick() {
+			case 1:
+				release()
+			}`, false},
+		{"release after the switch join", `
+			acquire()
+			switch pick() {
+			case 1:
+				work()
+			default:
+			}
+			release()`, true},
+		{"release in every select arm", `
+			acquire()
+			select {
+			case <-a():
+				release()
+			case <-b():
+				release()
+			}`, true},
+		{"loop may skip the body release", `
+			acquire()
+			for i := 0; i < n(); i++ {
+				release()
+			}`, false},
+		{"release after the loop", `
+			acquire()
+			for i := 0; i < n(); i++ {
+				work()
+			}
+			release()`, true},
+		{"break path skips the release", `
+			acquire()
+			for {
+				if cond() {
+					break
+				}
+				release()
+				return
+			}`, false},
+		{"panic path needs no release", `
+			acquire()
+			if cond() {
+				panic("boom")
+			}
+			release()`, true},
+		{"nested literal release does not count", `
+			acquire()
+			f := func() { release() }
+			use(f)`, false},
+		{"deferred-looking goroutine does not count", `
+			acquire()
+			go release()`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body, _ := parseBody(t, tc.body)
+			g := BuildCFG(body)
+			blk, idx := findCall(t, g, body, "acquire")
+			got := g.EveryPath(blk, idx, func(s ast.Stmt) bool {
+				return callsInStmt(s, "release")
+			})
+			if got != tc.want {
+				t.Errorf("EveryPath = %v, want %v\nbody:%s", got, tc.want, tc.body)
+			}
+		})
+	}
+}
+
+func TestShallowNodes(t *testing.T) {
+	body, _ := parseBody(t, `
+		if cond() {
+			inner()
+		} else {
+			other()
+		}`)
+	ifStmt := body.List[0].(*ast.IfStmt)
+	var calls []string
+	for _, node := range ShallowNodes(ifStmt) {
+		ast.Inspect(node, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					calls = append(calls, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	if strings.Join(calls, ",") != "cond" {
+		t.Errorf("ShallowNodes leaked body calls: %v (want only the header's cond)", calls)
+	}
+}
+
+func TestFindStmtTightest(t *testing.T) {
+	body, _ := parseBody(t, `
+		if cond() {
+			inner()
+		}`)
+	g := BuildCFG(body)
+	// The call to inner sits in the if body's block, not in the block
+	// holding the IfStmt header (whose span covers the whole statement).
+	blk, idx := findCall(t, g, body, "inner")
+	if idx >= len(blk.Stmts) {
+		t.Fatalf("index %d out of range", idx)
+	}
+	if _, isIf := blk.Stmts[idx].(*ast.IfStmt); isIf {
+		t.Errorf("FindStmt resolved inner() to the enclosing IfStmt header block; want the body block")
+	}
+}
+
+func TestCFGTerminatesOnUnreachable(t *testing.T) {
+	// Statements after return parse fine and must not wedge the
+	// builder or the path query.
+	body, _ := parseBody(t, `
+		acquire()
+		return
+		release()`)
+	g := BuildCFG(body)
+	blk, idx := findCall(t, g, body, "acquire")
+	if got := g.EveryPath(blk, idx, func(s ast.Stmt) bool { return callsInStmt(s, "release") }); got {
+		t.Errorf("EveryPath = true; the only live path returns before release()")
+	}
+}
+
+// TestChaosCFGConcurrency hammers the flow layer from many goroutines
+// over shared ASTs — the chaos CI job runs it with -race. The builder
+// and path queries must be free of hidden shared state (a regression
+// here once lived in a package-level label stack).
+func TestChaosCFGConcurrency(t *testing.T) {
+	body, _ := parseBody(t, `
+	outer:
+		for i := 0; i < n(); i++ {
+			acquire()
+			switch pick() {
+			case 1:
+				continue outer
+			case 2:
+				break outer
+			default:
+				release()
+			}
+			select {
+			case <-a():
+				release()
+			case <-b():
+				return
+			}
+		}
+		release()`)
+	var acquirePos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "acquire" {
+				acquirePos = call.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	if !acquirePos.IsValid() {
+		t.Fatal("no acquire call in fixture body")
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g := BuildCFG(body)
+				blk, idx := g.FindStmt(acquirePos)
+				if blk == nil {
+					t.Error("FindStmt lost the acquire statement")
+					return
+				}
+				g.EveryPath(blk, idx, func(s ast.Stmt) bool {
+					return callsInStmt(s, "release")
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -30,6 +30,32 @@ type Config struct {
 	// per-iteration hot loops of the detection pipeline).
 	CtxLoopPackages map[string]bool
 
+	// LockOrder is the registry lock-order catalog: lock class →
+	// acquisition rank, outermost first. Acquiring a class while
+	// holding an equal-or-later-ranked class is a lockdiscipline
+	// finding.
+	LockOrder map[string]int
+
+	// LockCatalogPackages are the import paths whose mutexes must all
+	// appear in LockOrder (the long-lived shared-state layers:
+	// jobs, wal, serve, obs, trace, slo).
+	LockCatalogPackages map[string]bool
+
+	// GoroutinePackages are the import paths where every spawned
+	// goroutine must be tied to a context, done channel, or WaitGroup
+	// visible at the spawn site (goroleak).
+	GoroutinePackages map[string]bool
+
+	// HotPaths is the registry hot-path catalog: FuncDisplay-form
+	// function names whose bodies the hotalloc analyzer holds to
+	// allocation discipline.
+	HotPaths map[string]bool
+
+	// Escape carries compiler escape-analysis notes ("file:line" →
+	// messages, module-relative paths) when the run has them (rplint
+	// -facts); nil runs hotalloc on its AST checks alone.
+	Escape map[string][]string
+
 	RegistryProblems []string // registry.Validate() output, reported once
 }
 
@@ -64,6 +90,31 @@ func RepoConfig(l *Loader) (*Config, error) {
 	} {
 		cfg.CtxLoopPackages[l.ModulePath+suffix] = true
 	}
+	cfg.LockOrder = make(map[string]int)
+	for i, class := range registry.LockOrder() {
+		cfg.LockOrder[class] = i
+	}
+	cfg.LockCatalogPackages = make(map[string]bool)
+	for _, suffix := range []string{
+		"/internal/jobs",
+		"/internal/wal",
+		"/internal/serve",
+		"/internal/obs",
+		"/internal/trace",
+		"/internal/slo",
+	} {
+		cfg.LockCatalogPackages[l.ModulePath+suffix] = true
+	}
+	cfg.GoroutinePackages = make(map[string]bool)
+	for _, suffix := range []string{
+		"/internal/jobs",
+		"/internal/wal",
+		"/internal/serve",
+		"/internal/slo",
+	} {
+		cfg.GoroutinePackages[l.ModulePath+suffix] = true
+	}
+	cfg.HotPaths = stringSet(registry.HotPaths())
 	readme, err := os.ReadFile(filepath.Join(l.ModuleDir, cfg.ReadmePath))
 	if err != nil {
 		return nil, err

@@ -102,9 +102,11 @@ func runCtxLoop(p *Pass) {
 // context.Context or done-channel value anywhere (parameters count
 // only when used; an unused context cannot be polled meaningfully
 // without first naming it, at which point the expression shows up).
-func hasCancelSignal(info *types.Info, fd *ast.FuncDecl) bool {
+// root may be a *ast.FuncDecl or any other subtree (goroleak hands it
+// goroutine function-literal bodies).
+func hasCancelSignal(info *types.Info, root ast.Node) bool {
 	found := false
-	ast.Inspect(fd, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if found {
 			return false
 		}

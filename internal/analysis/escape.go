@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file feeds the hotalloc analyzer ground truth from the
+// compiler: `go build -gcflags=-m` escape-analysis diagnostics,
+// parsed into per-line notes. The build runs against a throwaway
+// GOCACHE — a warm cache suppresses the diagnostics for any package
+// it already holds, which would silently blind the analyzer — so the
+// result is cached to a file (the rplint -facts cache) keyed by a
+// content hash of the module's sources, exactly like the go-list
+// cache is keyed by the module layout.
+
+// EscapeFacts maps "module-relative-file.go:line" to the compiler's
+// heap-relevant diagnostics for that line ("moved to heap: x",
+// "... escapes to heap").
+type EscapeFacts struct {
+	Key   string              `json:"key"`   // SourceHash at computation time
+	Notes map[string][]string `json:"notes"` // file:line → messages
+}
+
+// escapeNoteRe matches one compiler diagnostic line. The -m output
+// interleaves inlining chatter; only heap decisions are kept.
+var escapeNoteRe = regexp.MustCompile(`^(.+\.go):(\d+):(?:\d+): (.*)$`)
+
+// heapRelevant reports whether a -m diagnostic describes an
+// allocation decision rather than inlining chatter.
+func heapRelevant(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+}
+
+// ParseEscape parses `go build -gcflags=-m` stderr into EscapeFacts
+// notes. File paths are normalized to slash-separated module-relative
+// form.
+func ParseEscape(r io.Reader) (map[string][]string, error) {
+	notes := make(map[string][]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") { // package clause separator
+			continue
+		}
+		m := escapeNoteRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !heapRelevant(msg) {
+			continue
+		}
+		ln, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", filepath.ToSlash(m[1]), ln)
+		notes[key] = append(notes[key], msg)
+	}
+	return notes, sc.Err()
+}
+
+// SourceHash fingerprints the module's compilable surface: go.mod
+// plus every .go file's path and content, in sorted order. Anything
+// that can change the compiler's escape verdicts changes the hash.
+// Directories that cannot hold buildable module code (.git, .cache,
+// testdata) are skipped.
+func SourceHash(moduleDir string) (string, error) {
+	h := sha256.New()
+	if data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod")); err == nil {
+		h.Write(data)
+	}
+	var files []string
+	err := filepath.WalkDir(moduleDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", ".cache", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		rel, err := filepath.Rel(moduleDir, f)
+		if err != nil {
+			rel = f
+		}
+		io.WriteString(h, filepath.ToSlash(rel))
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, ":%d:", len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ComputeEscape runs the compiler's escape analysis over patterns and
+// parses the verdicts. The build uses a throwaway GOCACHE so every
+// module package actually compiles (a cache hit emits no -m output);
+// that makes this the expensive step of a lint run, which is why
+// LoadEscape caches the parsed result.
+func ComputeEscape(moduleDir string, patterns []string) (*EscapeFacts, error) {
+	tmp, err := os.MkdirTemp("", "rplint-escape-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	gocache := filepath.Join(tmp, "gocache")
+	outDir := filepath.Join(tmp, "bin")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	args := append([]string{"build", "-gcflags=-m", "-o", outDir, "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	cmd.Env = append(os.Environ(), "GOCACHE="+gocache, "GOFLAGS=")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go build -gcflags=-m: %w\n%s", err, stderr.String())
+	}
+	notes, err := ParseEscape(&stderr)
+	if err != nil {
+		return nil, err
+	}
+	key, err := SourceHash(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	return &EscapeFacts{Key: key, Notes: notes}, nil
+}
+
+// LoadEscape returns escape facts for the module, reusing cacheFile
+// when its key matches the current SourceHash and recomputing (and
+// rewriting the cache) otherwise. An empty cacheFile always
+// recomputes.
+func LoadEscape(moduleDir string, patterns []string, cacheFile string) (*EscapeFacts, error) {
+	var want string
+	if cacheFile != "" {
+		var err error
+		want, err = SourceHash(moduleDir)
+		if err != nil {
+			return nil, err
+		}
+		if data, err := os.ReadFile(cacheFile); err == nil {
+			ef := new(EscapeFacts)
+			if err := json.Unmarshal(data, ef); err == nil && ef.Key == want && ef.Notes != nil {
+				return ef, nil
+			}
+		}
+	}
+	ef, err := ComputeEscape(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if cacheFile != "" {
+		ef.Key = want
+		if data, err := json.MarshalIndent(ef, "", "\t"); err == nil {
+			if err := os.MkdirAll(filepath.Dir(cacheFile), 0o755); err == nil {
+				_ = os.WriteFile(cacheFile, data, 0o644)
+			}
+		}
+	}
+	return ef, nil
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParseEscape(t *testing.T) {
+	out := strings.Join([]string{
+		"# robustperiod/internal/trace",
+		"internal/trace/span.go:42:6: can inline (*Recording).len",
+		"internal/trace/span.go:57:14: s escapes to heap",
+		"internal/trace/span.go:57:30: []Span{...} escapes to heap",
+		"internal/trace/trace.go:12:2: moved to heap: buf",
+		"not a diagnostic line",
+	}, "\n")
+	notes, err := ParseEscape(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(notes["internal/trace/span.go:57"]); got != 2 {
+		t.Errorf("want 2 notes at span.go:57, got %d (%v)", got, notes)
+	}
+	if got := notes["internal/trace/trace.go:12"]; len(got) != 1 || got[0] != "moved to heap: buf" {
+		t.Errorf("trace.go:12 = %v, want the moved-to-heap note", got)
+	}
+	if _, ok := notes["internal/trace/span.go:42"]; ok {
+		t.Error("inlining chatter must be dropped")
+	}
+}
+
+func TestSourceHash(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmp\n\ngo 1.21\n")
+	write("a/a.go", "package a\n")
+
+	h1, err := SourceHash(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := SourceHash(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("hash must be deterministic")
+	}
+
+	// Editing file CONTENT must change the hash (escape verdicts depend
+	// on bodies, unlike the go-list cache key).
+	write("a/a.go", "package a\n\nfunc F() {}\n")
+	h3, err := SourceHash(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("content edit must change the source hash")
+	}
+
+	// testdata is not compiled into the module; it must not disturb
+	// the key.
+	write("a/testdata/fixture.go", "package fixture\n")
+	h4, err := SourceHash(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4 != h3 {
+		t.Error("testdata files must not affect the source hash")
+	}
+}
+
+// TestHotAllocEscapeRegression seeds a compiler escape verdict inside a
+// hot function whose AST checks are clean (HotPrealloc) and asserts
+// hotalloc surfaces it — the cross-check that keeps the analyzer in
+// agreement with the AllocsPerRun pins even for allocations the AST
+// heuristics cannot see.
+func TestHotAllocEscapeRegression(t *testing.T) {
+	l := fixtureLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "hotalloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	importPath := "fixture/hotalloc"
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading hotalloc fixture: %v", err)
+	}
+	cfg := fixtureConfig(l, dir, importPath)
+
+	// Locate HotPrealloc's make line in the fixture source.
+	src, err := os.ReadFile(filepath.Join(dir, "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := 0
+	for i, l := range strings.Split(string(src), "\n") {
+		if strings.Contains(l, "out := make([]int, 0, len(xs))") {
+			line = i + 1
+			break
+		}
+	}
+	if line == 0 {
+		t.Fatal("fixture drifted: no make line in HotPrealloc")
+	}
+
+	// Without escape facts: clean (the AST checks accept the
+	// preallocated append).
+	clean := 0
+	for _, f := range Run([]*Package{pkg}, cfg, []*Analyzer{HotAlloc}) {
+		if strings.Contains(f.Message, "HotPrealloc") {
+			clean++
+		}
+	}
+	if clean != 0 {
+		t.Fatalf("HotPrealloc should be AST-clean, got %d findings", clean)
+	}
+
+	// With a seeded verdict: the same function now fails the gate.
+	cfg.Escape = map[string][]string{
+		"a.go:" + strconv.Itoa(line): {"make([]int, 0, len(xs)) escapes to heap"},
+	}
+	found := false
+	for _, f := range Run([]*Package{pkg}, cfg, []*Analyzer{HotAlloc}) {
+		if strings.Contains(f.Message, "HotPrealloc") && strings.Contains(f.Message, "escapes to heap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("seeded escape verdict in a hot function did not surface as a hotalloc finding")
+	}
+}

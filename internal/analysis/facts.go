@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the call-summary half of the flow layer: one pass over
+// every loaded package computes a FuncFacts record per function body,
+// then a fixpoint propagates the summaries along the (monomorphic)
+// call graph. The concurrency analyzers consult the result to reason
+// across function boundaries — "does the function this goroutine runs
+// watch a cancellation signal?", "which lock classes does this callee
+// acquire?" — without whole-program SSA.
+
+// FuncFacts summarizes one function for cross-procedural queries.
+// After ComputeFacts returns, Acquires/ObservesCancel/WGDone are
+// transitive over same-module calls (excluding calls launched in a go
+// statement, which run on another goroutine's stack).
+type FuncFacts struct {
+	Display string // e.g. "jobs.(*Manager).dispatch"
+
+	Acquires       map[string]bool // lock classes acquired, transitively
+	Releases       map[string]bool // lock classes released directly (unlock helpers)
+	ObservesCancel bool            // references a ctx/done-chan, transitively
+	WGDone         bool            // calls (*sync.WaitGroup).Done, transitively
+
+	calls []string // callee keys, for the fixpoint
+}
+
+// Facts is the whole-module summary set keyed by types.Func.FullName
+// (stable across the duplicate type-checking of a package as both a
+// target and a dependency).
+type Facts struct {
+	Funcs map[string]*FuncFacts
+
+	// AtomicFields is the set of struct fields (keyed
+	// "pkg.Type.field") accessed through a sync/atomic function
+	// anywhere in the module. The atomicmix analyzer flags plain
+	// reads/writes of these fields.
+	AtomicFields map[string]bool
+}
+
+// FuncKey returns the stable cross-package key for f.
+func FuncKey(f *types.Func) string {
+	return f.FullName()
+}
+
+// FuncDisplay renders f the way the registry hot-path catalog and the
+// analyzers' messages name functions: pkg.Func, pkg.Type.Method, or
+// pkg.(*Type).Method, with pkg the package's short name.
+func FuncDisplay(f *types.Func) string {
+	short := "?"
+	if f.Pkg() != nil {
+		short = f.Pkg().Name()
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return short + "." + f.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := false
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		ptr = true
+		t = p.Elem()
+	}
+	name := "?"
+	if n, isNamed := t.(*types.Named); isNamed {
+		name = n.Obj().Name()
+	}
+	if ptr {
+		return fmt.Sprintf("%s.(*%s).%s", short, name, f.Name())
+	}
+	return fmt.Sprintf("%s.%s.%s", short, name, f.Name())
+}
+
+// mutexMethod reports whether f is one of the sync.Mutex/sync.RWMutex
+// methods, returning its name ("Lock", "RUnlock", ...) when it is.
+func mutexMethod(f *types.Func) (string, bool) {
+	if f == nil {
+		return "", false
+	}
+	if methodOn(f, "sync", "Mutex") || methodOn(f, "sync", "RWMutex") {
+		switch f.Name() {
+		case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+			return f.Name(), true
+		}
+	}
+	return "", false
+}
+
+// lockRecv returns the receiver expression of a mutex method call:
+// the `m.mu` in `m.mu.Lock()`.
+func lockRecv(call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sel.X
+}
+
+// LockClass names the lock class a mutex expression belongs to:
+// "pkg.Type.field" for a struct-field mutex, "pkg.var" for a
+// package-level mutex variable, or "" for a local (function-scoped)
+// mutex, which has no cross-function identity.
+func LockClass(info *types.Info, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		obj, ok := info.Uses[e.Sel].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return ""
+		}
+		short := obj.Pkg().Name()
+		if !obj.IsField() {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return short + "." + obj.Name() // qualified package-level var
+			}
+			return ""
+		}
+		// Owner type from the receiver side of the selector.
+		t := info.Types[e.X].Type
+		if t == nil {
+			return ""
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.%s.%s", short, n.Obj().Name(), obj.Name())
+		}
+		return ""
+	case *ast.Ident:
+		obj, ok := info.Uses[e].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// lockExprText renders the mutex expression for intra-function
+// pairing ("m.mu" must be unlocked as "m.mu"). Only ident/selector
+// chains render; anything else returns "" and the pairing check
+// skips the site conservatively.
+func lockExprText(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := lockExprText(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// atomicCallField inspects a call and, when it is a sync/atomic
+// function taking &x.f, returns the field object, its owner struct
+// type, and whether the operation is 64-bit wide.
+func atomicCallField(info *types.Info, call *ast.CallExpr) (field *types.Var, owner *types.Struct, wide bool, ok bool) {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return nil, nil, false, false
+	}
+	name := f.Name()
+	switch {
+	case strings.HasPrefix(name, "Add"), strings.HasPrefix(name, "Load"),
+		strings.HasPrefix(name, "Store"), strings.HasPrefix(name, "Swap"),
+		strings.HasPrefix(name, "CompareAndSwap"):
+	default:
+		return nil, nil, false, false
+	}
+	wide = strings.HasSuffix(name, "Int64") || strings.HasSuffix(name, "Uint64")
+	if len(call.Args) == 0 {
+		return nil, nil, false, false
+	}
+	un, isUnary := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !isUnary || un.Op.String() != "&" {
+		return nil, nil, false, false
+	}
+	sel, isSel := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, false, false
+	}
+	obj, isVar := info.Uses[sel.Sel].(*types.Var)
+	if !isVar || !obj.IsField() {
+		return nil, nil, false, false
+	}
+	t := info.Types[sel.X].Type
+	if t == nil {
+		return nil, nil, false, false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	st, isStruct := t.Underlying().(*types.Struct)
+	if !isStruct {
+		return nil, nil, false, false
+	}
+	return obj, st, wide, true
+}
+
+// FieldKey names a struct field the way AtomicFields is keyed:
+// "pkg.Type.field", resolved through the selector's receiver type.
+func FieldKey(info *types.Info, sel *ast.SelectorExpr) string {
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() || obj.Pkg() == nil {
+		return ""
+	}
+	t := info.Types[sel.X].Type
+	if t == nil {
+		return ""
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return ""
+	}
+	return fmt.Sprintf("%s.%s.%s", obj.Pkg().Name(), n.Obj().Name(), obj.Name())
+}
+
+// ComputeFacts builds the module-wide summary set over the loaded
+// packages and runs the propagation fixpoint.
+func ComputeFacts(pkgs []*Package) *Facts {
+	facts := &Facts{
+		Funcs:        make(map[string]*FuncFacts),
+		AtomicFields: make(map[string]bool),
+	}
+	for _, pkg := range pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ff := &FuncFacts{
+					Display:  FuncDisplay(obj),
+					Acquires: make(map[string]bool),
+					Releases: make(map[string]bool),
+				}
+				collectDirectFacts(info, fd, ff)
+				facts.Funcs[FuncKey(obj)] = ff
+			}
+		}
+		// Atomic field catalog: every &x.f handed to a sync/atomic
+		// function, anywhere in the file (including init exprs).
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if field, _, _, ok := atomicCallField(info, call); ok && field.Pkg() != nil {
+					if sel, isSel := ast.Unparen(ast.Unparen(call.Args[0]).(*ast.UnaryExpr).X).(*ast.SelectorExpr); isSel {
+						if key := FieldKey(info, sel); key != "" {
+							facts.AtomicFields[key] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Fixpoint: propagate acquires / cancellation observation /
+	// WaitGroup.Done along same-module calls.
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range facts.Funcs {
+			for _, calleeKey := range ff.calls {
+				callee, ok := facts.Funcs[calleeKey]
+				if !ok {
+					continue
+				}
+				for class := range callee.Acquires {
+					if !ff.Acquires[class] {
+						ff.Acquires[class] = true
+						changed = true
+					}
+				}
+				if callee.ObservesCancel && !ff.ObservesCancel {
+					ff.ObservesCancel = true
+					changed = true
+				}
+				if callee.WGDone && !ff.WGDone {
+					ff.WGDone = true
+					changed = true
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// collectDirectFacts fills ff with fd's own (non-transitive) facts:
+// lock classes acquired/released, cancellation references, WaitGroup
+// Done calls, and the call list for the fixpoint. Calls inside go
+// statements are excluded from the call list — they run on a
+// different goroutine's stack, so neither lock acquisition nor
+// cancellation observation transfers to the spawner.
+func collectDirectFacts(info *types.Info, fd *ast.FuncDecl, ff *FuncFacts) {
+	ff.ObservesCancel = hasCancelSignal(info, fd)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Record the spawn's function literal body? No: its locks
+			// and ctx references belong to the goroutine, not to fd.
+			return false
+		case *ast.CallExpr:
+			f := calleeFunc(info, n)
+			if name, ok := mutexMethod(f); ok {
+				if class := LockClass(info, lockRecv(n)); class != "" {
+					switch name {
+					case "Lock", "RLock", "TryLock", "TryRLock":
+						ff.Acquires[class] = true
+					case "Unlock", "RUnlock":
+						ff.Releases[class] = true
+					}
+				}
+				return true
+			}
+			if f != nil {
+				if methodOn(f, "sync", "WaitGroup") && f.Name() == "Done" {
+					ff.WGDone = true
+				}
+				ff.calls = append(ff.calls, FuncKey(f))
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// SortedKeys is a small test/debug helper: the keys of a string-keyed
+// set in stable order.
+func SortedKeys[M ~map[string]bool](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

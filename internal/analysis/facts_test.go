@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadFixtureFacts loads one fixture package and computes module facts
+// over it alone.
+func loadFixtureFacts(t *testing.T, fixture string) (*Package, *Facts) {
+	t.Helper()
+	l := fixtureLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, "fixture/"+fixture)
+	if err != nil {
+		t.Fatalf("loading %s fixture: %v", fixture, err)
+	}
+	return pkg, ComputeFacts([]*Package{pkg})
+}
+
+// factsByDisplay finds a function summary by its display name.
+func factsByDisplay(t *testing.T, facts *Facts, display string) *FuncFacts {
+	t.Helper()
+	for _, ff := range facts.Funcs {
+		if ff.Display == display {
+			return ff
+		}
+	}
+	t.Fatalf("no summary for %s; have %d summaries", display, len(facts.Funcs))
+	return nil
+}
+
+func TestFactsLockSummaries(t *testing.T) {
+	_, facts := loadFixtureFacts(t, "lockdiscipline")
+
+	relock := factsByDisplay(t, facts, "lockdiscipline.relock")
+	if !relock.Acquires["lockdiscipline.Outer.mu"] {
+		t.Errorf("relock should directly acquire lockdiscipline.Outer.mu; got %v", SortedKeys(relock.Acquires))
+	}
+
+	// Transitive: recursive() acquires Outer.mu both directly and via
+	// its call to relock — the fixpoint must fold the callee in.
+	recursive := factsByDisplay(t, facts, "lockdiscipline.recursive")
+	if !recursive.Acquires["lockdiscipline.Outer.mu"] {
+		t.Errorf("recursive should transitively acquire lockdiscipline.Outer.mu; got %v", SortedKeys(recursive.Acquires))
+	}
+
+	release := factsByDisplay(t, facts, "lockdiscipline.release")
+	if !release.Releases["lockdiscipline.Outer.mu"] {
+		t.Errorf("release should be an unlock helper for lockdiscipline.Outer.mu; got %v", SortedKeys(release.Releases))
+	}
+}
+
+func TestFactsCancelAndWaitGroup(t *testing.T) {
+	_, facts := loadFixtureFacts(t, "goroleak")
+
+	worker := factsByDisplay(t, facts, "goroleak.(*M).worker")
+	if !worker.ObservesCancel {
+		t.Error("worker selects on m.stop and should observe cancellation")
+	}
+
+	// startNamed spawns worker in a go statement; the spawn must NOT
+	// leak the callee's facts back into the spawner (different stack).
+	startNamed := factsByDisplay(t, facts, "goroleak.(*M).startNamed")
+	if startNamed.ObservesCancel {
+		t.Error("startNamed itself observes no signal; the go-spawned callee's facts must not propagate through the spawn")
+	}
+}
+
+func TestFactsAtomicCatalog(t *testing.T) {
+	_, facts := loadFixtureFacts(t, "atomicmix")
+	for _, want := range []string{"atomicmix.Misaligned.hits", "atomicmix.Aligned.hits"} {
+		if !facts.AtomicFields[want] {
+			t.Errorf("atomic field catalog is missing %s; got %v", want, SortedKeys(facts.AtomicFields))
+		}
+	}
+	if facts.AtomicFields["atomicmix.Aligned.gen"] {
+		t.Error("gen is never accessed atomically and must not be catalogued")
+	}
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak guards the long-running service layers (jobs, wal, serve,
+// slo) against the two classic goroutine leaks:
+//
+//  1. Untied spawns: a `go` statement whose goroutine has no visible
+//     shutdown signal — no context or done channel in scope, no
+//     WaitGroup accounting — outlives its owner and leaks across
+//     Close/Shutdown. The check is cross-procedural: a named callee
+//     whose summary observes cancellation (or calls WaitGroup.Done)
+//     counts as tied.
+//  2. Timer leaks: `time.After` inside a loop allocates a timer per
+//     iteration that cannot be stopped (each one pins its channel for
+//     the full duration); `time.Tick` leaks its ticker by design; a
+//     `time.NewTicker` whose Stop is never reachable in the creating
+//     function drips forever.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines in service packages tied to ctx/done/WaitGroup; no time.After in loops or unstopped tickers",
+	Flow: true,
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(p *Pass) {
+	info := p.Pkg.Info
+	inScope := p.Cfg.GoroutinePackages == nil || p.Cfg.GoroutinePackages[p.Pkg.ImportPath]
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if inScope {
+				checkSpawns(p, info, fd)
+			}
+			checkTimers(p, info, fd)
+		}
+	}
+}
+
+// checkSpawns flags go statements whose goroutine is not visibly tied
+// to a lifecycle signal.
+func checkSpawns(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if spawnTied(p, info, gs) {
+			return true
+		}
+		p.Reportf(gs.Pos(), "goroutine is not tied to a context, done channel, or WaitGroup visible at the spawn; it will outlive Close/Shutdown (pass a ctx, select on a stop channel, or account it with wg.Add/Done)")
+		return true
+	})
+}
+
+// spawnTied reports whether the goroutine launched by gs has a visible
+// lifecycle tie: a cancellation-typed argument, a body that watches a
+// signal or settles a WaitGroup, or a callee whose summary does.
+func spawnTied(p *Pass, info *types.Info, gs *ast.GoStmt) bool {
+	call := gs.Call
+	// A ctx/done-channel argument hands the goroutine its signal.
+	for _, arg := range call.Args {
+		if t := info.Types[arg].Type; t != nil && (isContextType(t) || isDoneChan(t)) {
+			return true
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return litTied(p, info, lit)
+	}
+	// Named callee (go m.dispatch()): consult its summary.
+	if f := calleeFunc(info, call); f != nil {
+		if f.Pkg() != nil && f.Pkg().Path() == "context" {
+			return false
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if ok {
+			for i := 0; i < sig.Params().Len(); i++ {
+				t := sig.Params().At(i).Type()
+				if isContextType(t) || isDoneChan(t) {
+					return true
+				}
+			}
+		}
+		if p.Facts != nil {
+			if ff, ok := p.Facts.Funcs[FuncKey(f)]; ok && (ff.ObservesCancel || ff.WGDone) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// litTied reports whether a spawned function literal's body watches a
+// cancellation signal, settles a WaitGroup, or calls a function whose
+// summary does.
+func litTied(p *Pass, info *types.Info, lit *ast.FuncLit) bool {
+	if hasCancelSignal(info, lit) {
+		return true
+	}
+	tied := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil {
+			return true
+		}
+		if methodOn(f, "sync", "WaitGroup") && (f.Name() == "Done" || f.Name() == "Wait") {
+			tied = true
+			return false
+		}
+		if p.Facts != nil {
+			if ff, ok := p.Facts.Funcs[FuncKey(f)]; ok && (ff.ObservesCancel || ff.WGDone) {
+				tied = true
+				return false
+			}
+		}
+		return true
+	})
+	return tied
+}
+
+// checkTimers flags the time-package leak patterns, in every package
+// (they are wrong regardless of the service-layer catalog).
+func checkTimers(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Tickers created in fd, by the object of the variable they are
+	// assigned to; a ticker is fine iff t.Stop() appears somewhere in
+	// the same function (typically `defer t.Stop()`).
+	tickers := make(map[types.Object]*ast.CallExpr)
+	stopped := make(map[types.Object]bool)
+
+	var loopDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Body != nil {
+				loopDepth++
+				ast.Inspect(n.Body, walk)
+				loopDepth--
+			}
+			for _, sub := range []ast.Node{n.Init, n.Cond, n.Post} {
+				if sub != nil {
+					ast.Inspect(sub, walk)
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if n.Body != nil {
+				loopDepth++
+				ast.Inspect(n.Body, walk)
+				loopDepth--
+			}
+			ast.Inspect(n.X, walk)
+			return false
+		case *ast.AssignStmt:
+			// t := time.NewTicker(...)
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isPkgFunc(calleeFunc(info, call), "time", "NewTicker") {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							tickers[obj] = call
+							continue
+						}
+						if obj := info.Uses[id]; obj != nil {
+							tickers[obj] = call
+							continue
+						}
+					}
+				}
+				p.Reportf(call.Pos(), "time.NewTicker result is not bound to a variable that can be stopped; every ticker needs a matching Stop")
+			}
+		case *ast.CallExpr:
+			switch {
+			case isPkgFunc(calleeFunc(info, n), "time", "After") && loopDepth > 0:
+				p.Reportf(n.Pos(), "time.After inside a loop allocates an unstoppable timer per iteration; hoist a time.NewTimer/NewTicker outside the loop and reuse it")
+			case isPkgFunc(calleeFunc(info, n), "time", "Tick"):
+				p.Reportf(n.Pos(), "time.Tick leaks its ticker (no Stop handle); use time.NewTicker with defer t.Stop()")
+			}
+			// t.Stop() on a tracked ticker.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						stopped[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+
+	for obj, call := range tickers {
+		if !stopped[obj] && !tickerEscapes(info, fd, obj) {
+			p.Reportf(call.Pos(), "time.NewTicker is never stopped in %s; add `defer %s.Stop()` (a running ticker leaks until GC never — its goroutine holds it live)", fd.Name.Name, obj.Name())
+		}
+	}
+}
+
+// tickerEscapes reports whether the ticker object is returned, stored
+// into a struct/field, or captured by a function literal — cases where
+// the Stop legitimately lives elsewhere and the local check must not
+// fire.
+func tickerEscapes(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	escapes := false
+	var litDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litDepth++
+			ast.Inspect(n.Body, walk)
+			litDepth--
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesObj(info, res, obj) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if _, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); isSel && i < len(n.Rhs) && usesObj(info, n.Rhs[i], obj) {
+					escapes = true
+				}
+			}
+		case *ast.Ident:
+			// Any use inside a nested literal: the closure may own Stop.
+			if litDepth > 0 && info.Uses[n] == obj {
+				escapes = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return escapes
+}
+
+// usesObj reports whether expr references obj.
+func usesObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

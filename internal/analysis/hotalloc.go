@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// HotAlloc holds the registry hot-path catalog — the functions whose
+// allocation counts are pinned by AllocsPerRun benchmarks (trace/obs
+// instrumentation that sits on every request, faults.Check on every
+// fault point) — to allocation discipline at the AST level:
+//
+//   - no fmt calls (every fmt.Sprintf boxes its operands),
+//   - no append through a base that was not preallocated with an
+//     explicit capacity (struct-field bases are exempt: the amortized
+//     append-to-reused-buffer pattern is the point of a hot buffer),
+//   - no conversions that box a concrete value into an interface,
+//   - no capturing closures handed away (a closure that captures
+//     locals and escapes forces those locals to the heap).
+//
+// When the run carries compiler escape facts (rplint -facts), every
+// "escapes to heap"/"moved to heap" verdict inside a hot function is
+// reported too — the compiler's ground truth cross-checking the AST
+// heuristics, so a regression the heuristics miss still fails the
+// lint gate before the benchmark pins catch it at nightly speed.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "registry hot-path functions stay allocation-free: no fmt, unpreallocated append, interface boxing, or escaping captures",
+	Flow: true,
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	if len(p.Cfg.HotPaths) == 0 {
+		return
+	}
+	info := p.Pkg.Info
+	declared := make(map[string]bool)
+	short := p.Pkg.Types.Name()
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			display := FuncDisplay(obj)
+			declared[display] = true
+			if !p.Cfg.HotPaths[display] || fd.Body == nil {
+				continue
+			}
+			checkHotBody(p, info, display, fd)
+			checkHotEscapes(p, display, fd)
+		}
+	}
+	// Catalog coverage: a hot-path entry naming this package must
+	// resolve to a declared function, or the catalog has drifted from
+	// the code and the pin it stands for is unenforced.
+	for _, entry := range SortedKeys(p.Cfg.HotPaths) {
+		if !hotPathInPackage(entry, short) || declared[entry] {
+			continue
+		}
+		pos := token.NoPos
+		if len(p.Pkg.Files) > 0 {
+			pos = p.Pkg.Files[0].Pos()
+		}
+		p.Reportf(pos, "registry hot-path entry %q does not resolve to a function in package %s; fix the catalog or restore the function", entry, short)
+	}
+}
+
+// hotPathInPackage reports whether a catalog entry like
+// "trace.(*Trace).StartStage" names a function in the package with the
+// given short name.
+func hotPathInPackage(entry, short string) bool {
+	return len(entry) > len(short)+1 && entry[:len(short)+1] == short+"."
+}
+
+// checkHotBody runs the AST allocation checks over one hot function.
+func checkHotBody(p *Pass, info *types.Info, display string, fd *ast.FuncDecl) {
+	prealloc := preallocatedSlices(info, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			f := calleeFunc(info, n)
+			if f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+				p.Reportf(n.Pos(), "%s is a registry hot path (AllocsPerRun-pinned) but calls fmt.%s, which allocates for every operand; format outside the hot path or build the string manually", display, f.Name())
+				return false
+			}
+			if isBuiltinCall(info, n, "append") {
+				checkHotAppend(p, info, display, n, prealloc)
+			}
+			checkBoxedArgs(p, info, display, n)
+		case *ast.FuncLit:
+			if closureEscapes(p, info, fd, n) && capturesLocals(info, fd, n) {
+				p.Reportf(n.Pos(), "%s is a registry hot path but hands away a closure that captures locals, forcing them to the heap; pass the values as arguments or hoist the closure to a method", display)
+			}
+			return false // the literal's own body is not the hot path's frame
+		}
+		return true
+	})
+}
+
+// preallocatedSlices collects local slice variables created with an
+// explicit capacity (make with three arguments) — append through them
+// stays in the preallocated backing array as long as the benchmark's
+// working set fits.
+func preallocatedSlices(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinCall(info, call, "make") || len(call.Args) != 3 {
+			return
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i := range n.Rhs {
+				if i < len(n.Lhs) {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range n.Values {
+				if i < len(n.Names) {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotAppend flags append calls whose base is neither a
+// struct-field buffer nor a capacity-preallocated local.
+func checkHotAppend(p *Pass, info *types.Info, display string, call *ast.CallExpr, prealloc map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch base := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[base.Sel].(*types.Var); ok && obj.IsField() {
+			return // reused struct-field buffer: the intended pattern
+		}
+	case *ast.Ident:
+		if obj := info.Uses[base]; obj != nil && prealloc[obj] {
+			return
+		}
+	}
+	p.Reportf(call.Pos(), "%s is a registry hot path but appends without preallocation; size the slice with make(..., 0, n) or append into a reused struct-field buffer", display)
+}
+
+// checkBoxedArgs flags arguments that convert a concrete value into an
+// interface parameter — each such conversion allocates unless the
+// compiler can prove otherwise, and hot paths must not bet on that.
+func checkBoxedArgs(p *Pass, info *types.Info, display string, call *ast.CallExpr) {
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if s, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param.Underlying()) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || boxFree(at) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		p.Reportf(arg.Pos(), "%s is a registry hot path but boxes a %s into an interface argument, which allocates; keep hot-path signatures concrete", display, types.TypeString(at, func(p *types.Package) string { return p.Name() }))
+	}
+}
+
+// boxFree reports whether storing a value of type t in an interface
+// needs no allocation: pointer-shaped types share their word directly.
+func boxFree(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// closureEscapes reports whether lit is handed away — passed as a call
+// argument (except immediately invoked), assigned, returned, deferred,
+// or spawned.
+func closureEscapes(p *Pass, info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	escapes := false
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n != ast.Node(lit) || len(stack) < 2 {
+			return true
+		}
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.CallExpr:
+			if ast.Unparen(parent.Fun) == ast.Node(lit) {
+				return true // immediately invoked: runs in this frame
+			}
+			escapes = true
+		case *ast.AssignStmt, *ast.ReturnStmt, *ast.GoStmt, *ast.DeferStmt, *ast.KeyValueExpr, *ast.CompositeLit:
+			escapes = true
+		}
+		return true
+	})
+	return escapes
+}
+
+// capturesLocals reports whether lit references variables declared in
+// the enclosing function but outside the literal itself.
+func capturesLocals(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return true
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true // package-level: no capture
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // the literal's own declaration
+		}
+		if obj.Pos() >= fd.Pos() && obj.Pos() < fd.End() {
+			captures = true
+			return false
+		}
+		return true
+	})
+	return captures
+}
+
+// checkHotEscapes reports the compiler's heap verdicts inside a hot
+// function's source span when the run has escape facts loaded.
+func checkHotEscapes(p *Pass, display string, fd *ast.FuncDecl) {
+	if p.Cfg.Escape == nil {
+		return
+	}
+	start := p.Fset.Position(fd.Pos())
+	end := p.Fset.Position(fd.End())
+	rel := start.Filename
+	if p.Cfg.ModuleDir != "" {
+		if r, err := filepath.Rel(p.Cfg.ModuleDir, start.Filename); err == nil {
+			rel = filepath.ToSlash(r)
+		}
+	}
+	for line := start.Line; line <= end.Line; line++ {
+		for _, note := range p.Cfg.Escape[fmt.Sprintf("%s:%d", rel, line)] {
+			pos := p.Fset.File(fd.Pos()).LineStart(line)
+			p.Reportf(pos, "%s is a registry hot path but the compiler reports %q at line %d; eliminate the allocation or restructure so it stays on the stack", display, note, line)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tmpModule lays out a minimal module for cache-key tests.
+func tmpModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpmod\n\ngo 1.21\n")
+	write("a/a.go", "package a\n\nfunc A() {}\n")
+	return dir
+}
+
+func TestListCacheKey(t *testing.T) {
+	dir := tmpModule(t)
+	key1, err := ListCacheKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Content-only edits don't change package metadata, so the key
+	// must hold (this is what keeps warm CI caches warm).
+	if err := os.WriteFile(filepath.Join(dir, "a", "a.go"), []byte("package a\n\nfunc A() int { return 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key2, err := ListCacheKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key2 != key1 {
+		t.Error("content-only edit must not change the list cache key")
+	}
+
+	// Adding a source file changes the layout: new key.
+	if err := os.WriteFile(filepath.Join(dir, "a", "b.go"), []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key3, err := ListCacheKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key3 == key1 {
+		t.Error("adding a source file must change the list cache key")
+	}
+
+	// Editing go.mod changes resolution: new key.
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpmod2\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key4, err := ListCacheKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key4 == key3 {
+		t.Error("editing go.mod must change the list cache key")
+	}
+}
+
+// TestListCacheStaleness is the satellite regression test for the bug
+// where .cache/golist.json survived module layout changes: a cache
+// written against one layout must be regenerated — not trusted — once
+// a package is added.
+func TestListCacheStaleness(t *testing.T) {
+	dir := tmpModule(t)
+	cacheFile := filepath.Join(dir, ".cache", "golist.json")
+
+	out1, err := List(dir, []string{"./..."}, cacheFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out1.Packages) != 1 {
+		t.Fatalf("want 1 package, got %d", len(out1.Packages))
+	}
+	if out1.Key == "" {
+		t.Fatal("cache-backed List must stamp the layout key")
+	}
+
+	// Same layout: the cache must be reused verbatim. Plant a marker
+	// to prove the file is what gets returned.
+	marked := *out1
+	marked.ModulePath = "tmpmod-marker"
+	data, err := json.MarshalIndent(&marked, "", "\t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cacheFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := List(dir, []string{"./..."}, cacheFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.ModulePath != "tmpmod-marker" {
+		t.Error("unchanged layout must serve the cached output")
+	}
+
+	// New package: the marked cache is now stale and must be thrown
+	// away, not served.
+	if err := os.MkdirAll(filepath.Join(dir, "b"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b", "b.go"), []byte("package b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out3, err := List(dir, []string{"./..."}, cacheFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3.ModulePath == "tmpmod-marker" {
+		t.Fatal("stale cache served after the module layout changed")
+	}
+	if len(out3.Packages) != 2 {
+		t.Errorf("regenerated list should see 2 packages, got %d", len(out3.Packages))
+	}
+
+	// And the regeneration must have rewritten the cache with the new
+	// key, so the next run reuses it.
+	fresh, err := os.ReadFile(cacheFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := new(ListOutput)
+	if err := json.Unmarshal(fresh, cached); err != nil {
+		t.Fatal(err)
+	}
+	wantKey, err := ListCacheKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Key != wantKey {
+		t.Error("regenerated cache was not stamped with the current layout key")
+	}
+}

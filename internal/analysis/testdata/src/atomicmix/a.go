@@ -1,0 +1,43 @@
+// Fixture: atomicmix flags plain accesses to fields that are accessed
+// via sync/atomic anywhere, and 64-bit atomics on fields a 32-bit
+// target would misalign.
+package atomicmix
+
+import "sync/atomic"
+
+// Misaligned places its 64-bit counter at offset 4 on 32-bit targets.
+type Misaligned struct {
+	gen  uint32
+	hits uint64
+}
+
+// Aligned keeps the 64-bit counter first, as the sync/atomic contract
+// requires.
+type Aligned struct {
+	hits uint64
+	gen  uint32
+}
+
+func (m *Misaligned) Inc() {
+	atomic.AddUint64(&m.hits, 1) // want: offset 4 is not 8-byte aligned
+}
+
+func (a *Aligned) Inc() {
+	atomic.AddUint64(&a.hits, 1) // aligned and atomic: no finding
+}
+
+func (a *Aligned) Load() uint64 {
+	return atomic.LoadUint64(&a.hits) // atomic read: no finding
+}
+
+func (a *Aligned) Mixed() uint64 {
+	return a.hits // want: plain read of an atomic field
+}
+
+func (a *Aligned) Reset() {
+	a.hits = 0 // want: plain write tears under concurrent atomics
+}
+
+func (a *Aligned) Gen() uint32 {
+	return a.gen // never atomic: no finding
+}

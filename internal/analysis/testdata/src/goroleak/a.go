@@ -1,0 +1,81 @@
+// Fixture: goroleak requires spawned goroutines in service packages to
+// carry a visible lifecycle tie, and flags the time-package leaks.
+package goroleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type M struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (m *M) worker() {
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+	}
+}
+
+func (m *M) startNamed() {
+	m.wg.Add(1)
+	go m.worker() // callee watches m.stop (summary): no finding
+}
+
+func startCtx(ctx context.Context) {
+	go func() { // body watches ctx.Done: no finding
+		<-ctx.Done()
+	}()
+}
+
+func (m *M) startAccounted() {
+	m.wg.Add(1)
+	go func() { // body settles the WaitGroup: no finding
+		defer m.wg.Done()
+	}()
+}
+
+func untied() {
+	go func() { // want: nothing ties this goroutine down
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func afterInLoop(ch chan int) {
+	for range ch {
+		select {
+		case <-time.After(time.Second): // want: unstoppable timer per iteration
+		default:
+		}
+	}
+}
+
+func tickLeak() <-chan time.Time {
+	return time.Tick(time.Second) // want: no Stop handle
+}
+
+func tickerLeak() {
+	t := time.NewTicker(time.Second) // want: never stopped here
+	<-t.C
+}
+
+func tickerStopped() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+type holder struct{ t *time.Ticker }
+
+func tickerHandedOff(h *holder) {
+	t := time.NewTicker(time.Second)
+	h.t = t // stored away: Stop lives with the holder, no finding
+}

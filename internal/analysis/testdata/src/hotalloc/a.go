@@ -1,0 +1,58 @@
+// Fixture: hotalloc holds the functions in the (fixture) hot-path
+// catalog to allocation discipline; everything outside the catalog is
+// exempt. The catalog also names a function that does not exist, to
+// exercise the drift check.
+package hotalloc
+
+import "fmt"
+
+type Buf struct {
+	spans []int
+}
+
+func HotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want: fmt allocates per operand
+}
+
+func HotAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want: grows without preallocation
+	}
+	return out
+}
+
+func HotPrealloc(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x) // explicit capacity: no finding
+	}
+	return out
+}
+
+func (b *Buf) Record(x int) {
+	b.spans = append(b.spans, x) // reused field buffer: no finding
+}
+
+func HotBox(x int) {
+	sink(x) // want: boxes the int into an interface
+}
+
+func HotNoBox(p *Buf) {
+	sink(p) // pointer-shaped: no finding
+}
+
+func sink(v any) { _ = v }
+
+func HotClosure(x int) func() int {
+	f := func() int { return x } // want: escaping capture pins x to the heap
+	return f
+}
+
+func HotInvoked(x int) int {
+	return func() int { return x }() // immediately invoked: no finding
+}
+
+func Cold(x int) string {
+	return fmt.Sprintf("%d", x) // not a hot path: no finding
+}

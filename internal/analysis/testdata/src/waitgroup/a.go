@@ -1,0 +1,49 @@
+// Fixture: waitgroup flags Add inside the spawned goroutine, Add after
+// Wait, and WaitGroup copies.
+package waitgroup
+
+import "sync"
+
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want: races with the spawner's Wait
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func addBefore() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func addAfterWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+	wg.Add(1) // want: reuse before the previous Wait settles
+	go func() { wg.Done() }()
+	wg.Wait()
+}
+
+func byValueParam(wg sync.WaitGroup) { // want: callee gets a copy
+	wg.Done()
+}
+
+func byPointerParam(wg *sync.WaitGroup) { // pointer: no finding
+	wg.Done()
+}
+
+func copies() {
+	var wg sync.WaitGroup
+	wg2 := wg // want: splits the counter
+	_ = wg2
+	byValueParam(wg) // want: argument copies the counter
+	byPointerParam(&wg)
+}

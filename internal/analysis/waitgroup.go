@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WaitGroup catches the three misuse patterns the race detector only
+// finds when the interleaving cooperates:
+//
+//  1. Add inside the spawned goroutine: `go func() { wg.Add(1); ... }`
+//     races with the spawner's Wait — Wait can return before the
+//     goroutine has run its Add. Add must happen on the spawning
+//     stack, before the go statement.
+//  2. Add after Wait (same function, same WaitGroup): the Wait can
+//     return early, and concurrent Add-after-Wait panics ("WaitGroup
+//     is reused before previous Wait has returned").
+//  3. Copies: sync.WaitGroup contains its counter by value, so a
+//     value parameter, value capture, or `x := wg` assignment splits
+//     the counter — Done on the copy never releases the original Wait.
+var WaitGroupCheck = &Analyzer{
+	Name: "waitgroup",
+	Doc:  "WaitGroup Add on the spawning stack before the goroutine, never after Wait, never through a copy",
+	Flow: true,
+	Run:  runWaitGroup,
+}
+
+func runWaitGroup(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkWGParams(p, info, fd)
+			if fd.Body == nil {
+				continue
+			}
+			checkWGAddPlacement(p, info, fd)
+			checkWGCopies(p, info, fd)
+		}
+	}
+}
+
+// isWaitGroupType reports whether t is sync.WaitGroup (by value —
+// *sync.WaitGroup is the safe way to pass one).
+func isWaitGroupType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// wgMethodCall returns the WaitGroup method name and receiver text for
+// calls like wg.Add(1) / wg.Done() / wg.Wait().
+func wgMethodCall(info *types.Info, call *ast.CallExpr) (method, recv string, ok bool) {
+	f := calleeFunc(info, call)
+	if f == nil || !methodOn(f, "sync", "WaitGroup") {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return f.Name(), lockExprText(sel.X), true
+}
+
+// checkWGParams flags sync.WaitGroup value parameters: the callee gets
+// a copy, and its Done never reaches the caller's Wait.
+func checkWGParams(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		t := info.Types[field.Type].Type
+		if t == nil || !isWaitGroupType(t) {
+			continue
+		}
+		p.Reportf(field.Type.Pos(), "sync.WaitGroup passed by value: the callee operates on a copy and its Done never releases the caller's Wait; take *sync.WaitGroup")
+	}
+}
+
+// checkWGAddPlacement finds Add calls inside spawned goroutine bodies
+// and Add calls lexically after a Wait on the same WaitGroup.
+func checkWGAddPlacement(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Pattern 1: Add inside a go-spawned literal.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if _, isGo := m.(*ast.GoStmt); isGo {
+				return false // a nested spawn restarts the pattern one level down
+			}
+			call, isCall := m.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if method, recv, ok := wgMethodCall(info, call); ok && method == "Add" && recv != "" {
+				p.Reportf(call.Pos(), "%s.Add inside the spawned goroutine races with the spawner's Wait (Wait can return before this Add runs); call Add on the spawning stack, before the go statement", recv)
+			}
+			return true
+		})
+		return true
+	})
+
+	// Pattern 2: Add after Wait, same function, same receiver text,
+	// outside any function literal (a closure's Add runs at an
+	// unrelated time).
+	waitPos := make(map[string]ast.Node)
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, recv, ok := wgMethodCall(info, call)
+		if !ok || recv == "" {
+			return true
+		}
+		switch method {
+		case "Wait":
+			if _, seen := waitPos[recv]; !seen {
+				waitPos[recv] = call
+			}
+		case "Add":
+			if w, seen := waitPos[recv]; seen && call.Pos() > w.Pos() {
+				p.Reportf(call.Pos(), "%s.Add after %s.Wait in the same function reuses the WaitGroup before the previous Wait has settled; use a fresh WaitGroup for the second round", recv, recv)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+// checkWGCopies flags assignments and call arguments that copy a
+// WaitGroup value.
+func checkWGCopies(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if id, isIdent := n.Lhs[i].(*ast.Ident); isIdent && id.Name == "_" {
+					continue // discarded, not a live second counter
+				}
+				t := info.Types[rhs].Type
+				if t == nil || !isWaitGroupType(t) {
+					continue
+				}
+				// `var wg sync.WaitGroup` arrives as a composite lit or
+				// zero value, not a copy of an existing one; only flag
+				// copying an existing WaitGroup-typed expression.
+				switch ast.Unparen(rhs).(type) {
+				case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					p.Reportf(n.Pos(), "copying a sync.WaitGroup by value splits its counter; share the original via a pointer")
+				}
+			}
+		case *ast.CallExpr:
+			f := calleeFunc(info, n)
+			if f != nil && methodOn(f, "sync", "WaitGroup") {
+				return true // wg.Add(1) etc: receiver use, not a copy
+			}
+			for _, arg := range n.Args {
+				t := info.Types[arg].Type
+				if t == nil || !isWaitGroupType(t) {
+					continue
+				}
+				switch ast.Unparen(arg).(type) {
+				case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					p.Reportf(arg.Pos(), "sync.WaitGroup passed by value copies its counter; pass &%s", lockExprText(ast.Unparen(arg).(ast.Expr)))
+				}
+			}
+		}
+		return true
+	})
+}

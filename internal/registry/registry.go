@@ -93,6 +93,88 @@ func SpanNames() []string {
 	return []string{SpanRequest, SpanQueueWait, SpanJobExec, SpanCoalesce, SpanWALAppend, SpanWALFsync}
 }
 
+// Lock classes of the serving and durability layers, named
+// "pkg.Type.field" (or "pkg.var" for a package-level mutex). The
+// list is the canonical acquisition order, outermost first: code may
+// acquire a class only while holding classes that appear strictly
+// earlier. The rplint lockdiscipline analyzer derives every
+// lock-nesting edge in the tree (including edges through calls, via
+// its call-summary layer) and rejects any edge that contradicts this
+// order, plus any mutex in jobs/wal/serve/obs/trace/slo that is
+// missing from the catalog — so adding a mutex to those packages
+// means declaring, here, where it nests.
+const (
+	LockServeWorkerPool  = "serve.workerPool.mu"   // worker-pool state (outermost serve lock)
+	LockServeResultCache = "serve.resultCache.mu"  // LRU result cache
+	LockServeBreaker     = "serve.breaker.mu"      // per-endpoint circuit breaker
+	LockServeTenants     = "serve.tenantCounts.mu" // tenant-label cardinality fold
+	LockServeHistogram   = "serve.histogram.mu"    // per-stage latency histograms
+	LockJobsManager      = "jobs.Manager.mu"       // async job manager (flights, queues, store)
+	LockWALLog           = "wal.Log.mu"            // write-ahead-log segment state
+	LockSLOEngine        = "slo.Engine.mu"         // burn-rate engine windows
+	LockSLOProfileRing   = "slo.ProfileRing.mu"    // on-disk pprof capture ring
+	LockTraceTrace       = "trace.Trace.mu"        // per-request stage trace accumulation
+	LockTraceSpanStore   = "trace.SpanStore.mu"    // trace flight-recorder dual ring
+	LockTraceRecording   = "trace.Recording.mu"    // per-request span recording
+	LockObsScopeFault    = "obs.Scope.faultMu"     // request-scope fault annotations
+	LockObsRecorder      = "obs.Recorder.mu"       // request flight-recorder dual ring
+	LockObsQuantiles     = "obs.Quantiles.mu"      // P2 streaming quantile estimator
+)
+
+// LockOrder returns the canonical lock acquisition order, outermost
+// first. Holding a class and acquiring one at the same or an earlier
+// rank is a static lockdiscipline violation.
+func LockOrder() []string {
+	return []string{
+		LockServeWorkerPool,
+		LockServeResultCache,
+		LockServeBreaker,
+		LockServeTenants,
+		LockServeHistogram,
+		LockJobsManager,
+		LockWALLog,
+		LockSLOEngine,
+		LockSLOProfileRing,
+		LockTraceTrace,
+		LockTraceSpanStore,
+		LockTraceRecording,
+		LockObsScopeFault,
+		LockObsRecorder,
+		LockObsQuantiles,
+	}
+}
+
+// Hot-path catalog: functions pinned allocation-free (or
+// allocation-flat) by AllocsPerRun tests. The rplint hotalloc
+// analyzer holds their bodies to allocation discipline — no fmt
+// calls, no growth-by-append without visible preallocation, no
+// escaping closure captures, no interface-boxing conversions — and,
+// when compiler escape facts are loaded (rplint -facts), rejects any
+// heap-escape the compiler reports inside them. Names are in
+// FuncDisplay form: pkg.Func, pkg.Type.Method, or pkg.(*Type).Method.
+func HotPaths() []string {
+	return []string{
+		// internal/trace: the nil-trace and sampled-out span paths
+		// (TestNilTraceAllocatesNothing, TestSampledOutSpanPathAllocatesNothing).
+		"trace.(*Trace).StartStage",
+		"trace.(*Trace).Count",
+		"trace.(*Trace).CountBool",
+		"trace.(*Trace).RecordLevel",
+		"trace.(*Trace).AttachSpans",
+		"trace.(*Recording).AddSpan",
+		"trace.(*Recording).Annotate",
+		"trace.ParseTraceparent",
+		// internal/obs: the per-request steady-state observation path
+		// (TestQuantilesObserveAllocationFree, recorder/IDGen pins).
+		"obs.(*Quantiles).Observe",
+		"obs.(*Recorder).Record",
+		"obs.(*IDGen).Next",
+		// internal/faults: the disabled-check fast path pinned at zero
+		// overhead (TestDisabledCheckIsFreeAndAllocationless).
+		"faults.Check",
+	}
+}
+
 // Prometheus metric family names exposed on GET /metrics. Every
 // family emitted anywhere in the tree must be declared here and
 // documented in the README metric table (rplint enforces both).
@@ -292,5 +374,7 @@ func Validate() []string {
 	check("trace stage", TraceStages())
 	check("trace counter", TraceCounters())
 	check("metric family", MetricNames())
+	check("lock class", LockOrder())
+	check("hot path", HotPaths())
 	return problems
 }

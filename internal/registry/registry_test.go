@@ -39,3 +39,49 @@ func TestNamingConventions(t *testing.T) {
 		t.Error("no trace stages registered")
 	}
 }
+
+func TestLockOrderShape(t *testing.T) {
+	order := LockOrder()
+	if len(order) == 0 {
+		t.Fatal("no lock classes registered")
+	}
+	for _, class := range order {
+		// Classes are "pkg.Type.field" or "pkg.var": dotted, no
+		// pointer/paren syntax.
+		if strings.Count(class, ".") < 1 || strings.ContainsAny(class, "(*) ") {
+			t.Errorf("lock class %q is not pkg.Type.field / pkg.var shaped", class)
+		}
+	}
+	// The empirically-validated critical edges: the job manager's
+	// mutex must rank before the WAL's and the recording's (dispatch
+	// appends to the WAL and attaches spans while holding it).
+	rank := make(map[string]int, len(order))
+	for i, class := range order {
+		rank[class] = i
+	}
+	for _, edge := range [][2]string{
+		{LockJobsManager, LockWALLog},
+		{LockJobsManager, LockTraceRecording},
+	} {
+		ri, iok := rank[edge[0]]
+		rj, jok := rank[edge[1]]
+		if !iok || !jok {
+			t.Fatalf("edge %v references unranked classes", edge)
+		}
+		if ri >= rj {
+			t.Errorf("%s must rank before %s (observed nesting in jobs dispatch)", edge[0], edge[1])
+		}
+	}
+}
+
+func TestHotPathsShape(t *testing.T) {
+	paths := HotPaths()
+	if len(paths) == 0 {
+		t.Fatal("no hot paths registered")
+	}
+	for _, p := range paths {
+		if !strings.Contains(p, ".") {
+			t.Errorf("hot path %q is not pkg.Func / pkg.(*Type).Method shaped", p)
+		}
+	}
+}
